@@ -1,0 +1,65 @@
+//! The [`Signature`] type carried in votes, proposals and timeout messages.
+
+use std::fmt;
+
+/// Length of a signature tag in bytes.
+pub const SIGNATURE_LEN: usize = 32;
+
+/// An authenticator over (signer, message) produced by
+/// [`KeyPair::sign`](crate::KeyPair::sign) and checked by
+/// [`KeyRegistry::verify`](crate::KeyRegistry::verify).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    signer: u64,
+    tag: [u8; SIGNATURE_LEN],
+}
+
+impl Signature {
+    /// Wraps a raw MAC tag. Library-internal constructor; external users
+    /// obtain signatures from [`KeyPair::sign`](crate::KeyPair::sign).
+    pub fn from_tag(signer: u64, tag: [u8; SIGNATURE_LEN]) -> Self {
+        Self { signer, tag }
+    }
+
+    /// The claimed signer index.
+    pub fn signer(&self) -> u64 {
+        self.signer
+    }
+
+    /// The raw tag bytes.
+    pub fn tag(&self) -> &[u8; SIGNATURE_LEN] {
+        &self.tag
+    }
+
+    /// A structurally valid but never-verifying signature, for tests and for
+    /// genesis artifacts that are trusted by construction.
+    pub fn dummy(signer: u64) -> Self {
+        Self { signer, tag: [0u8; SIGNATURE_LEN] }
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let prefix: String = self.tag[..4].iter().map(|b| format!("{b:02x}")).collect();
+        write!(f, "Signature(signer={}, {})", self.signer, prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_never_empty() {
+        let s = Signature::dummy(3);
+        let dbg = format!("{s:?}");
+        assert!(dbg.contains("signer=3"));
+    }
+
+    #[test]
+    fn accessors() {
+        let s = Signature::from_tag(9, [7u8; 32]);
+        assert_eq!(s.signer(), 9);
+        assert_eq!(s.tag(), &[7u8; 32]);
+    }
+}

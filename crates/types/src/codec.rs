@@ -1,0 +1,360 @@
+//! Deterministic binary wire codec.
+//!
+//! Every wire type implements [`Encode`] and [`Decode`]. Encoding is
+//! deterministic (no maps, fixed integer widths, length-prefixed sequences),
+//! which makes encoded bytes suitable as signing preimages. The codec
+//! replaces serde: the simulator needs byte-identical preimages for
+//! signatures and exact wire-size accounting for the message-complexity
+//! experiments, and the approved offline dependency set has no serde
+//! format crate.
+
+use std::fmt;
+
+use sft_crypto::{HashValue, Signature};
+
+/// Error returned when decoding malformed bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// A tag byte or enum discriminant had no meaning.
+    InvalidTag(u8),
+    /// A length prefix exceeded the sanity bound.
+    LengthOverflow(u64),
+    /// Trailing bytes remained after a complete top-level decode.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::InvalidTag(t) => write!(f, "invalid tag byte {t}"),
+            DecodeError::LengthOverflow(n) => write!(f, "length prefix {n} too large"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum element count accepted for any length-prefixed sequence.
+/// Prevents hostile length prefixes from causing huge allocations.
+pub const MAX_SEQ_LEN: u64 = 1 << 24;
+
+/// Serializes `self` into a byte buffer.
+pub trait Encode {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// The encoded size in bytes. Default implementation encodes and counts;
+    /// types on hot paths may override with an analytic computation.
+    fn encoded_len(&self) -> usize {
+        self.to_bytes().len()
+    }
+}
+
+/// Deserializes a value from a byte cursor.
+pub trait Decode: Sized {
+    /// Reads one value from the front of `buf`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the bytes are truncated or malformed.
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError>;
+
+    /// Decodes a complete buffer, rejecting trailing bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on malformed input or leftover bytes.
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        let value = Self::decode(&mut bytes)?;
+        if bytes.is_empty() {
+            Ok(value)
+        } else {
+            Err(DecodeError::TrailingBytes(bytes.len()))
+        }
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if buf.len() < n {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+macro_rules! impl_codec_uint {
+    ($($ty:ty),*) => {
+        $(
+            impl Encode for $ty {
+                fn encode(&self, buf: &mut Vec<u8>) {
+                    buf.extend_from_slice(&self.to_be_bytes());
+                }
+                fn encoded_len(&self) -> usize {
+                    std::mem::size_of::<$ty>()
+                }
+            }
+            impl Decode for $ty {
+                fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+                    let bytes = take(buf, std::mem::size_of::<$ty>())?;
+                    let mut arr = [0u8; std::mem::size_of::<$ty>()];
+                    arr.copy_from_slice(bytes);
+                    Ok(<$ty>::from_be_bytes(arr))
+                }
+            }
+        )*
+    };
+}
+
+impl_codec_uint!(u8, u16, u32, u64);
+
+impl Encode for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for item in self {
+            item.encode(buf);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = u64::decode(buf)?;
+        if len > MAX_SEQ_LEN {
+            return Err(DecodeError::LengthOverflow(len));
+        }
+        let mut out = Vec::with_capacity((len as usize).min(1024));
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            t => Err(DecodeError::InvalidTag(t)),
+        }
+    }
+}
+
+impl Encode for HashValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        HashValue::LEN
+    }
+}
+
+impl Decode for HashValue {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let bytes = take(buf, HashValue::LEN)?;
+        let mut arr = [0u8; HashValue::LEN];
+        arr.copy_from_slice(bytes);
+        Ok(HashValue::from_bytes(arr))
+    }
+}
+
+impl Encode for Signature {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.signer().encode(buf);
+        buf.extend_from_slice(self.tag());
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 32
+    }
+}
+
+impl Decode for Signature {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let signer = u64::decode(buf)?;
+        let bytes = take(buf, 32)?;
+        let mut tag = [0u8; 32];
+        tag.copy_from_slice(bytes);
+        Ok(Signature::from_tag(signer, tag))
+    }
+}
+
+impl Encode for crate::ReplicaId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_u16().encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        2
+    }
+}
+
+impl Decode for crate::ReplicaId {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self::new(u16::decode(buf)?))
+    }
+}
+
+impl Encode for crate::Round {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_u64().encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for crate::Round {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self::new(u64::decode(buf)?))
+    }
+}
+
+impl Encode for crate::Height {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.as_u64().encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for crate::Height {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self::new(u64::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Height, ReplicaId, Round};
+
+    fn roundtrip<T: Encode + Decode + PartialEq + fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(bytes.len(), value.encoded_len());
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(u16::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX);
+        roundtrip(true);
+        roundtrip(false);
+    }
+
+    #[test]
+    fn id_roundtrips() {
+        roundtrip(ReplicaId::new(99));
+        roundtrip(Round::new(1 << 40));
+        roundtrip(Height::new(7));
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v: Vec<u64> = vec![1, 2, 3, u64::MAX];
+        let bytes = v.to_bytes();
+        assert_eq!(Vec::<u64>::from_bytes(&bytes).unwrap(), v);
+        let o: Option<u32> = Some(5);
+        assert_eq!(Option::<u32>::from_bytes(&o.to_bytes()).unwrap(), o);
+        let n: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_bytes(&n.to_bytes()).unwrap(), n);
+    }
+
+    #[test]
+    fn hash_signature_roundtrips() {
+        roundtrip(HashValue::of(b"abc"));
+        roundtrip(Signature::from_tag(3, [9u8; 32]));
+    }
+
+    #[test]
+    fn eof_detected() {
+        let bytes = 12345u64.to_bytes();
+        assert_eq!(
+            u64::from_bytes(&bytes[..4]),
+            Err(DecodeError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = 1u8.to_bytes();
+        bytes.push(0);
+        assert_eq!(u8::from_bytes(&bytes), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn bad_bool_tag() {
+        assert_eq!(bool::from_bytes(&[2]), Err(DecodeError::InvalidTag(2)));
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        let mut bytes = Vec::new();
+        (u64::MAX).encode(&mut bytes);
+        assert_eq!(
+            Vec::<u8>::from_bytes(&bytes),
+            Err(DecodeError::LengthOverflow(u64::MAX))
+        );
+    }
+
+    #[test]
+    fn option_bad_tag() {
+        assert_eq!(
+            Option::<u8>::from_bytes(&[7]),
+            Err(DecodeError::InvalidTag(7))
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DecodeError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(DecodeError::InvalidTag(3).to_string().contains('3'));
+    }
+}

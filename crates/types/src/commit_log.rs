@@ -1,0 +1,177 @@
+//! The strong-commit `Log` carried in block proposals (§5, "Proving Strong
+//! Commit to Light Clients").
+//!
+//! Every proposal records, as [`StrongCommitUpdate`] entries, any increase
+//! in the strong-commit level of earlier blocks caused by the strong-QC the
+//! proposal contains. Once the proposal itself is certified (2f+1 votes),
+//! at least one honest replica vouched for the update (assuming at most 2f
+//! faults, the ceiling of the SFT guarantee), so showing the certified log
+//! entry to a light client proves the strong commit without replaying the
+//! chain.
+
+use std::fmt;
+
+use sft_crypto::{HashValue, Hasher};
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::{Height, Round};
+
+/// One entry of the commit log: "block `block_id` is now `level`-strong
+/// committed".
+///
+/// `level` is the absolute strength `x` of Definition 1 — the commit stays
+/// safe provided at most `x` replicas are Byzantine. The regular commit is
+/// `level = f`; the ceiling is `level = 2f`.
+///
+/// # Examples
+///
+/// ```
+/// use sft_crypto::HashValue;
+/// use sft_types::{Height, Round, StrongCommitUpdate};
+///
+/// let up = StrongCommitUpdate::new(HashValue::of(b"B7"), Round::new(7), Height::new(7), 40);
+/// assert_eq!(up.level(), 40);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrongCommitUpdate {
+    block_id: HashValue,
+    round: Round,
+    height: Height,
+    level: u64,
+}
+
+impl StrongCommitUpdate {
+    /// Creates an update entry.
+    pub fn new(block_id: HashValue, round: Round, height: Height, level: u64) -> Self {
+        Self { block_id, round, height, level }
+    }
+
+    /// The block whose strength increased.
+    pub fn block_id(&self) -> HashValue {
+        self.block_id
+    }
+
+    /// The block's round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The block's height.
+    pub fn height(&self) -> Height {
+        self.height
+    }
+
+    /// The new strong-commit level `x` (tolerates up to `x` Byzantine
+    /// faults, Definition 1).
+    pub fn level(&self) -> u64 {
+        self.level
+    }
+
+    /// Digest of this entry, mixed into the block id so the log is bound by
+    /// the proposal signature and by every vote on the block.
+    pub fn digest(&self) -> HashValue {
+        Hasher::new("strong-commit-update")
+            .field(self.block_id.as_ref())
+            .field(&self.round.as_u64().to_be_bytes())
+            .field(&self.height.as_u64().to_be_bytes())
+            .field(&self.level.to_be_bytes())
+            .finish()
+    }
+}
+
+impl fmt::Debug for StrongCommitUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "StrongCommitUpdate({} r={} h={} -> {}-strong)",
+            self.block_id.short(),
+            self.round,
+            self.height,
+            self.level
+        )
+    }
+}
+
+impl Encode for StrongCommitUpdate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.block_id.encode(buf);
+        self.round.encode(buf);
+        self.height.encode(buf);
+        self.level.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        32 + 8 + 8 + 8
+    }
+}
+
+impl Decode for StrongCommitUpdate {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self {
+            block_id: HashValue::decode(buf)?,
+            round: Round::decode(buf)?,
+            height: Height::decode(buf)?,
+            level: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Digest of a whole commit log (the `Log` of §5), bound into the block id.
+pub fn commit_log_digest(entries: &[StrongCommitUpdate]) -> HashValue {
+    let mut h = Hasher::new("commit-log");
+    for entry in entries {
+        h = h.field(entry.digest().as_ref());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(level: u64) -> StrongCommitUpdate {
+        StrongCommitUpdate::new(HashValue::of(b"blk"), Round::new(4), Height::new(3), level)
+    }
+
+    #[test]
+    fn accessors() {
+        let up = sample(35);
+        assert_eq!(up.block_id(), HashValue::of(b"blk"));
+        assert_eq!(up.round(), Round::new(4));
+        assert_eq!(up.height(), Height::new(3));
+        assert_eq!(up.level(), 35);
+    }
+
+    #[test]
+    fn digest_binds_level() {
+        assert_ne!(sample(35).digest(), sample(36).digest());
+    }
+
+    #[test]
+    fn digest_binds_block() {
+        let other =
+            StrongCommitUpdate::new(HashValue::of(b"other"), Round::new(4), Height::new(3), 35);
+        assert_ne!(sample(35).digest(), other.digest());
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let up = sample(40);
+        let bytes = up.to_bytes();
+        assert_eq!(bytes.len(), up.encoded_len());
+        assert_eq!(StrongCommitUpdate::from_bytes(&bytes).unwrap(), up);
+    }
+
+    #[test]
+    fn log_digest_is_order_sensitive() {
+        let a = sample(35);
+        let b = sample(40);
+        assert_ne!(commit_log_digest(&[a, b]), commit_log_digest(&[b, a]));
+        assert_eq!(commit_log_digest(&[]), commit_log_digest(&[]));
+        assert_ne!(commit_log_digest(&[]), commit_log_digest(&[a]));
+    }
+
+    #[test]
+    fn debug_contains_level() {
+        assert!(format!("{:?}", sample(12)).contains("12-strong"));
+    }
+}

@@ -1,0 +1,518 @@
+//! [`RoundIntervalSet`]: the set `I` of endorsed rounds carried by a
+//! generalized strong-vote (§3.4).
+//!
+//! A strong-vote for block `B'` endorses an ancestor `B` at round `r` iff
+//! `r ∈ I`. The minimal solution of §3.2 is the special case
+//! `I = [marker+1, r']` where `r'` is the vote's round; the generalized
+//! solution subtracts, per conflicting fork `F` the voter ever voted on, the
+//! non-endorsed window `D_F = [r_l + 1, r_h]` (`r_h` = highest conflicting
+//! voted round on `F`, `r_l` = round of the common ancestor).
+//!
+//! The representation is a sorted list of disjoint inclusive ranges, so
+//! membership is a binary search and the wire size is two `u64`s per
+//! interval — at most `t` intervals during synchrony (§3.4), keeping the
+//! vote overhead linear in the number of actual faults.
+
+use std::fmt;
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::Round;
+
+/// An inclusive range of round numbers `[lo, hi]`.
+///
+/// # Examples
+///
+/// ```
+/// use sft_types::{Round, RoundInterval};
+///
+/// let iv = RoundInterval::new(Round::new(3), Round::new(7));
+/// assert!(iv.contains(Round::new(3)));
+/// assert!(iv.contains(Round::new(7)));
+/// assert!(!iv.contains(Round::new(8)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoundInterval {
+    lo: Round,
+    hi: Round,
+}
+
+impl RoundInterval {
+    /// Creates the inclusive interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: Round, hi: Round) -> Self {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The lower endpoint.
+    pub fn lo(&self) -> Round {
+        self.lo
+    }
+
+    /// The upper endpoint.
+    pub fn hi(&self) -> Round {
+        self.hi
+    }
+
+    /// True if `round` lies within the interval.
+    pub fn contains(&self, round: Round) -> bool {
+        self.lo <= round && round <= self.hi
+    }
+}
+
+impl fmt::Debug for RoundInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl fmt::Display for RoundInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+impl Encode for RoundInterval {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.lo.encode(buf);
+        self.hi.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        16
+    }
+}
+
+impl Decode for RoundInterval {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let lo = Round::decode(buf)?;
+        let hi = Round::decode(buf)?;
+        if lo > hi {
+            return Err(DecodeError::InvalidTag(0));
+        }
+        Ok(Self { lo, hi })
+    }
+}
+
+/// A normalized set of round numbers stored as sorted, disjoint,
+/// non-adjacent inclusive intervals.
+///
+/// # Examples
+///
+/// ```
+/// use sft_types::{Round, RoundIntervalSet};
+///
+/// // I = [1, 10] \ [4, 6]  — the voter endorses rounds 1-3 and 7-10.
+/// let mut set = RoundIntervalSet::full_range(Round::new(1), Round::new(10));
+/// set.subtract(Round::new(4), Round::new(6));
+/// assert!(set.contains(Round::new(3)));
+/// assert!(!set.contains(Round::new(5)));
+/// assert!(set.contains(Round::new(7)));
+/// assert_eq!(set.intervals().len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct RoundIntervalSet {
+    /// Sorted, disjoint, non-adjacent intervals.
+    intervals: Vec<RoundInterval>,
+}
+
+impl RoundIntervalSet {
+    /// Creates the empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the set containing exactly `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn full_range(lo: Round, hi: Round) -> Self {
+        Self { intervals: vec![RoundInterval::new(lo, hi)] }
+    }
+
+    /// The marker special case of §3.2: `I = [marker + 1, vote_round]`, or
+    /// the empty set if the marker already covers the vote round.
+    pub fn from_marker(marker: Round, vote_round: Round) -> Self {
+        if marker >= vote_round {
+            Self::new()
+        } else {
+            Self::full_range(marker.next(), vote_round)
+        }
+    }
+
+    /// The underlying sorted intervals.
+    pub fn intervals(&self) -> &[RoundInterval] {
+        &self.intervals
+    }
+
+    /// True if the set contains no rounds.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// True if `round` is a member.
+    pub fn contains(&self, round: Round) -> bool {
+        self.intervals
+            .binary_search_by(|iv| {
+                if iv.hi < round {
+                    std::cmp::Ordering::Less
+                } else if iv.lo > round {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// The smallest member, if any.
+    pub fn min(&self) -> Option<Round> {
+        self.intervals.first().map(|iv| iv.lo)
+    }
+
+    /// The largest member, if any.
+    pub fn max(&self) -> Option<Round> {
+        self.intervals.last().map(|iv| iv.hi)
+    }
+
+    /// Number of rounds in the set.
+    pub fn count_rounds(&self) -> u64 {
+        self.intervals
+            .iter()
+            .map(|iv| iv.hi.as_u64() - iv.lo.as_u64() + 1)
+            .sum()
+    }
+
+    /// Adds `[lo, hi]` to the set, merging overlapping or adjacent
+    /// intervals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn insert(&mut self, lo: Round, hi: Round) {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        // Find all existing intervals that overlap or touch [lo, hi] and
+        // replace them with a single merged interval.
+        let mut new_lo = lo;
+        let mut new_hi = hi;
+        let mut merged = Vec::with_capacity(self.intervals.len() + 1);
+        let mut placed = false;
+        for iv in &self.intervals {
+            // Touching counts as mergeable: [1,3] + [4,6] = [1,6].
+            let touches_below = iv.hi.as_u64().saturating_add(1) >= new_lo.as_u64();
+            let touches_above = new_hi.as_u64().saturating_add(1) >= iv.lo.as_u64();
+            if touches_below && touches_above {
+                new_lo = new_lo.min(iv.lo);
+                new_hi = new_hi.max(iv.hi);
+            } else if iv.hi < new_lo {
+                merged.push(*iv);
+            } else {
+                if !placed {
+                    merged.push(RoundInterval::new(new_lo, new_hi));
+                    placed = true;
+                }
+                merged.push(*iv);
+            }
+        }
+        if !placed {
+            merged.push(RoundInterval::new(new_lo, new_hi));
+        }
+        self.intervals = merged;
+    }
+
+    /// Removes `[lo, hi]` from the set (the `D_F` subtraction of §3.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn subtract(&mut self, lo: Round, hi: Round) {
+        assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        let mut result = Vec::with_capacity(self.intervals.len() + 1);
+        for iv in &self.intervals {
+            if iv.hi < lo || iv.lo > hi {
+                result.push(*iv);
+                continue;
+            }
+            // Left remainder: [iv.lo, lo-1] if non-empty.
+            if iv.lo < lo {
+                result.push(RoundInterval::new(iv.lo, Round::new(lo.as_u64() - 1)));
+            }
+            // Right remainder: [hi+1, iv.hi] if non-empty.
+            if iv.hi > hi {
+                result.push(RoundInterval::new(hi.next(), iv.hi));
+            }
+        }
+        self.intervals = result;
+    }
+
+    /// Restricts the set to `[lo, hi]` — used for the bounded variant
+    /// `I = [r − n, r] \ (∪ D_F)` of §3.4.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn clamp(&mut self, lo: Round, hi: Round) {
+        assert!(lo <= hi, "empty clamp [{lo}, {hi}]");
+        if lo > Round::ZERO {
+            self.subtract(Round::ZERO, Round::new(lo.as_u64() - 1));
+        }
+        if hi < Round::new(u64::MAX) {
+            self.subtract(hi.next(), Round::new(u64::MAX));
+        }
+    }
+
+    /// True if every member of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &RoundIntervalSet) -> bool {
+        self.intervals.iter().all(|iv| {
+            // The containing interval of `iv.lo` in `other` must reach `iv.hi`.
+            other
+                .intervals
+                .iter()
+                .any(|o| o.lo <= iv.lo && iv.hi <= o.hi)
+        })
+    }
+
+    /// Checks the representation invariant: sorted, disjoint, non-adjacent.
+    /// Exposed for property tests.
+    pub fn is_normalized(&self) -> bool {
+        self.intervals.windows(2).all(|w| {
+            w[0].hi.as_u64().checked_add(1).map(|boundary| boundary < w[1].lo.as_u64()).unwrap_or(false)
+        })
+    }
+}
+
+impl fmt::Debug for RoundIntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RoundIntervalSet")?;
+        f.debug_list().entries(&self.intervals).finish()
+    }
+}
+
+impl Encode for RoundIntervalSet {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.intervals.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 16 * self.intervals.len()
+    }
+}
+
+impl Decode for RoundIntervalSet {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let intervals = Vec::<RoundInterval>::decode(buf)?;
+        let set = Self { intervals };
+        if !set.is_normalized() {
+            // A peer sending denormalized intervals is malformed; reject
+            // rather than silently renormalizing so signatures stay stable.
+            return Err(DecodeError::InvalidTag(1));
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: u64) -> Round {
+        Round::new(v)
+    }
+
+    fn set_of(ranges: &[(u64, u64)]) -> RoundIntervalSet {
+        let mut s = RoundIntervalSet::new();
+        for &(lo, hi) in ranges {
+            s.insert(r(lo), r(hi));
+        }
+        s
+    }
+
+    #[test]
+    fn from_marker_matches_section_3_2() {
+        // marker = 4, vote round = 9  =>  I = [5, 9].
+        let s = RoundIntervalSet::from_marker(r(4), r(9));
+        assert!(!s.contains(r(4)));
+        assert!(s.contains(r(5)));
+        assert!(s.contains(r(9)));
+        assert!(!s.contains(r(10)));
+        // Degenerate marker >= round gives the empty set.
+        assert!(RoundIntervalSet::from_marker(r(9), r(9)).is_empty());
+        assert!(RoundIntervalSet::from_marker(r(10), r(9)).is_empty());
+    }
+
+    #[test]
+    fn insert_merges_overlaps() {
+        let s = set_of(&[(1, 3), (5, 7), (2, 6)]);
+        assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.intervals()[0], RoundInterval::new(r(1), r(7)));
+    }
+
+    #[test]
+    fn insert_merges_adjacent() {
+        let s = set_of(&[(1, 3), (4, 6)]);
+        assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.count_rounds(), 6);
+    }
+
+    #[test]
+    fn insert_keeps_disjoint_sorted() {
+        let s = set_of(&[(10, 12), (1, 2), (5, 6)]);
+        let spans: Vec<(u64, u64)> =
+            s.intervals().iter().map(|iv| (iv.lo().as_u64(), iv.hi().as_u64())).collect();
+        assert_eq!(spans, vec![(1, 2), (5, 6), (10, 12)]);
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn subtract_splits_interval() {
+        let mut s = set_of(&[(1, 10)]);
+        s.subtract(r(4), r(6));
+        assert!(s.contains(r(3)));
+        assert!(!s.contains(r(4)));
+        assert!(!s.contains(r(6)));
+        assert!(s.contains(r(7)));
+        assert_eq!(s.count_rounds(), 7);
+        assert!(s.is_normalized());
+    }
+
+    #[test]
+    fn subtract_edges_and_disjoint() {
+        let mut s = set_of(&[(1, 5), (8, 12)]);
+        s.subtract(r(5), r(8)); // clips both neighbours
+        assert_eq!(
+            s.intervals(),
+            &[RoundInterval::new(r(1), r(4)), RoundInterval::new(r(9), r(12))]
+        );
+        s.subtract(r(20), r(30)); // outside: no-op
+        assert_eq!(s.count_rounds(), 8);
+        s.subtract(r(1), r(12)); // everything
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clamp_restricts_range() {
+        let mut s = set_of(&[(1, 20)]);
+        s.subtract(r(5), r(6));
+        s.clamp(r(3), r(10));
+        assert!(!s.contains(r(2)));
+        assert!(s.contains(r(3)));
+        assert!(!s.contains(r(5)));
+        assert!(s.contains(r(10)));
+        assert!(!s.contains(r(11)));
+    }
+
+    #[test]
+    fn min_max_count() {
+        let s = set_of(&[(3, 4), (8, 8)]);
+        assert_eq!(s.min(), Some(r(3)));
+        assert_eq!(s.max(), Some(r(8)));
+        assert_eq!(s.count_rounds(), 3);
+        assert_eq!(RoundIntervalSet::new().min(), None);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let big = set_of(&[(1, 10)]);
+        let mut small = big.clone();
+        small.subtract(r(2), r(3));
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(RoundIntervalSet::new().is_subset_of(&small));
+    }
+
+    #[test]
+    fn marker_set_is_subset_of_interval_set() {
+        // §3.4: attaching only the marker is always a sound (subset)
+        // approximation of the full interval computation.
+        let full = {
+            let mut s = RoundIntervalSet::full_range(r(1), r(20));
+            s.subtract(r(4), r(7)); // some fork's D_F
+            s
+        };
+        // The single-marker approximation uses marker = max non-endorsed
+        // round = 7, i.e. I = [8, 20].
+        let marker = RoundIntervalSet::from_marker(r(7), r(20));
+        assert!(marker.is_subset_of(&full));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let s = set_of(&[(1, 3), (9, 9), (20, 40)]);
+        let back = RoundIntervalSet::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(s.to_bytes().len(), s.encoded_len());
+    }
+
+    #[test]
+    fn codec_rejects_denormalized() {
+        // Hand-encode two adjacent intervals [1,2][3,4]: decoder must reject.
+        let raw = vec![RoundInterval::new(r(1), r(2)), RoundInterval::new(r(3), r(4))];
+        let mut bytes = Vec::new();
+        raw.encode(&mut bytes);
+        assert!(RoundIntervalSet::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn codec_rejects_inverted_interval() {
+        let mut bytes = Vec::new();
+        1u64.encode(&mut bytes); // one interval
+        r(9).encode(&mut bytes); // lo
+        r(3).encode(&mut bytes); // hi < lo
+        assert!(RoundIntervalSet::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty interval")]
+    fn inverted_insert_panics() {
+        set_of(&[(5, 3)]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_ops() -> impl Strategy<Value = Vec<(bool, u64, u64)>> {
+            proptest::collection::vec(
+                (any::<bool>(), 0u64..200, 0u64..50).prop_map(|(ins, lo, len)| (ins, lo, lo + len)),
+                0..40,
+            )
+        }
+
+        proptest! {
+            /// The interval set agrees with a reference implementation on a
+            /// naive HashSet of rounds, for arbitrary insert/subtract mixes.
+            #[test]
+            fn matches_reference_set(ops in arb_ops()) {
+                let mut fast = RoundIntervalSet::new();
+                let mut slow = std::collections::HashSet::new();
+                for (ins, lo, hi) in ops {
+                    if ins {
+                        fast.insert(r(lo), r(hi));
+                        slow.extend(lo..=hi);
+                    } else {
+                        fast.subtract(r(lo), r(hi));
+                        for v in lo..=hi { slow.remove(&v); }
+                    }
+                    prop_assert!(fast.is_normalized());
+                }
+                for v in 0..=260u64 {
+                    prop_assert_eq!(fast.contains(r(v)), slow.contains(&v), "round {}", v);
+                }
+                prop_assert_eq!(fast.count_rounds(), slow.len() as u64);
+            }
+
+            /// Encoding round-trips for arbitrary normalized sets.
+            #[test]
+            fn codec_roundtrip_prop(ops in arb_ops()) {
+                let mut s = RoundIntervalSet::new();
+                for (ins, lo, hi) in ops {
+                    if ins { s.insert(r(lo), r(hi)); } else { s.subtract(r(lo), r(hi)); }
+                }
+                let back = RoundIntervalSet::from_bytes(&s.to_bytes()).unwrap();
+                prop_assert_eq!(back, s);
+            }
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Virtual time for the deterministic simulation: [`SimTime`] (an instant)
+//! and [`SimDuration`] (a span), both counted in integer microseconds.
+//!
+//! The paper's evaluation (§4) injects fixed inter-region delays (δ = 100 ms
+//! or 200 ms) and measures commit latencies in seconds. Microsecond
+//! resolution is three orders of magnitude finer than any quantity the
+//! experiments care about, and integer arithmetic keeps the discrete-event
+//! simulation exactly reproducible across platforms (no floating-point
+//! accumulation).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::codec::{Decode, DecodeError, Encode};
+
+/// An instant in simulated time, in microseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use sft_types::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(250);
+/// assert_eq!(t.as_micros(), 250_000);
+/// assert_eq!(t.to_string(), "0.250s");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation start instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates an instant from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Self(millis * 1_000)
+    }
+
+    /// Creates an instant from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs * 1_000_000)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The instant expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is
+    /// later than `self`.
+    pub const fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is after `self`.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "since({earlier:?}) called on earlier {self:?}");
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({self})")
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:03}s", self.0 / 1_000_000, (self.0 % 1_000_000) / 1_000)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+/// A span of simulated time, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use sft_types::SimDuration;
+///
+/// let d = SimDuration::from_millis(100) * 3;
+/// assert_eq!(d, SimDuration::from_millis(300));
+/// assert_eq!(d.as_secs_f64(), 0.3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Self(micros)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Self(millis * 1_000)
+    }
+
+    /// Creates a span from seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Self(secs * 1_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
+        Self((secs * 1e6).round() as u64)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The span expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// True if this is the zero span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub const fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiplies the span by a fractional factor, rounding to microseconds.
+    ///
+    /// Used by the pacemaker's exponential timeout back-off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimDuration({self})")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Mul<u64> for SimDuration {
+    type Output = SimDuration;
+
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl Encode for SimTime {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for SimTime {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self(u64::decode(buf)?))
+    }
+}
+
+impl Encode for SimDuration {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for SimDuration {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self(u64::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_micros(2_000_000));
+    }
+
+    #[test]
+    fn instant_plus_span() {
+        let t = SimTime::from_millis(100) + SimDuration::from_millis(50);
+        assert_eq!(t, SimTime::from_millis(150));
+        let mut t2 = SimTime::ZERO;
+        t2 += SimDuration::from_secs(1);
+        assert_eq!(t2, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn elapsed_since() {
+        let a = SimTime::from_millis(100);
+        let b = SimTime::from_millis(350);
+        assert_eq!(b.since(a), SimDuration::from_millis(250));
+        assert_eq!(b - a, SimDuration::from_millis(250));
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_millis(), 250);
+        assert!((SimTime::from_millis(1_500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::from_millis(10).as_secs_f64() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d * 3, SimDuration::from_millis(300));
+        assert_eq!(d + d, SimDuration::from_millis(200));
+        assert_eq!(d.saturating_sub(SimDuration::from_millis(150)), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(1.5), SimDuration::from_millis(150));
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration =
+            [1u64, 2, 3].iter().map(|&ms| SimDuration::from_millis(ms)).sum();
+        assert_eq!(total, SimDuration::from_millis(6));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SimTime::from_millis(1_250).to_string(), "1.250s");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimDuration::from_micros(7).to_string(), "7us");
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let t = SimTime::from_micros(123_456_789);
+        let d = SimDuration::from_micros(42);
+        assert_eq!(SimTime::from_bytes(&t.to_bytes()).unwrap(), t);
+        assert_eq!(SimDuration::from_bytes(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_seconds_panic() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_millis(2));
+    }
+}
