@@ -1,1 +1,40 @@
-fn main() {}
+//! Fig 8 reproduction: commit strength achieved as a function of the
+//! number of non-voting replicas. Every withheld vote removes one endorser,
+//! so the achievable level falls one step per withholder until the classic
+//! quorum itself is at risk: level = n − k − f − 1 for k withholders.
+
+use sft_bench::Harness;
+use sft_sim::{Behavior, SimConfig};
+
+fn main() {
+    let mut harness = Harness::new("fig8_strength_vs_withholders");
+
+    for n in [4usize, 7] {
+        let f = (n - 1) / 3;
+        println!("  n={n} (f={f}):");
+        for k in 0..=f {
+            let mut config = SimConfig::new(n, 10);
+            for withholder in 0..k {
+                config = config.with_behavior((n - 1 - withholder) as u16, Behavior::WithholdVote);
+            }
+            let report = config.run();
+            let expected = (n - k - f - 1) as u64;
+            println!(
+                "    {k} withholders -> max commit level {} (expected {expected})",
+                report.max_commit_level()
+            );
+            assert!(report.agreement());
+            assert_eq!(report.max_commit_level(), expected);
+        }
+    }
+
+    harness.bench("sim_with_f_withholders(n=7)", || {
+        SimConfig::new(7, 10)
+            .with_behavior(5, Behavior::WithholdVote)
+            .with_behavior(6, Behavior::WithholdVote)
+            .run()
+            .max_commit_level()
+    });
+
+    harness.finish();
+}

@@ -1,1 +1,68 @@
-fn main() {}
+//! Wire-size accounting: the paper's claim that strong-votes cost "one
+//! integer" of marginal overhead (§3.2), plus codec throughput and
+//! per-epoch traffic by system size.
+
+use sft_bench::Harness;
+use sft_crypto::{HashValue, KeyRegistry};
+use sft_sim::SimConfig;
+use sft_types::{Decode, Encode, EndorseInfo, Round, RoundIntervalSet, StrongVote, VoteData};
+
+fn main() {
+    let mut harness = Harness::new("msg_complexity");
+
+    let registry = KeyRegistry::deterministic(4);
+    let kp = registry.key_pair(0).unwrap();
+    let data = VoteData::new(
+        HashValue::of(b"B9"),
+        Round::new(9),
+        HashValue::of(b"B8"),
+        Round::new(8),
+    );
+
+    let vanilla = StrongVote::new(data, EndorseInfo::None, &kp);
+    let marker = StrongVote::new(data, EndorseInfo::Marker(Round::new(3)), &kp);
+    let mut set = RoundIntervalSet::full_range(Round::new(1), Round::new(9));
+    set.subtract(Round::new(4), Round::new(6));
+    let intervals = StrongVote::new(data, EndorseInfo::Intervals(set), &kp);
+
+    println!("  vote wire sizes:");
+    let base = vanilla.encoded_len();
+    for (name, vote) in [
+        ("vanilla", &vanilla),
+        ("marker (§3.2)", &marker),
+        ("intervals (§3.4)", &intervals),
+    ] {
+        println!(
+            "    {:<18} {:>4} B  (+{} B over vanilla)",
+            name,
+            vote.encoded_len(),
+            vote.encoded_len() - base
+        );
+    }
+    assert_eq!(
+        marker.encoded_len() - base,
+        8,
+        "the paper's one-integer overhead"
+    );
+
+    harness.bench("vote::encode(marker)", || marker.to_bytes());
+    let bytes = marker.to_bytes();
+    harness.bench("vote::decode(marker)", || {
+        StrongVote::from_bytes(&bytes).unwrap()
+    });
+
+    println!("  per-epoch traffic (honest runs, 10 epochs, 1000x450B blocks):");
+    for n in [4usize, 7, 10] {
+        let epochs = 10;
+        let report = SimConfig::new(n, epochs).run();
+        println!(
+            "    n={:<3} {:>6} msgs  {:>12} B total  ({:.0} B/epoch)",
+            n,
+            report.net.messages,
+            report.net.bytes,
+            report.net.bytes as f64 / epochs as f64
+        );
+    }
+
+    harness.finish();
+}

@@ -1,1 +1,93 @@
-fn main() {}
+//! Hot-path microbenchmarks: vote verification, vote aggregation into
+//! quorum certificates, endorsement-walk commit-rule evaluation, and a full
+//! simulated epoch.
+
+use sft_bench::Harness;
+use sft_core::{Block, BlockStore, EndorsementTracker, ProtocolConfig, VoteTracker};
+use sft_crypto::KeyRegistry;
+use sft_sim::{SimConfig, Simulation};
+use sft_types::{EndorseInfo, Payload, ReplicaId, Round, StrongVote};
+
+/// Builds a linear chain of `len` blocks and returns the store + tip.
+fn chain(len: u64) -> (BlockStore, Block) {
+    let mut store = BlockStore::new();
+    let mut tip = store.genesis().clone();
+    for round in 1..=len {
+        let block = Block::new(
+            &tip,
+            Round::new(round),
+            ReplicaId::new((round % 4) as u16),
+            Payload::synthetic(1000, 450, round),
+        );
+        store.insert(block.clone()).unwrap();
+        tip = block;
+    }
+    (store, tip)
+}
+
+fn main() {
+    let mut harness = Harness::new("throughput");
+
+    let config = ProtocolConfig::for_replicas(4);
+    let registry = KeyRegistry::deterministic(4);
+    let (store, tip) = chain(100);
+    let votes: Vec<StrongVote> = (0..4)
+        .map(|i| {
+            StrongVote::new(
+                tip.vote_data(),
+                EndorseInfo::Marker(Round::ZERO),
+                &registry.key_pair(i).unwrap(),
+            )
+        })
+        .collect();
+
+    harness.bench("strong_vote::verify", || votes[0].verify(&registry));
+
+    harness.bench("vote_tracker::aggregate_quorum(n=4)", || {
+        let mut tracker = VoteTracker::new(config, registry.clone());
+        for vote in &votes {
+            tracker.add_vote(vote);
+        }
+        tracker.is_certified(tip.id())
+    });
+
+    // The commit-rule evaluation path: marker-0 strong-votes endorse a
+    // 100-block chain suffix, and the tracker grades the tip's strength.
+    harness.bench("endorsement::record_vote(100-deep chain)", || {
+        let mut endorsements = EndorsementTracker::new(config);
+        for vote in &votes {
+            endorsements.record_vote(vote, &store);
+        }
+        endorsements.strength(tip.id())
+    });
+
+    let big_registry = KeyRegistry::deterministic(100);
+    let big_config = ProtocolConfig::for_replicas(100);
+    let big_votes: Vec<StrongVote> = (0..67)
+        .map(|i| {
+            StrongVote::new(
+                tip.vote_data(),
+                EndorseInfo::Marker(Round::ZERO),
+                &big_registry.key_pair(i).unwrap(),
+            )
+        })
+        .collect();
+    harness.bench("vote_tracker::aggregate_quorum(n=100)", || {
+        let mut tracker = VoteTracker::new(big_config, big_registry.clone());
+        for vote in &big_votes {
+            tracker.add_vote(vote);
+        }
+        tracker.is_certified(tip.id())
+    });
+
+    // One full protocol epoch through the simulator (4 replicas,
+    // propose + vote + commit evaluation + network encode/decode).
+    let mut epoch = 0u64;
+    let mut sim = Simulation::new(SimConfig::new(4, u64::MAX));
+    harness.bench("sim::run_epoch(n=4)", || {
+        epoch += 1;
+        sim.run_epoch(Round::new(epoch));
+    });
+
+    harness.finish();
+}

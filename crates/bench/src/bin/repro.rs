@@ -1,1 +1,109 @@
-fn main() {}
+//! End-to-end reproduction driver: runs one simulated SFT-Streamlet
+//! consensus instance and prints what the protocol did.
+//!
+//! ```text
+//! cargo run -p sft-bench --bin repro [-- n epochs [byzantine]]
+//!   n         replica count           (default 4)
+//!   epochs    epochs to simulate      (default 10)
+//!   byzantine equivocate | withhold | silent — behavior of replica n-1
+//! ```
+
+use std::process::ExitCode;
+
+use sft_core::ProtocolConfig;
+use sft_sim::{Behavior, SimConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = match args.first() {
+        None => 4,
+        Some(a) => match a.parse() {
+            Ok(n) if n >= 4 => n,
+            _ => {
+                eprintln!("bad replica count {a:?}; need an integer >= 4");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let epochs: u64 = match args.get(1) {
+        None => 10,
+        Some(a) => match a.parse() {
+            Ok(e) => e,
+            Err(_) => {
+                eprintln!("bad epoch count {a:?}; need an integer");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let byzantine = match args.get(2).map(String::as_str) {
+        None => None,
+        Some("equivocate") => Some(Behavior::Equivocate),
+        Some("withhold") => Some(Behavior::WithholdVote),
+        Some("silent") => Some(Behavior::Silent),
+        Some(other) => {
+            eprintln!("unknown behavior {other:?}; use equivocate | withhold | silent");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let cfg = ProtocolConfig::for_replicas(n);
+    let mut config = SimConfig::new(n, epochs);
+    if let Some(behavior) = byzantine {
+        config = config.with_behavior((n - 1) as u16, behavior);
+        println!("replica {} is {:?}", n - 1, behavior);
+    }
+    println!(
+        "running SFT-Streamlet: n={n} (f={}), {epochs} epochs, δ={}, quorum={}, 2f ceiling={}",
+        cfg.f(),
+        config.delay,
+        cfg.quorum(),
+        cfg.max_strength(),
+    );
+
+    let report = config.run();
+
+    println!(
+        "\ncommitted chain (replica 0): {} blocks",
+        report.chains[0].len()
+    );
+    for (at, update) in &report.timelines[0] {
+        println!(
+            "  t={at}  block r={} h={}  -> level {} ({})",
+            update.round(),
+            update.height(),
+            update.level(),
+            if update.level() >= cfg.max_strength() {
+                "strong commit, 2f ceiling"
+            } else if update.level() as usize == cfg.f() {
+                "standard commit"
+            } else {
+                "strengthened"
+            }
+        );
+    }
+
+    println!(
+        "\nnetwork: {} messages, {} bytes, elapsed {}",
+        report.net.messages, report.net.bytes, report.elapsed
+    );
+    if report.equivocators_detected > 0 {
+        println!("equivocators detected: {}", report.equivocators_detected);
+    }
+
+    if !report.agreement() || report.safety_violations > 0 {
+        eprintln!(
+            "FAIL: replicas disagree (violations: {})",
+            report.safety_violations
+        );
+        return ExitCode::FAILURE;
+    }
+    if report.max_committed() == 0 {
+        eprintln!("FAIL: nothing committed");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "\nOK: agreement holds, max commit level {}",
+        report.max_commit_level()
+    );
+    ExitCode::SUCCESS
+}

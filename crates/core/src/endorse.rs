@@ -1,0 +1,372 @@
+//! Endorsement tracking: turning strong-votes into graded commit strength.
+//!
+//! Per §3.2, a strong-vote for block `B'` *endorses* `B'` itself and every
+//! ancestor `B` of `B'` whose round the vote's
+//! [`EndorseInfo`](sft_types::EndorseInfo) admits
+//! (`B.round > marker`, or `B.round ∈ I` in the §3.4 generalization). The
+//! [`EndorsementTracker`] maintains, per block, the set of distinct
+//! endorsing replicas; [`ProtocolConfig::strength_of`] converts that tally
+//! into the commit strength `x` of Definition 1, and every increase for a
+//! committed block is reported as a [`StrongCommitUpdate`] — the entry type
+//! of the §5 commit log.
+
+use std::collections::HashMap;
+
+use sft_crypto::HashValue;
+use sft_types::{SignerSet, StrongCommitUpdate, StrongVote};
+
+use crate::{BlockStore, ProtocolConfig};
+
+/// Per-block endorser accounting and strength grading.
+///
+/// # Examples
+///
+/// ```
+/// use sft_core::{Block, BlockStore, EndorsementTracker, ProtocolConfig};
+/// use sft_crypto::KeyRegistry;
+/// use sft_types::{EndorseInfo, Payload, ReplicaId, Round, StrongVote};
+///
+/// let cfg = ProtocolConfig::for_replicas(4);
+/// let registry = KeyRegistry::deterministic(4);
+/// let mut store = BlockStore::new();
+/// let b1 = Block::new(store.genesis(), Round::new(1), ReplicaId::new(0), Payload::empty());
+/// let b2 = Block::new(&b1, Round::new(2), ReplicaId::new(1), Payload::empty());
+/// store.insert(b1.clone()).unwrap();
+/// store.insert(b2.clone()).unwrap();
+///
+/// let mut tracker = EndorsementTracker::new(cfg);
+/// // A marker-0 vote for b2 endorses b2 *and* its ancestor b1.
+/// let vote = StrongVote::new(
+///     b2.vote_data(),
+///     EndorseInfo::Marker(Round::ZERO),
+///     &registry.key_pair(3).unwrap(),
+/// );
+/// tracker.record_vote(&vote, &store);
+/// assert_eq!(tracker.endorsers(b1.id()), 1);
+/// assert_eq!(tracker.endorsers(b2.id()), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EndorsementTracker {
+    config: ProtocolConfig,
+    endorsers: HashMap<HashValue, SignerSet>,
+    /// Highest strength level already reported per block, so level
+    /// increases are emitted exactly once.
+    reported_level: HashMap<HashValue, u64>,
+}
+
+impl EndorsementTracker {
+    /// Creates an empty tracker.
+    pub fn new(config: ProtocolConfig) -> Self {
+        Self {
+            config,
+            endorsers: HashMap::new(),
+            reported_level: HashMap::new(),
+        }
+    }
+
+    /// Records the endorsements carried by one verified vote: the voted
+    /// block directly, plus each strict ancestor admitted by the vote's
+    /// [`EndorseInfo`](sft_types::EndorseInfo). Returns the ids of blocks
+    /// whose endorser set grew.
+    ///
+    /// Callers must have verified the vote's signature (the
+    /// [`VoteTracker`](crate::VoteTracker) has) — the endorsement walk
+    /// itself trusts the vote. Unknown blocks are skipped: endorsements for
+    /// a block the store has not seen cannot be attributed to a chain.
+    pub fn record_vote(&mut self, vote: &StrongVote, store: &BlockStore) -> Vec<HashValue> {
+        let mut grown = Vec::new();
+        let voted_id = vote.data().block_id();
+        if !store.contains(voted_id) {
+            return grown;
+        }
+        let n = self.config.n();
+        // The vote endorses the voted block unconditionally.
+        if self
+            .endorsers
+            .entry(voted_id)
+            .or_insert_with(|| SignerSet::new(n))
+            .insert(vote.author())
+        {
+            grown.push(voted_id);
+        }
+        // Walk ancestors while their rounds can still be endorsed; rounds
+        // strictly decrease toward genesis, so the info's minimum endorsed
+        // round is a sound early cutoff.
+        let Some(min_round) = vote.endorse().min_endorsed_round() else {
+            return grown;
+        };
+        for ancestor in store.ancestors(voted_id) {
+            if ancestor.round() < min_round || ancestor.is_genesis() {
+                break;
+            }
+            if !vote.endorse().endorses_ancestor_round(ancestor.round()) {
+                continue;
+            }
+            if self
+                .endorsers
+                .entry(ancestor.id())
+                .or_insert_with(|| SignerSet::new(n))
+                .insert(vote.author())
+            {
+                grown.push(ancestor.id());
+            }
+        }
+        grown
+    }
+
+    /// Number of distinct replicas endorsing `block_id`.
+    pub fn endorsers(&self, block_id: HashValue) -> usize {
+        self.endorsers.get(&block_id).map_or(0, SignerSet::len)
+    }
+
+    /// The commit strength `x` currently conferred on `block_id` by its
+    /// endorsers, or `None` below the classic quorum.
+    pub fn strength(&self, block_id: HashValue) -> Option<u64> {
+        self.config.strength_of(self.endorsers(block_id))
+    }
+
+    /// Reports `block_id`'s strength as a [`StrongCommitUpdate`] if it
+    /// exceeds every level previously reported for the block. Call this for
+    /// *committed* blocks only — strength grades a commit; it does not
+    /// create one.
+    pub fn take_level_update(
+        &mut self,
+        block_id: HashValue,
+        store: &BlockStore,
+    ) -> Option<StrongCommitUpdate> {
+        let level = self.strength(block_id)?;
+        let block = store.get(block_id)?;
+        let reported = self.reported_level.get(&block_id).copied();
+        if reported.is_some_and(|r| r >= level) {
+            return None;
+        }
+        self.reported_level.insert(block_id, level);
+        Some(StrongCommitUpdate::new(
+            block_id,
+            block.round(),
+            block.height(),
+            level,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Block;
+    use sft_crypto::KeyRegistry;
+    use sft_types::{EndorseInfo, Payload, ReplicaId, Round, RoundIntervalSet};
+
+    struct Fixture {
+        cfg: ProtocolConfig,
+        registry: KeyRegistry,
+        store: BlockStore,
+        chain: Vec<Block>, // b1..b4, rounds 1..4
+    }
+
+    fn fixture() -> Fixture {
+        let cfg = ProtocolConfig::for_replicas(4);
+        let registry = KeyRegistry::deterministic(4);
+        let mut store = BlockStore::new();
+        let mut chain = Vec::new();
+        let mut parent = store.genesis().clone();
+        for round in 1..=4u64 {
+            let block = Block::new(
+                &parent,
+                Round::new(round),
+                ReplicaId::new((round % 4) as u16),
+                Payload::synthetic(1, 1, round),
+            );
+            store.insert(block.clone()).unwrap();
+            parent = block.clone();
+            chain.push(block);
+        }
+        Fixture {
+            cfg,
+            registry,
+            store,
+            chain,
+        }
+    }
+
+    fn vote_for(fx: &Fixture, signer: u64, block: &Block, endorse: EndorseInfo) -> StrongVote {
+        StrongVote::new(
+            block.vote_data(),
+            endorse,
+            &fx.registry.key_pair(signer).unwrap(),
+        )
+    }
+
+    #[test]
+    fn marker_zero_endorses_whole_chain() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        let vote = vote_for(&fx, 0, &fx.chain[3], EndorseInfo::Marker(Round::ZERO));
+        let grown = tracker.record_vote(&vote, &fx.store);
+        assert_eq!(grown.len(), 4, "b4 direct + ancestors b3, b2, b1");
+        for block in &fx.chain {
+            assert_eq!(tracker.endorsers(block.id()), 1);
+        }
+        assert_eq!(
+            tracker.endorsers(fx.store.genesis_id()),
+            0,
+            "genesis needs no endorsement"
+        );
+    }
+
+    #[test]
+    fn marker_cuts_off_older_ancestors() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        // Marker 2: the voter once voted for a conflicting block at round 2,
+        // so only ancestors with round > 2 are endorsed.
+        let vote = vote_for(&fx, 1, &fx.chain[3], EndorseInfo::Marker(Round::new(2)));
+        tracker.record_vote(&vote, &fx.store);
+        assert_eq!(tracker.endorsers(fx.chain[3].id()), 1, "direct vote");
+        assert_eq!(tracker.endorsers(fx.chain[2].id()), 1, "round 3 > marker");
+        assert_eq!(tracker.endorsers(fx.chain[1].id()), 0, "round 2 excluded");
+        assert_eq!(tracker.endorsers(fx.chain[0].id()), 0, "round 1 excluded");
+    }
+
+    #[test]
+    fn interval_info_endorses_holes() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        // I = [1, 4] \ [2, 3]: endorses rounds 1 and 4 only (§3.4 shape).
+        let mut set = RoundIntervalSet::full_range(Round::new(1), Round::new(4));
+        set.subtract(Round::new(2), Round::new(3));
+        let vote = vote_for(&fx, 2, &fx.chain[3], EndorseInfo::Intervals(set));
+        tracker.record_vote(&vote, &fx.store);
+        assert_eq!(tracker.endorsers(fx.chain[3].id()), 1);
+        assert_eq!(tracker.endorsers(fx.chain[2].id()), 0);
+        assert_eq!(tracker.endorsers(fx.chain[1].id()), 0);
+        assert_eq!(
+            tracker.endorsers(fx.chain[0].id()),
+            1,
+            "interval hole skipped, not cut off"
+        );
+    }
+
+    #[test]
+    fn none_info_endorses_only_voted_block() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        let vote = vote_for(&fx, 3, &fx.chain[3], EndorseInfo::None);
+        tracker.record_vote(&vote, &fx.store);
+        assert_eq!(tracker.endorsers(fx.chain[3].id()), 1);
+        assert_eq!(tracker.endorsers(fx.chain[2].id()), 0);
+    }
+
+    #[test]
+    fn endorsers_are_distinct_replicas() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        let b1 = &fx.chain[0];
+        for _ in 0..3 {
+            let vote = vote_for(&fx, 0, b1, EndorseInfo::Marker(Round::ZERO));
+            tracker.record_vote(&vote, &fx.store);
+        }
+        assert_eq!(
+            tracker.endorsers(b1.id()),
+            1,
+            "the same replica counts once"
+        );
+    }
+
+    #[test]
+    fn unknown_block_is_skipped() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        let foreign = Block::new(
+            &Block::genesis(),
+            Round::new(9),
+            ReplicaId::new(0),
+            Payload::synthetic(2, 2, 9),
+        );
+        let vote = vote_for(&fx, 0, &foreign, EndorseInfo::Marker(Round::ZERO));
+        assert!(tracker.record_vote(&vote, &fx.store).is_empty());
+    }
+
+    #[test]
+    fn strength_tracks_quorum_ladder() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        let b1 = &fx.chain[0];
+        assert_eq!(tracker.strength(b1.id()), None);
+        for signer in 0..3 {
+            let vote = vote_for(&fx, signer, b1, EndorseInfo::Marker(Round::ZERO));
+            tracker.record_vote(&vote, &fx.store);
+        }
+        assert_eq!(
+            tracker.strength(b1.id()),
+            Some(1),
+            "2f + 1 endorsers: level f"
+        );
+        let vote = vote_for(&fx, 3, b1, EndorseInfo::Marker(Round::ZERO));
+        tracker.record_vote(&vote, &fx.store);
+        assert_eq!(
+            tracker.strength(b1.id()),
+            Some(2),
+            "all n endorsers: level 2f"
+        );
+    }
+
+    #[test]
+    fn level_updates_emitted_once_per_level() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        let b1 = &fx.chain[0];
+        assert!(
+            tracker.take_level_update(b1.id(), &fx.store).is_none(),
+            "no quorum yet"
+        );
+        for signer in 0..3 {
+            let vote = vote_for(&fx, signer, b1, EndorseInfo::Marker(Round::ZERO));
+            tracker.record_vote(&vote, &fx.store);
+        }
+        let up = tracker
+            .take_level_update(b1.id(), &fx.store)
+            .expect("level f update");
+        assert_eq!(up.level(), 1);
+        assert_eq!(up.block_id(), b1.id());
+        assert_eq!(up.round(), Round::new(1));
+        assert!(
+            tracker.take_level_update(b1.id(), &fx.store).is_none(),
+            "no repeat"
+        );
+        let vote = vote_for(&fx, 3, b1, EndorseInfo::Marker(Round::ZERO));
+        tracker.record_vote(&vote, &fx.store);
+        let up = tracker
+            .take_level_update(b1.id(), &fx.store)
+            .expect("level 2f update");
+        assert_eq!(up.level(), 2);
+    }
+
+    /// The tentpole safety scenario at the endorsement layer: a block whose
+    /// classic quorum contains more than `f` corrupt voters is *certified*,
+    /// but the strengthened rule never grades it above level `f` — so a
+    /// deployment configured to require a level-2 commit (tolerating the 2
+    /// actual faults) refuses to treat it as committed.
+    #[test]
+    fn strengthened_rule_rejects_corrupt_majority_quorum() {
+        let fx = fixture();
+        let mut tracker = EndorsementTracker::new(fx.cfg);
+        let b1 = &fx.chain[0];
+        // Replicas 0 and 1 are alive-but-corrupt; replica 2 is honest.
+        // All three endorse b1 — a full 2f + 1 quorum.
+        for signer in 0..3 {
+            let vote = vote_for(&fx, signer, b1, EndorseInfo::Marker(Round::ZERO));
+            tracker.record_vote(&vote, &fx.store);
+        }
+        let corrupt = 2usize;
+        assert!(corrupt > fx.cfg.f());
+        // Classic rule accepts: quorum reached.
+        assert!(tracker.endorsers(b1.id()) >= fx.cfg.quorum());
+        // Strengthened rule rejects a commit at the level that would be
+        // needed to survive the 2 corrupt voters.
+        assert!(!fx
+            .cfg
+            .meets_strong_quorum(tracker.endorsers(b1.id()), corrupt as u64));
+        assert_eq!(tracker.strength(b1.id()), Some(1), "graded only f-strong");
+    }
+}

@@ -1,1 +1,48 @@
-//! placeholder
+//! # sft-core
+//!
+//! Protocol-agnostic consensus machinery shared by the round-based
+//! ([`sft-fbft`](../sft_fbft/index.html)) and height-based
+//! ([`sft-streamlet`](../sft_streamlet/index.html)) protocol crates:
+//!
+//! - [`ProtocolConfig`] — `n`/`f` parameters and the quorum arithmetic of
+//!   the two-level commit rule: classic certification at `2f + 1` votes and
+//!   the strengthened `x`-strong quorum `f + x + 1` of §3.2 (Theorem 1).
+//! - [`Block`] / [`BlockStore`] — the block format of §2.1 and the chain
+//!   index that ancestry and endorsement walks run over.
+//! - [`VoteTracker`] / [`QuorumCertificate`] — strong-vote aggregation with
+//!   signature verification and equivocation detection.
+//! - [`EndorsementTracker`] — per-block endorser tallies that grade each
+//!   commit with the strength `x` of Definition 1 and emit
+//!   [`StrongCommitUpdate`](sft_types::StrongCommitUpdate) entries for the
+//!   §5 commit log.
+//!
+//! The split mirrors the paper's own layering: *certification* (may this
+//! block extend the chain?) is classic BFT and lives in [`VoteTracker`];
+//! *strengthening* (how many faults does this commit survive?) is the
+//! paper's contribution and lives entirely in [`EndorsementTracker`] +
+//! [`ProtocolConfig::strength_of`], so protocol crates opt into it without
+//! changing their certification paths.
+//!
+//! ## Example: the two-level rule in one view
+//!
+//! ```
+//! use sft_core::ProtocolConfig;
+//!
+//! let cfg = ProtocolConfig::for_replicas(4); // f = 1
+//! // Level f is the classic commit; stronger levels need more endorsers.
+//! assert_eq!(cfg.quorum(), cfg.strong_quorum(cfg.f() as u64));
+//! assert_eq!(cfg.strength_of(3), Some(1));
+//! assert_eq!(cfg.strength_of(4), Some(2)); // the 2f ceiling
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod block;
+pub mod config;
+pub mod endorse;
+pub mod qc;
+
+pub use block::{Ancestors, Block, BlockStore, BlockStoreError};
+pub use config::ProtocolConfig;
+pub use endorse::EndorsementTracker;
+pub use qc::{QuorumCertificate, VoteOutcome, VoteTracker};

@@ -1,0 +1,320 @@
+//! Vote aggregation into quorum certificates.
+//!
+//! A [`VoteTracker`] collects verified [`StrongVote`]s per block, detects
+//! same-round equivocation, and emits a [`QuorumCertificate`] exactly once
+//! when a block reaches the classic `2f + 1` quorum. Certification
+//! ("notarization" in Streamlet's vocabulary) is deliberately separate from
+//! endorsement strength: a QC says *this block may extend the chain*, while
+//! the endorsement tally of [`crate::EndorsementTracker`] says *how many
+//! faults a commit of it survives*.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use sft_crypto::{HashValue, KeyRegistry};
+use sft_types::{ReplicaId, Round, SignerSet, StrongVote, VoteData};
+
+use crate::ProtocolConfig;
+
+/// Proof that `2f + 1` distinct replicas voted for the same [`VoteData`].
+///
+/// The per-vote signatures live in the tracker; the certificate itself
+/// carries the voted data plus the signer set, which is all downstream
+/// logic consumes. (A wire-transferable QC with aggregated signatures is
+/// future networking work.)
+#[derive(Clone, PartialEq, Eq)]
+pub struct QuorumCertificate {
+    data: VoteData,
+    signers: SignerSet,
+}
+
+impl QuorumCertificate {
+    /// Assembles a certificate from parts. Callers are expected to have
+    /// verified the underlying votes (the tracker has).
+    pub fn new(data: VoteData, signers: SignerSet) -> Self {
+        Self { data, signers }
+    }
+
+    /// The certified vote data.
+    pub fn data(&self) -> &VoteData {
+        &self.data
+    }
+
+    /// The certified block's id.
+    pub fn block_id(&self) -> HashValue {
+        self.data.block_id()
+    }
+
+    /// The certified block's round.
+    pub fn round(&self) -> Round {
+        self.data.block_round()
+    }
+
+    /// The replicas whose votes formed the certificate.
+    pub fn signers(&self) -> &SignerSet {
+        &self.signers
+    }
+}
+
+impl fmt::Debug for QuorumCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "QC({} r={} by {:?})",
+            self.block_id().short(),
+            self.round(),
+            self.signers
+        )
+    }
+}
+
+/// Outcome of feeding one vote to a [`VoteTracker`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// The vote was counted; the block now has this many votes.
+    Counted(usize),
+    /// The vote was counted and completed the classic quorum: the block is
+    /// now certified. Emitted at most once per block.
+    Certified(QuorumCertificate),
+    /// This replica already voted for this block — ignored.
+    Duplicate,
+    /// The signature did not verify — ignored.
+    BadSignature,
+    /// The author already voted for a *different* block in the same round;
+    /// the vote is ignored and the author recorded as an equivocator.
+    Equivocation,
+}
+
+/// Aggregates strong-votes into quorum certificates.
+///
+/// # Examples
+///
+/// ```
+/// use sft_core::{ProtocolConfig, VoteOutcome, VoteTracker};
+/// use sft_crypto::{HashValue, KeyRegistry};
+/// use sft_types::{EndorseInfo, Round, StrongVote, VoteData};
+///
+/// let cfg = ProtocolConfig::for_replicas(4);
+/// let registry = KeyRegistry::deterministic(4);
+/// let mut tracker = VoteTracker::new(cfg, registry.clone());
+/// let data = VoteData::new(HashValue::of(b"B1"), Round::new(1), HashValue::of(b"G"), Round::ZERO);
+/// for i in 0..2 {
+///     let vote = StrongVote::new(data, EndorseInfo::None, &registry.key_pair(i).unwrap());
+///     assert!(matches!(tracker.add_vote(&vote), VoteOutcome::Counted(_)));
+/// }
+/// let vote = StrongVote::new(data, EndorseInfo::None, &registry.key_pair(2).unwrap());
+/// assert!(matches!(tracker.add_vote(&vote), VoteOutcome::Certified(_)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VoteTracker {
+    config: ProtocolConfig,
+    registry: KeyRegistry,
+    /// Votes aggregated per block id.
+    by_block: HashMap<HashValue, (VoteData, SignerSet)>,
+    /// Blocks that already produced a certificate (emit-once).
+    certified: HashSet<HashValue>,
+    /// First block each replica voted for in each round, for equivocation
+    /// detection.
+    first_vote: HashMap<(Round, ReplicaId), HashValue>,
+    /// Replicas caught voting for two blocks in one round.
+    equivocators: Vec<ReplicaId>,
+}
+
+impl VoteTracker {
+    /// Creates a tracker for the given configuration and PKI.
+    pub fn new(config: ProtocolConfig, registry: KeyRegistry) -> Self {
+        Self {
+            config,
+            registry,
+            by_block: HashMap::new(),
+            certified: HashSet::new(),
+            first_vote: HashMap::new(),
+            equivocators: Vec::new(),
+        }
+    }
+
+    /// Verifies and counts one vote. See [`VoteOutcome`] for the cases.
+    pub fn add_vote(&mut self, vote: &StrongVote) -> VoteOutcome {
+        if !vote.verify(&self.registry) {
+            return VoteOutcome::BadSignature;
+        }
+        let block_id = vote.data().block_id();
+        let author = vote.author();
+
+        match self.first_vote.entry((vote.round(), author)) {
+            std::collections::hash_map::Entry::Occupied(e) if *e.get() != block_id => {
+                if !self.equivocators.contains(&author) {
+                    self.equivocators.push(author);
+                }
+                return VoteOutcome::Equivocation;
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {}
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(block_id);
+            }
+        }
+
+        let n = self.config.n();
+        let (_, signers) = self
+            .by_block
+            .entry(block_id)
+            .or_insert_with(|| (*vote.data(), SignerSet::new(n)));
+        if !signers.insert(author) {
+            return VoteOutcome::Duplicate;
+        }
+        let count = signers.len();
+        if count >= self.config.quorum() && self.certified.insert(block_id) {
+            let (data, signers) = &self.by_block[&block_id];
+            return VoteOutcome::Certified(QuorumCertificate::new(*data, signers.clone()));
+        }
+        VoteOutcome::Counted(count)
+    }
+
+    /// Number of verified votes currently counted for `block_id`.
+    pub fn votes_for(&self, block_id: HashValue) -> usize {
+        self.by_block.get(&block_id).map_or(0, |(_, s)| s.len())
+    }
+
+    /// True if `block_id` has reached the classic quorum.
+    pub fn is_certified(&self, block_id: HashValue) -> bool {
+        self.certified.contains(&block_id)
+    }
+
+    /// Replicas caught equivocating (voting for two blocks in one round).
+    pub fn equivocators(&self) -> &[ReplicaId] {
+        &self.equivocators
+    }
+
+    /// The PKI this tracker verifies against.
+    pub fn registry(&self) -> &KeyRegistry {
+        &self.registry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_types::EndorseInfo;
+
+    fn setup() -> (ProtocolConfig, KeyRegistry, VoteTracker) {
+        let cfg = ProtocolConfig::for_replicas(4);
+        let registry = KeyRegistry::deterministic(4);
+        let tracker = VoteTracker::new(cfg, registry.clone());
+        (cfg, registry, tracker)
+    }
+
+    fn data(tag: &[u8], round: u64) -> VoteData {
+        VoteData::new(
+            HashValue::of(tag),
+            Round::new(round),
+            HashValue::zero(),
+            Round::ZERO,
+        )
+    }
+
+    fn vote(registry: &KeyRegistry, signer: u64, d: VoteData) -> StrongVote {
+        StrongVote::new(
+            d,
+            EndorseInfo::Marker(Round::ZERO),
+            &registry.key_pair(signer).unwrap(),
+        )
+    }
+
+    #[test]
+    fn quorum_certifies_exactly_once() {
+        let (_, registry, mut tracker) = setup();
+        let d = data(b"B", 1);
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 0, d)),
+            VoteOutcome::Counted(1)
+        );
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 1, d)),
+            VoteOutcome::Counted(2)
+        );
+        let outcome = tracker.add_vote(&vote(&registry, 2, d));
+        let VoteOutcome::Certified(qc) = outcome else {
+            panic!("expected certification, got {outcome:?}");
+        };
+        assert_eq!(qc.block_id(), d.block_id());
+        assert_eq!(qc.signers().len(), 3);
+        assert!(tracker.is_certified(d.block_id()));
+        // A fourth vote still counts but does not re-certify.
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 3, d)),
+            VoteOutcome::Counted(4)
+        );
+        assert_eq!(tracker.votes_for(d.block_id()), 4);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let (_, registry, mut tracker) = setup();
+        let d = data(b"B", 1);
+        tracker.add_vote(&vote(&registry, 0, d));
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 0, d)),
+            VoteOutcome::Duplicate
+        );
+        assert_eq!(tracker.votes_for(d.block_id()), 1);
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        let (_, registry, mut tracker) = setup();
+        let d = data(b"B", 1);
+        let honest = vote(&registry, 0, d);
+        let forged = StrongVote::from_parts(
+            d,
+            EndorseInfo::None, // signature covered Marker(0), not None
+            honest.author(),
+            *honest.signature(),
+        );
+        assert_eq!(tracker.add_vote(&forged), VoteOutcome::BadSignature);
+        assert_eq!(tracker.votes_for(d.block_id()), 0);
+    }
+
+    #[test]
+    fn equivocation_detected_and_ignored() {
+        let (_, registry, mut tracker) = setup();
+        let a = data(b"A", 1);
+        let b = data(b"B", 1);
+        tracker.add_vote(&vote(&registry, 0, a));
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 0, b)),
+            VoteOutcome::Equivocation
+        );
+        assert_eq!(
+            tracker.votes_for(b.block_id()),
+            0,
+            "conflicting vote not counted"
+        );
+        assert_eq!(tracker.equivocators(), &[ReplicaId::new(0)]);
+        // Re-equivocating does not duplicate the evidence entry.
+        tracker.add_vote(&vote(&registry, 0, b));
+        assert_eq!(tracker.equivocators().len(), 1);
+    }
+
+    #[test]
+    fn same_author_different_rounds_is_fine() {
+        let (_, registry, mut tracker) = setup();
+        tracker.add_vote(&vote(&registry, 0, data(b"A", 1)));
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 0, data(b"B", 2))),
+            VoteOutcome::Counted(1),
+            "voting in a later round is not equivocation"
+        );
+        assert!(tracker.equivocators().is_empty());
+    }
+
+    #[test]
+    fn competing_blocks_tracked_independently() {
+        let (_, registry, mut tracker) = setup();
+        let a = data(b"A", 1);
+        let b = data(b"B", 1);
+        tracker.add_vote(&vote(&registry, 0, a));
+        tracker.add_vote(&vote(&registry, 1, b));
+        assert_eq!(tracker.votes_for(a.block_id()), 1);
+        assert_eq!(tracker.votes_for(b.block_id()), 1);
+    }
+}

@@ -13,9 +13,8 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rand::RngCore;
-
 use crate::hmac::{ct_eq, hmac_sha256};
+use crate::rng::RngCore;
 use crate::signature::Signature;
 
 /// Length of secret keys in bytes.
@@ -106,13 +105,17 @@ impl KeyRegistry {
     /// Builds a registry of `n` random keys.
     pub fn generate<R: RngCore>(n: usize, rng: &mut R) -> Self {
         let secrets = (0..n).map(|_| SecretKey::generate(rng)).collect();
-        Self { secrets: Arc::new(secrets) }
+        Self {
+            secrets: Arc::new(secrets),
+        }
     }
 
     /// Builds a registry of `n` deterministic keys (reproducible runs).
     pub fn deterministic(n: usize) -> Self {
         let secrets = (0..n as u64).map(SecretKey::deterministic).collect();
-        Self { secrets: Arc::new(secrets) }
+        Self {
+            secrets: Arc::new(secrets),
+        }
     }
 
     /// Number of registered replicas.
@@ -159,8 +162,7 @@ impl fmt::Debug for KeyRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn sign_verify_roundtrip() {
@@ -201,7 +203,7 @@ mod tests {
 
     #[test]
     fn random_and_deterministic_differ() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let random = KeyRegistry::generate(2, &mut rng);
         let det = KeyRegistry::deterministic(2);
         let s1 = random.key_pair(0).unwrap().sign(b"m");

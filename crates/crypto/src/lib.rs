@@ -24,12 +24,16 @@
 //! assert!(registry.verify(0, digest.as_ref(), &sig));
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod hash;
 pub mod hmac;
 pub mod keys;
+pub mod rng;
 pub mod sha256;
 pub mod signature;
 
 pub use hash::{HashValue, Hasher};
 pub use keys::{KeyPair, KeyRegistry, SecretKey};
+pub use rng::{RngCore, SplitMix64};
 pub use signature::Signature;

@@ -63,7 +63,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a hasher in the initial state.
     pub fn new() -> Self {
-        Self { state: H0, buf: [0u8; BLOCK_LEN], buf_len: 0, total_len: 0 }
+        Self {
+            state: H0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.

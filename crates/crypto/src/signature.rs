@@ -34,7 +34,10 @@ impl Signature {
     /// A structurally valid but never-verifying signature, for tests and for
     /// genesis artifacts that are trusted by construction.
     pub fn dummy(signer: u64) -> Self {
-        Self { signer, tag: [0u8; SIGNATURE_LEN] }
+        Self {
+            signer,
+            tag: [0u8; SIGNATURE_LEN],
+        }
     }
 }
 

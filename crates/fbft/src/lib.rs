@@ -1,1 +1,28 @@
-//! placeholder
+//! # sft-fbft
+//!
+//! Round-based commit rules in the DiemBFT style — the protocol family the
+//! paper's *main body* strengthens (§2–§3), as opposed to the height-based
+//! Streamlet variant of Appendix D implemented in
+//! [`sft-streamlet`](../sft_streamlet/index.html).
+//!
+//! This crate currently provides the pure decision core — the
+//! [`TwoChainState`] commit/locking rule (Fig 2/3) — as chain-agnostic
+//! functions over [`VoteData`](sft_types::VoteData). The full replica loop (pacemaker, round
+//! timeouts, leader schedule, FeBFT-style async networking) lands in later
+//! PRs and will reuse the certification and endorsement machinery of
+//! [`sft-core`](../sft_core/index.html) exactly as the Streamlet replica
+//! does.
+//!
+//! ## The 2-chain rule in brief
+//!
+//! DiemBFT commits block `B` once a quorum certificate forms for a block
+//! `B'` with `B'.parent = B` and `B'.round = B.round + 1` — two certified
+//! blocks in consecutive rounds. The locking rule makes that safe: a
+//! replica that sees a QC locks the QC's *parent round* and later refuses
+//! to vote for any proposal whose parent round is lower than its lock.
+
+#![deny(missing_docs)]
+
+pub mod two_chain;
+
+pub use two_chain::TwoChainState;

@@ -1,0 +1,183 @@
+//! The DiemBFT 2-chain commit and locking rule (paper Fig 2/3).
+
+use std::fmt;
+
+use sft_crypto::HashValue;
+use sft_types::{Round, VoteData};
+
+/// Per-replica state for the round-based 2-chain rule: the highest QC round
+/// seen, the locked round, and the latest commit it justified.
+///
+/// The state is deliberately chain-agnostic — it consumes the
+/// [`VoteData`] carried by quorum certificates and leaves block storage to
+/// [`sft_core::BlockStore`]. That keeps the safety-critical rule small
+/// enough to test exhaustively.
+///
+/// # Examples
+///
+/// ```
+/// use sft_fbft::TwoChainState;
+/// use sft_crypto::HashValue;
+/// use sft_types::{Round, VoteData};
+///
+/// let mut state = TwoChainState::new();
+/// // QC for B2 (round 2) whose parent B1 is at round 1: consecutive
+/// // rounds, so B1 commits.
+/// let qc = VoteData::new(HashValue::of(b"B2"), Round::new(2), HashValue::of(b"B1"), Round::new(1));
+/// assert_eq!(state.on_qc(&qc), Some((HashValue::of(b"B1"), Round::new(1))));
+/// assert_eq!(state.locked_round(), Round::new(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct TwoChainState {
+    highest_qc_round: Round,
+    locked_round: Round,
+    last_committed_round: Round,
+}
+
+impl TwoChainState {
+    /// Fresh state: nothing locked, nothing committed (genesis, round 0, is
+    /// committed by construction).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The highest round for which this replica has seen a QC.
+    pub fn highest_qc_round(&self) -> Round {
+        self.highest_qc_round
+    }
+
+    /// The locked round: the highest QC *parent* round seen. Voting below
+    /// the lock is what the safety proof forbids.
+    pub fn locked_round(&self) -> Round {
+        self.locked_round
+    }
+
+    /// Round of the most recently committed block (0 if only genesis).
+    pub fn last_committed_round(&self) -> Round {
+        self.last_committed_round
+    }
+
+    /// Processes a quorum certificate over `qc` and applies both rules:
+    ///
+    /// - **locking** — the locked round rises to the QC's parent round;
+    /// - **2-chain commit** — if the QC's block round directly follows its
+    ///   parent round, the parent block commits.
+    ///
+    /// Returns the newly committed block (id, round), if any. Commits are
+    /// monotone: a stale QC can never re-commit an older round.
+    pub fn on_qc(&mut self, qc: &VoteData) -> Option<(HashValue, Round)> {
+        self.highest_qc_round = self.highest_qc_round.max(qc.block_round());
+        self.locked_round = self.locked_round.max(qc.parent_round());
+        if qc.parent_round().precedes(qc.block_round())
+            && qc.parent_round() > self.last_committed_round
+        {
+            self.last_committed_round = qc.parent_round();
+            return Some((qc.parent_id(), qc.parent_round()));
+        }
+        None
+    }
+
+    /// The DiemBFT voting rule: a proposal is safe to vote for iff it
+    /// extends a certified parent no older than the lock and moves to a
+    /// round beyond everything certified so far.
+    pub fn safe_to_vote(&self, proposal: &VoteData) -> bool {
+        proposal.parent_round() >= self.locked_round
+            && proposal.block_round() > self.highest_qc_round
+    }
+}
+
+impl fmt::Debug for TwoChainState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TwoChainState(qc_r={}, locked_r={}, committed_r={})",
+            self.highest_qc_round, self.locked_round, self.last_committed_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qc(block: &[u8], round: u64, parent: &[u8], parent_round: u64) -> VoteData {
+        VoteData::new(
+            HashValue::of(block),
+            Round::new(round),
+            HashValue::of(parent),
+            Round::new(parent_round),
+        )
+    }
+
+    #[test]
+    fn consecutive_rounds_commit_parent() {
+        let mut s = TwoChainState::new();
+        assert_eq!(
+            s.on_qc(&qc(b"B1", 1, b"G", 0)),
+            None,
+            "genesis needs no commit"
+        );
+        let committed = s.on_qc(&qc(b"B2", 2, b"B1", 1));
+        assert_eq!(committed, Some((HashValue::of(b"B1"), Round::new(1))));
+        assert_eq!(s.last_committed_round(), Round::new(1));
+    }
+
+    #[test]
+    fn round_gap_does_not_commit() {
+        let mut s = TwoChainState::new();
+        // B5's parent is at round 2: a timeout gap, so no commit — but the
+        // lock still rises.
+        assert_eq!(s.on_qc(&qc(b"B5", 5, b"B2", 2)), None);
+        assert_eq!(s.locked_round(), Round::new(2));
+        assert_eq!(s.highest_qc_round(), Round::new(5));
+    }
+
+    #[test]
+    fn stale_qc_never_recommits() {
+        let mut s = TwoChainState::new();
+        s.on_qc(&qc(b"B2", 2, b"B1", 1));
+        s.on_qc(&qc(b"B3", 3, b"B2", 2));
+        assert_eq!(s.last_committed_round(), Round::new(2));
+        // Replayed older QC: no new commit, no state regression.
+        assert_eq!(s.on_qc(&qc(b"B2", 2, b"B1", 1)), None);
+        assert_eq!(s.last_committed_round(), Round::new(2));
+        assert_eq!(s.locked_round(), Round::new(2));
+    }
+
+    #[test]
+    fn lock_is_monotone() {
+        let mut s = TwoChainState::new();
+        s.on_qc(&qc(b"B5", 5, b"B4", 4));
+        s.on_qc(&qc(b"B3", 3, b"B2", 2)); // late-arriving older QC
+        assert_eq!(s.locked_round(), Round::new(4));
+        assert_eq!(s.highest_qc_round(), Round::new(5));
+    }
+
+    #[test]
+    fn voting_rule_respects_lock_and_round() {
+        let mut s = TwoChainState::new();
+        s.on_qc(&qc(b"B4", 4, b"B3", 3));
+        // Extends the certified tip into a fresh round: safe.
+        assert!(s.safe_to_vote(&qc(b"B5", 5, b"B4", 4)));
+        // Parent below the lock: forbidden.
+        assert!(!s.safe_to_vote(&qc(b"X5", 5, b"B2", 2)));
+        // Round not beyond the highest QC: forbidden (stale proposal).
+        assert!(!s.safe_to_vote(&qc(b"X4", 4, b"B3", 3)));
+    }
+
+    #[test]
+    fn fresh_state_votes_for_round_one() {
+        let s = TwoChainState::new();
+        assert!(s.safe_to_vote(&qc(b"B1", 1, b"G", 0)));
+    }
+
+    #[test]
+    fn debug_format() {
+        let mut s = TwoChainState::new();
+        s.on_qc(&qc(b"B2", 2, b"B1", 1));
+        assert_eq!(
+            format!("{s:?}"),
+            "TwoChainState(qc_r=2, locked_r=1, committed_r=1)"
+        );
+    }
+}

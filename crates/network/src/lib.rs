@@ -1,1 +1,249 @@
-//! placeholder
+//! # sft-network
+//!
+//! In-process message transport for the deterministic simulator: a
+//! [`SimNetwork`] that queues encoded messages with an injected one-way
+//! delay δ and delivers them in a platform-independent order.
+//!
+//! The paper's evaluation (§4) runs replicas with *injected* inter-region
+//! latencies (δ = 100 ms / 200 ms) rather than bandwidth-limited links, so
+//! the transport models exactly that: every message sent at time `t` is
+//! delivered at `t + δ`, and the network keeps exact per-message byte
+//! accounting (for the message-complexity experiments) instead of shaping
+//! traffic. Real async networking (the FeBFT-style socket layer) will slot
+//! in behind the same envelope shape in a later PR.
+//!
+//! ## Determinism
+//!
+//! Delivery order is `(deliver_at, sequence number)` — the sequence number
+//! is assigned at send time, so two messages due at the same instant are
+//! delivered in send order on every platform and every run.
+//!
+//! ## Example
+//!
+//! ```
+//! use sft_network::SimNetwork;
+//! use sft_types::{ReplicaId, SimDuration, SimTime};
+//!
+//! let mut net = SimNetwork::new(SimDuration::from_millis(100));
+//! net.send(ReplicaId::new(0), ReplicaId::new(1), vec![1, 2, 3]);
+//! assert!(net.deliver_due(SimTime::from_millis(99)).is_empty());
+//! let delivered = net.deliver_due(SimTime::from_millis(100));
+//! assert_eq!(delivered.len(), 1);
+//! assert_eq!(delivered[0].payload, vec![1, 2, 3]);
+//! ```
+
+#![deny(missing_docs)]
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use sft_types::{ReplicaId, SimDuration, SimTime};
+
+/// One queued or delivered message.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending replica.
+    pub from: ReplicaId,
+    /// Receiving replica.
+    pub to: ReplicaId,
+    /// Encoded message bytes.
+    pub payload: Vec<u8>,
+    /// Instant the message becomes deliverable.
+    pub deliver_at: SimTime,
+    /// Send-order sequence number (the delivery tiebreaker).
+    pub seq: u64,
+}
+
+impl fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Envelope(#{} {} -> {} {}B @ {})",
+            self.seq,
+            self.from,
+            self.to,
+            self.payload.len(),
+            self.deliver_at
+        )
+    }
+}
+
+/// Aggregate traffic counters, the quantities the message-complexity
+/// experiments chart.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Total messages accepted for delivery.
+    pub messages: u64,
+    /// Total payload bytes accepted for delivery.
+    pub bytes: u64,
+}
+
+/// A deterministic store-and-forward network with a uniform one-way delay.
+#[derive(Clone, Debug)]
+pub struct SimNetwork {
+    delay: SimDuration,
+    now: SimTime,
+    /// Pending envelopes ordered by `(deliver_at, seq)`. Sends enqueue at
+    /// `now + delay` and `now` never decreases, so pushing to the back and
+    /// popping from the front maintains the order with no re-sorting.
+    queue: VecDeque<Envelope>,
+    next_seq: u64,
+    stats: NetworkStats,
+}
+
+impl SimNetwork {
+    /// Creates a network with one-way delay δ.
+    pub fn new(delay: SimDuration) -> Self {
+        Self {
+            delay,
+            now: SimTime::ZERO,
+            queue: VecDeque::new(),
+            next_seq: 0,
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// The configured one-way delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// The network's current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queues `payload` from `from` to `to`, due one delay from now.
+    pub fn send(&mut self, from: ReplicaId, to: ReplicaId, payload: Vec<u8>) {
+        self.stats.messages += 1;
+        self.stats.bytes += payload.len() as u64;
+        let envelope = Envelope {
+            from,
+            to,
+            payload,
+            deliver_at: self.now + self.delay,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.queue.push_back(envelope);
+    }
+
+    /// Sends a copy of `payload` from `from` to every replica in
+    /// `0..n` except the sender (a replica hands its own messages to
+    /// itself directly, without paying the network delay).
+    pub fn broadcast(&mut self, from: ReplicaId, n: usize, payload: &[u8]) {
+        for to in 0..n as u16 {
+            let to = ReplicaId::new(to);
+            if to != from {
+                self.send(from, to, payload.to_vec());
+            }
+        }
+    }
+
+    /// Advances virtual time to `until` and returns every envelope due by
+    /// then, in deterministic `(deliver_at, seq)` order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `until` is before the current time (time is monotonic).
+    pub fn deliver_due(&mut self, until: SimTime) -> Vec<Envelope> {
+        assert!(
+            until >= self.now,
+            "time moved backwards: {until} < {}",
+            self.now
+        );
+        self.now = until;
+        let mut due = Vec::new();
+        while self.queue.front().is_some_and(|e| e.deliver_at <= until) {
+            due.push(self.queue.pop_front().expect("checked front"));
+        }
+        due
+    }
+
+    /// Number of messages still in flight.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Traffic counters since construction.
+    pub fn stats(&self) -> NetworkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: u16) -> ReplicaId {
+        ReplicaId::new(v)
+    }
+
+    #[test]
+    fn delivery_respects_delay() {
+        let mut net = SimNetwork::new(SimDuration::from_millis(100));
+        net.send(r(0), r(1), vec![9]);
+        assert_eq!(net.pending(), 1);
+        assert!(net.deliver_due(SimTime::from_millis(50)).is_empty());
+        let due = net.deliver_due(SimTime::from_millis(100));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].from, r(0));
+        assert_eq!(due[0].to, r(1));
+        assert_eq!(net.pending(), 0);
+    }
+
+    #[test]
+    fn later_sends_deliver_later() {
+        let mut net = SimNetwork::new(SimDuration::from_millis(100));
+        net.send(r(0), r(1), vec![1]);
+        net.deliver_due(SimTime::from_millis(30));
+        net.send(r(0), r(1), vec![2]); // due at 130
+        let due = net.deliver_due(SimTime::from_millis(100));
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].payload, vec![1]);
+        let due = net.deliver_due(SimTime::from_millis(130));
+        assert_eq!(due[0].payload, vec![2]);
+    }
+
+    #[test]
+    fn simultaneous_messages_keep_send_order() {
+        let mut net = SimNetwork::new(SimDuration::from_millis(10));
+        for i in 0..5u8 {
+            net.send(r(i as u16), r(9), vec![i]);
+        }
+        let due = net.deliver_due(SimTime::from_millis(10));
+        let order: Vec<u8> = due.iter().map(|e| e.payload[0]).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn broadcast_skips_sender_and_counts_bytes() {
+        let mut net = SimNetwork::new(SimDuration::from_millis(1));
+        net.broadcast(r(2), 4, &[0xaa, 0xbb]);
+        let due = net.deliver_due(SimTime::from_millis(1));
+        let recipients: Vec<u16> = due.iter().map(|e| e.to.as_u16()).collect();
+        assert_eq!(recipients, vec![0, 1, 3]);
+        assert_eq!(
+            net.stats(),
+            NetworkStats {
+                messages: 3,
+                bytes: 6
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "time moved backwards")]
+    fn time_is_monotonic() {
+        let mut net = SimNetwork::new(SimDuration::from_millis(1));
+        net.deliver_due(SimTime::from_millis(5));
+        net.deliver_due(SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn zero_delay_delivers_immediately() {
+        let mut net = SimNetwork::new(SimDuration::ZERO);
+        net.send(r(0), r(1), vec![1]);
+        assert_eq!(net.deliver_due(net.now()).len(), 1);
+    }
+}

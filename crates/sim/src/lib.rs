@@ -1,1 +1,482 @@
-//! placeholder
+//! # sft-sim
+//!
+//! A deterministic, in-process simulator for SFT-Streamlet: `n` replicas
+//! run the full protocol over the [`sft_network::SimNetwork`] transport in
+//! lock-step epochs of two message delays (propose → vote), with pluggable
+//! Byzantine behaviors per replica. There is no real networking and no
+//! wall-clock anywhere, so every run with the same [`SimConfig`] produces
+//! byte-identical results on every platform — which is what makes protocol
+//! bugs reproducible and the paper's delay-sweep experiments (§4) scriptable.
+//!
+//! ## Fault injection
+//!
+//! [`Behavior`] covers the attack shapes the commit rules care about:
+//!
+//! - [`Behavior::Silent`] — crashed from the start: never proposes, never
+//!   votes, never processes a message.
+//! - [`Behavior::WithholdVote`] — alive and proposing, but never votes:
+//!   starves quorums without detection (the classic "slow replica").
+//! - [`Behavior::Equivocate`] — as leader, proposes two conflicting blocks
+//!   to the two halves of the replica set; as voter, votes for every
+//!   proposal it sees and always attaches a lying marker of 0.
+//!
+//! ## Example
+//!
+//! ```
+//! use sft_sim::{Behavior, SimConfig};
+//!
+//! let report = SimConfig::new(4, 10).run();
+//! assert!(report.agreement(), "honest runs always agree");
+//! assert!(report.max_commit_level() >= 1);
+//! ```
+
+#![deny(missing_docs)]
+
+use sft_core::{Block, ProtocolConfig};
+use sft_crypto::{HashValue, KeyPair, KeyRegistry};
+use sft_network::{NetworkStats, SimNetwork};
+use sft_streamlet::{EndorseMode, Message, Proposal, Replica};
+use sft_types::{
+    Decode, Encode, EndorseInfo, Payload, ReplicaId, Round, SimDuration, SimTime,
+    StrongCommitUpdate, StrongVote,
+};
+
+/// Per-replica fault model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Crashed from the start: sends and processes nothing.
+    Silent,
+    /// Processes everything and proposes when leading, but never votes.
+    WithholdVote,
+    /// Proposes conflicting blocks to the two halves of the replica set
+    /// when leading; votes for every proposal with a forged zero marker.
+    Equivocate,
+}
+
+/// Simulation parameters. Build with [`SimConfig::new`] and the `with_*`
+/// methods, then call [`SimConfig::run`].
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of replicas (`n = 3f + 1` recommended).
+    pub n: usize,
+    /// Number of epochs to run.
+    pub epochs: u64,
+    /// Behavior per replica; defaults to all-honest.
+    pub behaviors: Vec<Behavior>,
+    /// Endorsement info honest voters attach.
+    pub endorse_mode: EndorseMode,
+    /// One-way network delay δ.
+    pub delay: SimDuration,
+    /// Transactions per proposed block (the paper uses ~1000).
+    pub txns_per_block: u32,
+    /// Bytes per transaction (the paper uses ~450).
+    pub txn_bytes: u32,
+}
+
+impl SimConfig {
+    /// An all-honest configuration with the paper's workload shape
+    /// (1000 × 450 B blocks) and δ = 100 ms.
+    pub fn new(n: usize, epochs: u64) -> Self {
+        Self {
+            n,
+            epochs,
+            behaviors: vec![Behavior::Honest; n],
+            endorse_mode: EndorseMode::Marker,
+            delay: SimDuration::from_millis(100),
+            txns_per_block: 1000,
+            txn_bytes: 450,
+        }
+    }
+
+    /// Sets replica `id`'s behavior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n`.
+    pub fn with_behavior(mut self, id: u16, behavior: Behavior) -> Self {
+        self.behaviors[id as usize] = behavior;
+        self
+    }
+
+    /// Sets the endorsement mode for honest voters.
+    pub fn with_endorse_mode(mut self, mode: EndorseMode) -> Self {
+        self.endorse_mode = mode;
+        self
+    }
+
+    /// Sets the one-way delay δ.
+    pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Sets the synthetic workload shape.
+    pub fn with_workload(mut self, txns_per_block: u32, txn_bytes: u32) -> Self {
+        self.txns_per_block = txns_per_block;
+        self.txn_bytes = txn_bytes;
+        self
+    }
+
+    /// Runs the simulation to completion.
+    pub fn run(self) -> SimReport {
+        Simulation::new(self).run()
+    }
+}
+
+/// Everything a finished run reports.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Committed chain per replica, oldest block first.
+    pub chains: Vec<Vec<HashValue>>,
+    /// Strong-commit log per replica (§5): standard commits and every
+    /// strength increase, in occurrence order.
+    pub commit_logs: Vec<Vec<StrongCommitUpdate>>,
+    /// The same log entries stamped with the virtual time each replica
+    /// produced them — the series the latency experiments (§4, Fig 7/8)
+    /// are computed from.
+    pub timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
+    /// Aggregate network traffic.
+    pub net: NetworkStats,
+    /// Virtual time at the end of the run.
+    pub elapsed: SimTime,
+    /// Replicas whose commit rule observed conflicting finalized chains.
+    pub safety_violations: usize,
+    /// Equivocating replicas detected by at least one honest replica.
+    pub equivocators_detected: usize,
+}
+
+impl SimReport {
+    /// True if all committed chains are pairwise prefix-compatible — the
+    /// agreement property of Theorem 1.
+    pub fn agreement(&self) -> bool {
+        self.chains.iter().enumerate().all(|(i, a)| {
+            self.chains[i + 1..].iter().all(|b| {
+                let common = a.len().min(b.len());
+                a[..common] == b[..common]
+            })
+        })
+    }
+
+    /// The longest committed chain across replicas.
+    pub fn max_committed(&self) -> usize {
+        self.chains.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The highest strength level any replica recorded for any commit.
+    pub fn max_commit_level(&self) -> u64 {
+        self.commit_logs
+            .iter()
+            .flatten()
+            .map(StrongCommitUpdate::level)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+struct Node {
+    behavior: Behavior,
+    replica: Replica,
+    key_pair: KeyPair,
+    /// Blocks this (Byzantine) node already cast a forged vote for in the
+    /// current epoch, to avoid unbounded duplicates.
+    equivocation_votes: Vec<HashValue>,
+}
+
+/// The simulator: owns the replicas and the network, runs lock-step
+/// epochs. Most callers use [`SimConfig::run`]; the struct is public so
+/// benchmarks can drive epochs one at a time.
+pub struct Simulation {
+    config: SimConfig,
+    protocol: ProtocolConfig,
+    nodes: Vec<Node>,
+    net: SimNetwork,
+    timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
+}
+
+impl Simulation {
+    /// Builds replicas, keys, and the network for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.behaviors` is not exactly `n` entries.
+    pub fn new(config: SimConfig) -> Self {
+        assert_eq!(config.behaviors.len(), config.n, "one behavior per replica");
+        let protocol = ProtocolConfig::for_replicas(config.n);
+        let registry = KeyRegistry::deterministic(config.n);
+        let nodes = (0..config.n as u16)
+            .map(|id| Node {
+                behavior: config.behaviors[id as usize],
+                replica: Replica::new(id, protocol, registry.clone(), config.endorse_mode),
+                key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
+                equivocation_votes: Vec::new(),
+            })
+            .collect();
+        Self {
+            net: SimNetwork::new(config.delay),
+            timelines: vec![Vec::new(); config.n],
+            config,
+            protocol,
+            nodes,
+        }
+    }
+
+    /// The protocol configuration derived from `n`.
+    pub fn protocol(&self) -> ProtocolConfig {
+        self.protocol
+    }
+
+    /// Runs all configured epochs and reports.
+    pub fn run(mut self) -> SimReport {
+        for epoch in 1..=self.config.epochs {
+            self.run_epoch(Round::new(epoch));
+        }
+        self.report()
+    }
+
+    /// Runs one epoch: propose at `T`, deliver + vote at `T + δ`, deliver
+    /// votes and evaluate commits at `T + 2δ`.
+    pub fn run_epoch(&mut self, epoch: Round) {
+        let n = self.config.n;
+        let payload = Payload::synthetic(
+            self.config.txns_per_block,
+            self.config.txn_bytes,
+            epoch.as_u64(),
+        );
+
+        // Phase 1 — propose. Self-routed messages skip the network (a
+        // replica hears itself immediately), everything else pays δ.
+        let mut self_inbox: Vec<(ReplicaId, Message)> = Vec::new();
+        for i in 0..n {
+            let node = &mut self.nodes[i];
+            node.equivocation_votes.clear();
+            let proposals = match node.behavior {
+                Behavior::Silent => Vec::new(),
+                Behavior::Honest | Behavior::WithholdVote => node
+                    .replica
+                    .begin_epoch(epoch, payload.clone())
+                    .into_iter()
+                    .collect(),
+                Behavior::Equivocate => equivocating_proposals(node, epoch, &payload),
+            };
+            match proposals.as_slice() {
+                [] => {}
+                [proposal] => {
+                    let msg = Message::Proposal(proposal.clone());
+                    self.net
+                        .broadcast(proposal.block().proposer(), n, &msg.to_bytes());
+                    self_inbox.push((proposal.block().proposer(), msg));
+                }
+                [a, b] => {
+                    // Split-brain delivery: low ids see A, high ids see B.
+                    let from = a.block().proposer();
+                    for to in 0..n as u16 {
+                        let target = ReplicaId::new(to);
+                        let msg = if (to as usize) < n / 2 {
+                            Message::Proposal(a.clone())
+                        } else {
+                            Message::Proposal(b.clone())
+                        };
+                        if target == from {
+                            self_inbox.push((target, msg));
+                        } else {
+                            self.net.send(from, target, msg.to_bytes());
+                        }
+                    }
+                    // The equivocator also sees the twin its own half did
+                    // NOT receive, so it casts the conflicting votes honest
+                    // trackers will flag regardless of which half it sits in.
+                    let twin = if (from.as_usize()) < n / 2 { b } else { a };
+                    self_inbox.push((from, Message::Proposal(twin.clone())));
+                }
+                _ => unreachable!("at most two proposals per epoch"),
+            }
+        }
+
+        // Phase 2 — deliver proposals, collect votes.
+        let mid = self.net.now() + self.config.delay;
+        let mut votes: Vec<StrongVote> = Vec::new();
+        let mut vote_inbox: Vec<(ReplicaId, Message)> = Vec::new();
+        let deliveries = self_inbox
+            .into_iter()
+            .chain(self.net.deliver_due(mid).into_iter().map(|e| {
+                let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
+                (e.to, msg)
+            }));
+        for (to, msg) in deliveries {
+            let Message::Proposal(proposal) = msg else {
+                continue;
+            };
+            let node = &mut self.nodes[to.as_usize()];
+            for vote in node.handle_proposal(&proposal) {
+                let msg = Message::Vote(vote.clone());
+                self.net.broadcast(to, n, &msg.to_bytes());
+                vote_inbox.push((to, msg));
+                votes.push(vote);
+            }
+        }
+
+        // Phase 3 — deliver votes everywhere, evaluate the commit rules.
+        let end = mid + self.config.delay;
+        let deliveries = vote_inbox
+            .into_iter()
+            .chain(self.net.deliver_due(end).into_iter().map(|e| {
+                let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
+                (e.to, msg)
+            }));
+        for (to, msg) in deliveries {
+            let Message::Vote(vote) = msg else { continue };
+            let node = &mut self.nodes[to.as_usize()];
+            if node.behavior != Behavior::Silent {
+                let now = self.net.now();
+                let updates = node.replica.on_vote(&vote);
+                self.timelines[to.as_usize()].extend(updates.into_iter().map(|u| (now, u)));
+            }
+        }
+    }
+
+    /// Snapshot of the current run state as a report.
+    pub fn report(&self) -> SimReport {
+        let chains = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.committed_chain().to_vec())
+            .collect();
+        let commit_logs = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.commit_log().to_vec())
+            .collect();
+        let safety_violations = self
+            .nodes
+            .iter()
+            .filter(|node| node.replica.safety_violated())
+            .count();
+        let equivocators_detected = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.observed_equivocators().len())
+            .max()
+            .unwrap_or(0);
+        SimReport {
+            chains,
+            commit_logs,
+            timelines: self.timelines.clone(),
+            net: self.net.stats(),
+            elapsed: self.net.now(),
+            safety_violations,
+            equivocators_detected,
+        }
+    }
+
+    /// Immutable access to replica `id`, for tests and benches.
+    pub fn replica(&self, id: u16) -> &Replica {
+        &self.nodes[id as usize].replica
+    }
+}
+
+/// As the epoch leader, produce one honest proposal plus one conflicting
+/// sibling with a different payload tag. Non-leaders produce nothing.
+fn equivocating_proposals(node: &mut Node, epoch: Round, payload: &Payload) -> Vec<Proposal> {
+    let Some(honest) = node.replica.begin_epoch(epoch, payload.clone()) else {
+        return Vec::new();
+    };
+    let parent = node
+        .replica
+        .store()
+        .get(honest.block().parent_id())
+        .expect("parent of own proposal")
+        .clone();
+    let conflicting_payload = Payload::synthetic(1, 1, u64::MAX - epoch.as_u64());
+    let twin = Block::new(&parent, epoch, node.replica.id(), conflicting_payload);
+    let twin = Proposal::new(twin, &node.key_pair);
+    vec![honest, twin]
+}
+
+impl Node {
+    /// Processes one delivered proposal according to the node's behavior,
+    /// returning the votes it broadcasts.
+    fn handle_proposal(&mut self, proposal: &Proposal) -> Vec<StrongVote> {
+        match self.behavior {
+            Behavior::Silent => Vec::new(),
+            Behavior::WithholdVote => {
+                let _ = self.replica.on_proposal(proposal);
+                Vec::new()
+            }
+            Behavior::Honest => self.replica.on_proposal(proposal).into_iter().collect(),
+            Behavior::Equivocate => {
+                // Vote for everything, once per block, with a forged
+                // clean-history marker.
+                let block_id = proposal.block().id();
+                if self.equivocation_votes.contains(&block_id) {
+                    return Vec::new();
+                }
+                self.equivocation_votes.push(block_id);
+                // Keep the replica's store current so later epochs work.
+                let _ = self.replica.on_proposal(proposal);
+                vec![StrongVote::new(
+                    proposal.block().vote_data(),
+                    EndorseInfo::Marker(Round::ZERO),
+                    &self.key_pair,
+                )]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_run_commits_and_strengthens() {
+        let report = SimConfig::new(4, 6).run();
+        assert!(report.agreement());
+        // 6 epochs, commits start landing from epoch 3 on.
+        assert!(report.max_committed() >= 3);
+        assert_eq!(
+            report.max_commit_level(),
+            2,
+            "all-honest n=4 reaches the 2f ceiling"
+        );
+        assert_eq!(report.safety_violations, 0);
+        // First commit lands when the second epoch's votes arrive: 4δ.
+        let first_commit = report.timelines[0].first().expect("replica 0 commits").0;
+        assert_eq!(first_commit, SimTime::from_millis(400));
+    }
+
+    #[test]
+    fn network_accounting_is_nontrivial() {
+        let report = SimConfig::new(4, 4).run();
+        // Each epoch: 3 proposal sends + 4 voters × 3 vote sends.
+        assert!(report.net.messages > 0);
+        assert!(
+            report.net.bytes > report.net.messages,
+            "messages carry payloads"
+        );
+        assert_eq!(report.elapsed, SimTime::from_millis(4 * 2 * 100));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = SimConfig::new(7, 8)
+            .with_behavior(2, Behavior::Equivocate)
+            .run();
+        let b = SimConfig::new(7, 8)
+            .with_behavior(2, Behavior::Equivocate)
+            .run();
+        assert_eq!(a.chains, b.chains);
+        assert_eq!(a.commit_logs, b.commit_logs);
+        assert_eq!(a.net, b.net);
+    }
+
+    #[test]
+    #[should_panic(expected = "one behavior per replica")]
+    fn behavior_count_must_match() {
+        let mut config = SimConfig::new(4, 1);
+        config.behaviors.pop();
+        Simulation::new(config);
+    }
+}

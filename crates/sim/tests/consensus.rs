@@ -1,0 +1,172 @@
+//! End-to-end consensus runs: the acceptance scenarios for the two-level
+//! commit rule, executed through the full replica + network stack.
+
+use sft_core::ProtocolConfig;
+use sft_sim::{Behavior, SimConfig};
+use sft_streamlet::EndorseMode;
+use sft_types::SimDuration;
+
+/// n = 4 honest replicas reach both commit levels: every block commits via
+/// the standard three-consecutive-epochs rule (strength ≥ f = 1), and with
+/// all n voters endorsing, commits reach the strong 2f = 2 ceiling.
+#[test]
+fn four_replicas_reach_standard_and_strong_commit() {
+    let report = SimConfig::new(4, 8).run();
+
+    assert!(
+        report.agreement(),
+        "committed chains must be prefix-compatible"
+    );
+    assert!(
+        report.max_committed() >= 5,
+        "8 epochs commit at least 5 blocks"
+    );
+    assert_eq!(report.safety_violations, 0);
+
+    let cfg = ProtocolConfig::for_replicas(4);
+    for log in &report.commit_logs {
+        assert!(!log.is_empty(), "every replica commits");
+        for update in log {
+            assert!(
+                update.level() >= cfg.f() as u64,
+                "standard commits carry at least strength f"
+            );
+            assert!(
+                update.level() <= cfg.max_strength(),
+                "no level beyond the 2f ceiling"
+            );
+        }
+        // The strong commit: some block reached the strengthened quorum of
+        // all n = f + 2f + 1 endorsers.
+        assert!(
+            log.iter().any(|u| u.level() == cfg.max_strength()),
+            "all-honest runs strengthen commits to 2f"
+        );
+    }
+}
+
+/// With one vote-withholding replica, quorums are exactly 2f + 1, so the
+/// protocol stays live but no commit can climb above the standard level f:
+/// the strengthened quorum f + x + 1 for x > f is out of reach.
+#[test]
+fn withheld_votes_cap_commit_strength_at_f() {
+    let report = SimConfig::new(4, 8)
+        .with_behavior(3, Behavior::WithholdVote)
+        .run();
+
+    assert!(report.agreement());
+    assert!(
+        report.max_committed() >= 4,
+        "liveness with f withheld voters"
+    );
+    assert_eq!(
+        report.max_commit_level(),
+        1,
+        "3 endorsers = 2f + 1 confer exactly level f, never more"
+    );
+}
+
+/// A crashed (silent) replica is weaker than a withholding one: liveness
+/// and the level-f cap look the same from the honest side.
+#[test]
+fn silent_replica_does_not_stop_progress() {
+    let report = SimConfig::new(4, 8)
+        .with_behavior(1, Behavior::Silent)
+        .run();
+
+    assert!(report.agreement());
+    assert!(report.max_committed() >= 3);
+    assert_eq!(report.max_commit_level(), 1);
+    // The silent replica never commits; the others all do.
+    assert!(report.chains[1].is_empty());
+    assert!(report
+        .chains
+        .iter()
+        .enumerate()
+        .all(|(i, c)| i == 1 || !c.is_empty()));
+}
+
+/// An equivocating leader splits the replica set across two conflicting
+/// proposals. Neither side can notarize that epoch, honest replicas flag
+/// the double votes, and the chain recovers in later epochs with no
+/// disagreement between honest committed chains.
+#[test]
+fn equivocating_leader_cannot_split_commits() {
+    let report = SimConfig::new(4, 10)
+        .with_behavior(0, Behavior::Equivocate)
+        .run();
+
+    assert!(
+        report.agreement(),
+        "equivocation must not cause divergent commits"
+    );
+    assert_eq!(report.safety_violations, 0);
+    assert!(
+        report.max_committed() >= 3,
+        "chain recovers after the equivocated epochs"
+    );
+    assert!(report.equivocators_detected >= 1, "double votes are caught");
+}
+
+/// Detection must not depend on which half of the replica set the
+/// equivocator sits in: in both cases it receives (and votes for) both of
+/// its own conflicting proposals.
+#[test]
+fn equivocators_detected_in_both_halves() {
+    for id in [0u16, 3] {
+        let report = SimConfig::new(4, 10)
+            .with_behavior(id, Behavior::Equivocate)
+            .run();
+        assert!(
+            report.equivocators_detected >= 1,
+            "equivocating replica {id} went undetected"
+        );
+        assert!(report.agreement());
+    }
+}
+
+/// Vanilla votes (no endorsement info) still commit via the standard rule,
+/// and — because every voter votes for each block directly — an all-honest
+/// run still reaches the ceiling. The marker's value shows up under vote
+/// withholding: descendants' votes can no longer strengthen ancestors, so
+/// strength stays frozen at commit time.
+#[test]
+fn vanilla_mode_commits_without_endorsement_info() {
+    let report = SimConfig::new(4, 8)
+        .with_endorse_mode(EndorseMode::Vanilla)
+        .with_behavior(3, Behavior::WithholdVote)
+        .run();
+
+    assert!(report.agreement());
+    assert!(report.max_committed() >= 4);
+    assert_eq!(report.max_commit_level(), 1);
+}
+
+/// The same configuration always produces the same bytes: chains, logs,
+/// traffic, and virtual clock.
+#[test]
+fn runs_are_deterministic() {
+    let mk = || {
+        SimConfig::new(7, 12)
+            .with_behavior(2, Behavior::Equivocate)
+            .with_behavior(5, Behavior::WithholdVote)
+            .with_delay(SimDuration::from_millis(200))
+            .run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.chains, b.chains);
+    assert_eq!(a.commit_logs, b.commit_logs);
+    assert_eq!(a.net, b.net);
+    assert_eq!(a.elapsed, b.elapsed);
+}
+
+/// Larger system: n = 7 (f = 2) honest replicas climb the whole strength
+/// ladder to 2f = 4.
+#[test]
+fn seven_replicas_reach_the_2f_ceiling() {
+    let report = SimConfig::new(7, 10).run();
+    assert!(report.agreement());
+    assert_eq!(report.max_commit_level(), 4);
+    assert_eq!(report.safety_violations, 0);
+}

@@ -1,0 +1,477 @@
+//! The SFT-Streamlet replica state machine.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use sft_core::{Block, BlockStore, EndorsementTracker, ProtocolConfig, VoteOutcome, VoteTracker};
+use sft_crypto::{HashValue, KeyPair, KeyRegistry};
+use sft_types::{EndorseInfo, Payload, ReplicaId, Round, StrongCommitUpdate, StrongVote};
+
+use crate::message::Proposal;
+
+/// Which endorsement information honest voters attach to their votes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EndorseMode {
+    /// Vanilla Streamlet votes ([`EndorseInfo::None`]): the baseline
+    /// configuration of the paper's evaluation. Votes endorse only the
+    /// block they name, so ancestors are never strengthened by descendants.
+    Vanilla,
+    /// §3.2 strong-votes carrying the conflicting-round marker: each vote
+    /// also endorses every ancestor newer than the voter's last conflicting
+    /// vote. This is the paper's "one integer of overhead" configuration.
+    #[default]
+    Marker,
+}
+
+/// A single SFT-Streamlet replica: epoch state machine, vote aggregation,
+/// the two-level commit rule, and the strong-commit log.
+///
+/// The protocol per epoch `e` (Appendix D, with rounds standing in for
+/// Streamlet's epochs):
+///
+/// 1. the leader of `e` proposes a block extending the tip of a longest
+///    notarized chain ([`Replica::begin_epoch`]);
+/// 2. every replica votes for the first valid proposal of `e` that extends
+///    a longest notarized chain it knows ([`Replica::on_proposal`]), and
+///    broadcasts the vote;
+/// 3. a block with `2f + 1` votes becomes *notarized*; three notarized
+///    blocks at consecutive rounds commit the chain through the middle one
+///    ([`Replica::on_vote`]) — the *standard* commit, strength `f`;
+/// 4. endorsements carried by strong-votes keep accumulating and raise
+///    committed blocks to higher strength levels, up to `2f` — the
+///    *strengthened* commits, reported as
+///    [`StrongCommitUpdate`]s in the replica's [`commit log`](Replica::commit_log).
+///
+/// # Examples
+///
+/// Driving one full epoch of a 4-replica system by hand:
+///
+/// ```
+/// use sft_core::ProtocolConfig;
+/// use sft_crypto::KeyRegistry;
+/// use sft_streamlet::{EndorseMode, Replica};
+/// use sft_types::{Payload, Round};
+///
+/// let config = ProtocolConfig::for_replicas(4);
+/// let registry = KeyRegistry::deterministic(4);
+/// let mut replicas: Vec<Replica> = (0..4)
+///     .map(|i| Replica::new(i, config, registry.clone(), EndorseMode::Marker))
+///     .collect();
+///
+/// // Epoch 1: replica 1 leads (round-robin), proposes, everyone votes.
+/// let epoch = Round::new(1);
+/// assert_eq!(Replica::leader(config, epoch), replicas[1].id());
+/// let proposal = replicas[1].begin_epoch(epoch, Payload::empty()).expect("leader proposes");
+/// let votes: Vec<_> = replicas
+///     .iter_mut()
+///     .map(|r| {
+///         if r.id() != proposal.block().proposer() {
+///             r.begin_epoch(epoch, Payload::empty());
+///         }
+///         r.on_proposal(&proposal).expect("honest replicas vote")
+///     })
+///     .collect();
+/// for vote in &votes {
+///     for replica in replicas.iter_mut() {
+///         replica.on_vote(vote);
+///     }
+/// }
+/// // One epoch notarizes the block but cannot commit it yet: the
+/// // three-consecutive-epochs window is still open.
+/// assert!(replicas[0].is_notarized(proposal.block().id()));
+/// assert!(replicas[0].committed_chain().is_empty());
+/// ```
+pub struct Replica {
+    id: ReplicaId,
+    config: ProtocolConfig,
+    key_pair: KeyPair,
+    endorse_mode: EndorseMode,
+    store: BlockStore,
+    votes: VoteTracker,
+    endorsements: EndorsementTracker,
+    notarized: HashSet<HashValue>,
+    /// Notarized children per block id, the index the incremental commit
+    /// rule walks instead of rescanning the whole notarized set.
+    notarized_children: HashMap<HashValue, Vec<HashValue>>,
+    epoch: Round,
+    voted_epochs: HashSet<Round>,
+    /// Every block this replica ever voted for, for marker computation.
+    voted_blocks: Vec<(Round, HashValue)>,
+    committed: Vec<HashValue>,
+    committed_ids: HashSet<HashValue>,
+    commit_log: Vec<StrongCommitUpdate>,
+    safety_violation: bool,
+}
+
+impl Replica {
+    /// Creates replica `id` of an `n`-replica system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry holds no key for `id` or fewer than
+    /// `config.n()` keys.
+    pub fn new(id: u16, config: ProtocolConfig, registry: KeyRegistry, mode: EndorseMode) -> Self {
+        assert!(
+            registry.len() >= config.n(),
+            "registry smaller than the replica set"
+        );
+        let key_pair = registry
+            .key_pair(u64::from(id))
+            .expect("key for this replica");
+        let store = BlockStore::new();
+        let mut notarized = HashSet::new();
+        notarized.insert(store.genesis_id());
+        Self {
+            id: ReplicaId::new(id),
+            config,
+            key_pair,
+            endorse_mode: mode,
+            votes: VoteTracker::new(config, registry),
+            endorsements: EndorsementTracker::new(config),
+            store,
+            notarized,
+            notarized_children: HashMap::new(),
+            epoch: Round::ZERO,
+            voted_epochs: HashSet::new(),
+            voted_blocks: Vec::new(),
+            committed: Vec::new(),
+            committed_ids: HashSet::new(),
+            commit_log: Vec::new(),
+            safety_violation: false,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> Round {
+        self.epoch
+    }
+
+    /// The deterministic round-robin leader of `epoch`.
+    pub fn leader(config: ProtocolConfig, epoch: Round) -> ReplicaId {
+        ReplicaId::new((epoch.as_u64() % config.n() as u64) as u16)
+    }
+
+    /// The replica's block store (all delivered blocks).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// True if `block_id` has reached the `2f + 1` notarization quorum.
+    pub fn is_notarized(&self, block_id: HashValue) -> bool {
+        self.notarized.contains(&block_id)
+    }
+
+    /// The committed chain, oldest block first (genesis excluded).
+    pub fn committed_chain(&self) -> &[HashValue] {
+        &self.committed
+    }
+
+    /// The strong-commit log: one [`StrongCommitUpdate`] per commit and per
+    /// subsequent strength increase, in the order they happened (§5).
+    pub fn commit_log(&self) -> &[StrongCommitUpdate] {
+        &self.commit_log
+    }
+
+    /// The highest strength level recorded for a committed block, or `None`
+    /// if the block is not committed.
+    pub fn commit_level(&self, block_id: HashValue) -> Option<u64> {
+        if !self.committed_ids.contains(&block_id) {
+            return None;
+        }
+        self.endorsements.strength(block_id)
+    }
+
+    /// True if this replica ever observed two conflicting committed chains
+    /// — impossible while the fault assumption of the committed levels
+    /// holds, and the signal the strengthened rule exists to prevent.
+    pub fn safety_violated(&self) -> bool {
+        self.safety_violation
+    }
+
+    /// Replicas caught equivocating by this replica's vote tracker.
+    pub fn observed_equivocators(&self) -> &[ReplicaId] {
+        self.votes.equivocators()
+    }
+
+    /// Advances to `epoch`; if this replica leads it, returns a signed
+    /// proposal extending the tip of a longest notarized chain, carrying
+    /// `payload`. Non-leaders (and stale epochs) return `None`.
+    pub fn begin_epoch(&mut self, epoch: Round, payload: Payload) -> Option<Proposal> {
+        if epoch <= self.epoch {
+            return None;
+        }
+        self.epoch = epoch;
+        if Self::leader(self.config, epoch) != self.id {
+            return None;
+        }
+        let tip = self.tip().clone();
+        let block = Block::new(&tip, epoch, self.id, payload);
+        self.store
+            .insert(block.clone())
+            .expect("tip is in the store");
+        Some(Proposal::new(block, &self.key_pair))
+    }
+
+    /// Handles a proposal. Returns this replica's strong-vote if the
+    /// Streamlet voting rule fires: the proposal is signed by the epoch's
+    /// leader, is the first this replica votes on in the epoch, and extends
+    /// the tip of a longest notarized chain. The vote must be broadcast to
+    /// all replicas (the caller owns transport).
+    pub fn on_proposal(&mut self, proposal: &Proposal) -> Option<StrongVote> {
+        if !proposal.verify(self.votes_registry()) {
+            return None;
+        }
+        let block = proposal.block();
+        if block.proposer() != Self::leader(self.config, block.round()) {
+            return None;
+        }
+        // Record the block regardless of the voting decision — descendants
+        // may arrive later. Orphans (unknown parent) are dropped.
+        if self.store.insert(block.clone()).is_err() {
+            return None;
+        }
+        if block.round() != self.epoch || self.voted_epochs.contains(&block.round()) {
+            return None;
+        }
+        if !self.extends_longest_notarized(block) {
+            return None;
+        }
+        let endorse = self.endorse_info(block);
+        self.voted_epochs.insert(block.round());
+        self.voted_blocks.push((block.round(), block.id()));
+        Some(StrongVote::new(block.vote_data(), endorse, &self.key_pair))
+    }
+
+    /// Handles a broadcast vote (including this replica's own). Counts it,
+    /// records its endorsements, applies the two-level commit rule, and
+    /// returns the commit-log entries this vote produced: standard commits
+    /// at strength ≥ `f` and strengthened-level increases up to `2f`.
+    pub fn on_vote(&mut self, vote: &StrongVote) -> Vec<StrongCommitUpdate> {
+        let outcome = self.votes.add_vote(vote);
+        let newly_certified = match outcome {
+            VoteOutcome::BadSignature | VoteOutcome::Equivocation | VoteOutcome::Duplicate => {
+                return Vec::new();
+            }
+            VoteOutcome::Certified(qc) => Some(qc.block_id()),
+            VoteOutcome::Counted(_) => None,
+        };
+        let grown = self.endorsements.record_vote(vote, &self.store);
+
+        let mut updates = Vec::new();
+        if let Some(block_id) = newly_certified {
+            self.notarized.insert(block_id);
+            if let Some(parent_id) = self.store.get(block_id).map(Block::parent_id) {
+                self.notarized_children
+                    .entry(parent_id)
+                    .or_default()
+                    .push(block_id);
+            }
+            for committed_id in self.apply_commit_rule(block_id) {
+                if let Some(update) = self
+                    .endorsements
+                    .take_level_update(committed_id, &self.store)
+                {
+                    updates.push(update);
+                }
+            }
+        }
+        // Endorsements may have raised the strength of blocks committed
+        // earlier (possibly far in the past): report each increase once.
+        for block_id in grown {
+            if self.committed_ids.contains(&block_id) {
+                if let Some(update) = self.endorsements.take_level_update(block_id, &self.store) {
+                    updates.push(update);
+                }
+            }
+        }
+        self.commit_log.extend(updates.iter().copied());
+        updates
+    }
+
+    /// The tip of a longest notarized chain (ties broken by round then id,
+    /// so all replicas with the same notarized set pick the same tip).
+    fn tip(&self) -> &Block {
+        self.notarized
+            .iter()
+            .filter_map(|id| self.store.get(*id))
+            .max_by(|a, b| (a.height(), a.round(), a.id()).cmp(&(b.height(), b.round(), b.id())))
+            .expect("genesis is always notarized")
+    }
+
+    fn extends_longest_notarized(&self, block: &Block) -> bool {
+        if !self.notarized.contains(&block.parent_id()) {
+            return false;
+        }
+        let max_height = self.tip().height();
+        self.store
+            .get(block.parent_id())
+            .is_some_and(|parent| parent.height() == max_height)
+    }
+
+    /// The endorsement info an honest voter attaches when voting for
+    /// `block`: in marker mode, the highest round of any previously voted
+    /// block that conflicts with (is not an ancestor of) `block` (§3.2).
+    fn endorse_info(&self, block: &Block) -> EndorseInfo {
+        match self.endorse_mode {
+            EndorseMode::Vanilla => EndorseInfo::None,
+            EndorseMode::Marker => {
+                let marker = self
+                    .voted_blocks
+                    .iter()
+                    .filter(|(_, id)| !self.store.extends(block.id(), *id))
+                    .map(|(round, _)| *round)
+                    .max()
+                    .unwrap_or(Round::ZERO);
+                EndorseInfo::Marker(marker)
+            }
+        }
+    }
+
+    /// Streamlet's commit rule: three notarized blocks at consecutive
+    /// rounds finalize the chain through the middle one. Returns newly
+    /// committed block ids, oldest first.
+    ///
+    /// Incremental: only windows containing the newly certified block can
+    /// have just closed, so the scan is bounded by that block's notarized
+    /// children — not the whole notarized set. Assumes blocks are stored
+    /// before their certification completes (lock-step delivery guarantees
+    /// proposals precede votes; an async network layer must buffer votes
+    /// for unknown blocks to keep this invariant).
+    fn apply_commit_rule(&mut self, certified: HashValue) -> Vec<HashValue> {
+        let Some(block) = self.store.get(certified) else {
+            return Vec::new();
+        };
+        let block_round = block.round();
+        let parent_id = block.parent_id();
+        let parent_round = block.parent_round();
+        let parent_linked =
+            self.notarized.contains(&parent_id) && parent_round.precedes(block_round);
+
+        // Candidate middles of consecutive-round windows containing the
+        // newly certified block (genesis counts as a window's oldest
+        // element at round 0, but never as a middle).
+        let mut middles: Vec<HashValue> = Vec::new();
+
+        // (grandparent, parent, certified) — middle = parent.
+        if parent_linked && parent_round > Round::ZERO {
+            if let Some(parent) = self.store.get(parent_id) {
+                if self.notarized.contains(&parent.parent_id())
+                    && parent.parent_round().precedes(parent_round)
+                {
+                    middles.push(parent_id);
+                }
+            }
+        }
+
+        let children = self
+            .notarized_children
+            .get(&certified)
+            .cloned()
+            .unwrap_or_default();
+        for child_id in children {
+            let Some(child) = self.store.get(child_id) else {
+                continue;
+            };
+            let child_round = child.round();
+            if !block_round.precedes(child_round) {
+                continue;
+            }
+            // (parent, certified, child) — middle = certified.
+            if parent_linked {
+                middles.push(certified);
+            }
+            // (certified, child, grandchild) — middle = child.
+            for grandchild_id in self
+                .notarized_children
+                .get(&child_id)
+                .cloned()
+                .unwrap_or_default()
+            {
+                if let Some(grandchild) = self.store.get(grandchild_id) {
+                    if child_round.precedes(grandchild.round()) {
+                        middles.push(child_id);
+                    }
+                }
+            }
+        }
+
+        let best_middle = middles
+            .into_iter()
+            .filter_map(|id| self.store.get(id))
+            .max_by(|a, b| (a.height(), a.round(), a.id()).cmp(&(b.height(), b.round(), b.id())))
+            .map(Block::id);
+        match best_middle {
+            Some(middle_id) => self.finalize_through(middle_id),
+            None => Vec::new(),
+        }
+    }
+
+    /// Finalizes the chain through `middle_id` by walking back to the
+    /// committed tip — O(new suffix), not O(whole chain). The finalized
+    /// chain must extend what was committed before; anything else flags a
+    /// safety violation (observable only when the actual fault count
+    /// exceeds the committed strength level).
+    fn finalize_through(&mut self, middle_id: HashValue) -> Vec<HashValue> {
+        if self.committed_ids.contains(&middle_id) {
+            return Vec::new();
+        }
+        let mut suffix = Vec::new();
+        let mut cursor = middle_id;
+        let extends_committed_tip = loop {
+            let Some(block) = self.store.get(cursor) else {
+                return Vec::new();
+            };
+            if block.is_genesis() {
+                // Rooted directly at genesis: consistent only if nothing
+                // was committed before.
+                break self.committed.is_empty();
+            }
+            suffix.push(cursor);
+            let parent_id = block.parent_id();
+            if self.committed_ids.contains(&parent_id) {
+                // Extending anything but the committed tip forks out of
+                // the middle of the finalized prefix.
+                break self.committed.last() == Some(&parent_id);
+            }
+            cursor = parent_id;
+        };
+        if !extends_committed_tip {
+            self.safety_violation = true;
+            return Vec::new();
+        }
+        suffix.reverse();
+        for id in &suffix {
+            self.committed.push(*id);
+            self.committed_ids.insert(*id);
+        }
+        suffix
+    }
+
+    fn votes_registry(&self) -> &KeyRegistry {
+        // The tracker owns the registry clone; reuse it for proposals.
+        self.votes.registry()
+    }
+}
+
+impl fmt::Debug for Replica {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Replica({} epoch={} notarized={} committed={})",
+            self.id,
+            self.epoch,
+            self.notarized.len(),
+            self.committed.len()
+        )
+    }
+}

@@ -354,7 +354,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(DecodeError::UnexpectedEof.to_string().contains("end of input"));
+        assert!(DecodeError::UnexpectedEof
+            .to_string()
+            .contains("end of input"));
         assert!(DecodeError::InvalidTag(3).to_string().contains('3'));
     }
 }

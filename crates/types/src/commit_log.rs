@@ -43,7 +43,12 @@ pub struct StrongCommitUpdate {
 impl StrongCommitUpdate {
     /// Creates an update entry.
     pub fn new(block_id: HashValue, round: Round, height: Height, level: u64) -> Self {
-        Self { block_id, round, height, level }
+        Self {
+            block_id,
+            round,
+            height,
+            level,
+        }
     }
 
     /// The block whose strength increased.

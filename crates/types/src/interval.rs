@@ -130,7 +130,9 @@ impl RoundIntervalSet {
     ///
     /// Panics if `lo > hi`.
     pub fn full_range(lo: Round, hi: Round) -> Self {
-        Self { intervals: vec![RoundInterval::new(lo, hi)] }
+        Self {
+            intervals: vec![RoundInterval::new(lo, hi)],
+        }
     }
 
     /// The marker special case of §3.2: `I = [marker + 1, vote_round]`, or
@@ -279,7 +281,11 @@ impl RoundIntervalSet {
     /// Exposed for property tests.
     pub fn is_normalized(&self) -> bool {
         self.intervals.windows(2).all(|w| {
-            w[0].hi.as_u64().checked_add(1).map(|boundary| boundary < w[1].lo.as_u64()).unwrap_or(false)
+            w[0].hi
+                .as_u64()
+                .checked_add(1)
+                .map(|boundary| boundary < w[1].lo.as_u64())
+                .unwrap_or(false)
         })
     }
 }
@@ -359,8 +365,11 @@ mod tests {
     #[test]
     fn insert_keeps_disjoint_sorted() {
         let s = set_of(&[(10, 12), (1, 2), (5, 6)]);
-        let spans: Vec<(u64, u64)> =
-            s.intervals().iter().map(|iv| (iv.lo().as_u64(), iv.hi().as_u64())).collect();
+        let spans: Vec<(u64, u64)> = s
+            .intervals()
+            .iter()
+            .map(|iv| (iv.lo().as_u64(), iv.hi().as_u64()))
+            .collect();
         assert_eq!(spans, vec![(1, 2), (5, 6), (10, 12)]);
         assert!(s.is_normalized());
     }
@@ -383,7 +392,10 @@ mod tests {
         s.subtract(r(5), r(8)); // clips both neighbours
         assert_eq!(
             s.intervals(),
-            &[RoundInterval::new(r(1), r(4)), RoundInterval::new(r(9), r(12))]
+            &[
+                RoundInterval::new(r(1), r(4)),
+                RoundInterval::new(r(9), r(12))
+            ]
         );
         s.subtract(r(20), r(30)); // outside: no-op
         assert_eq!(s.count_rounds(), 8);
@@ -448,7 +460,10 @@ mod tests {
     #[test]
     fn codec_rejects_denormalized() {
         // Hand-encode two adjacent intervals [1,2][3,4]: decoder must reject.
-        let raw = vec![RoundInterval::new(r(1), r(2)), RoundInterval::new(r(3), r(4))];
+        let raw = vec![
+            RoundInterval::new(r(1), r(2)),
+            RoundInterval::new(r(3), r(4)),
+        ];
         let mut bytes = Vec::new();
         raw.encode(&mut bytes);
         assert!(RoundIntervalSet::from_bytes(&bytes).is_err());
@@ -469,49 +484,78 @@ mod tests {
         set_of(&[(5, 3)]);
     }
 
+    // Property tests driven by a seeded PRNG instead of `proptest` (no
+    // property-testing crate in the approved offline dependency set). The
+    // op distribution mirrors what proptest generated: up to 40 random
+    // insert/subtract ops over rounds 0..250.
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use sft_crypto::rng::{RngCore, SplitMix64};
 
-        fn arb_ops() -> impl Strategy<Value = Vec<(bool, u64, u64)>> {
-            proptest::collection::vec(
-                (any::<bool>(), 0u64..200, 0u64..50).prop_map(|(ins, lo, len)| (ins, lo, lo + len)),
-                0..40,
-            )
+        fn random_ops(rng: &mut SplitMix64) -> Vec<(bool, u64, u64)> {
+            let count = rng.next_below(41);
+            (0..count)
+                .map(|_| {
+                    let ins = rng.next_u64() & 1 == 0;
+                    let lo = rng.next_below(200);
+                    let len = rng.next_below(50);
+                    (ins, lo, lo + len)
+                })
+                .collect()
         }
 
-        proptest! {
-            /// The interval set agrees with a reference implementation on a
-            /// naive HashSet of rounds, for arbitrary insert/subtract mixes.
-            #[test]
-            fn matches_reference_set(ops in arb_ops()) {
+        /// The interval set agrees with a reference implementation on a
+        /// naive HashSet of rounds, for arbitrary insert/subtract mixes.
+        #[test]
+        fn matches_reference_set() {
+            let mut rng = SplitMix64::new(0x5f74_2d69_7674);
+            for case in 0..200 {
+                let ops = random_ops(&mut rng);
                 let mut fast = RoundIntervalSet::new();
                 let mut slow = std::collections::HashSet::new();
-                for (ins, lo, hi) in ops {
+                for &(ins, lo, hi) in &ops {
                     if ins {
                         fast.insert(r(lo), r(hi));
                         slow.extend(lo..=hi);
                     } else {
                         fast.subtract(r(lo), r(hi));
-                        for v in lo..=hi { slow.remove(&v); }
+                        for v in lo..=hi {
+                            slow.remove(&v);
+                        }
                     }
-                    prop_assert!(fast.is_normalized());
+                    assert!(fast.is_normalized(), "case {case}: {ops:?}");
                 }
                 for v in 0..=260u64 {
-                    prop_assert_eq!(fast.contains(r(v)), slow.contains(&v), "round {}", v);
+                    assert_eq!(
+                        fast.contains(r(v)),
+                        slow.contains(&v),
+                        "case {case}, round {v}: {ops:?}"
+                    );
                 }
-                prop_assert_eq!(fast.count_rounds(), slow.len() as u64);
+                assert_eq!(
+                    fast.count_rounds(),
+                    slow.len() as u64,
+                    "case {case}: {ops:?}"
+                );
             }
+        }
 
-            /// Encoding round-trips for arbitrary normalized sets.
-            #[test]
-            fn codec_roundtrip_prop(ops in arb_ops()) {
+        /// Encoding round-trips for arbitrary normalized sets.
+        #[test]
+        fn codec_roundtrip_prop() {
+            let mut rng = SplitMix64::new(0xc0de_c0de);
+            for case in 0..200 {
+                let ops = random_ops(&mut rng);
                 let mut s = RoundIntervalSet::new();
-                for (ins, lo, hi) in ops {
-                    if ins { s.insert(r(lo), r(hi)); } else { s.subtract(r(lo), r(hi)); }
+                for &(ins, lo, hi) in &ops {
+                    if ins {
+                        s.insert(r(lo), r(hi));
+                    } else {
+                        s.subtract(r(lo), r(hi));
+                    }
                 }
                 let back = RoundIntervalSet::from_bytes(&s.to_bytes()).unwrap();
-                prop_assert_eq!(back, s);
+                assert_eq!(back, s, "case {case}: {ops:?}");
             }
         }
     }

@@ -68,7 +68,10 @@ impl SimTime {
     ///
     /// Panics in debug builds if `earlier` is after `self`.
     pub fn since(self, earlier: SimTime) -> SimDuration {
-        debug_assert!(earlier.0 <= self.0, "since({earlier:?}) called on earlier {self:?}");
+        debug_assert!(
+            earlier.0 <= self.0,
+            "since({earlier:?}) called on earlier {self:?}"
+        );
         SimDuration(self.0 - earlier.0)
     }
 }
@@ -81,7 +84,12 @@ impl fmt::Debug for SimTime {
 
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:03}s", self.0 / 1_000_000, (self.0 % 1_000_000) / 1_000)
+        write!(
+            f,
+            "{}.{:03}s",
+            self.0 / 1_000_000,
+            (self.0 % 1_000_000) / 1_000
+        )
     }
 }
 
@@ -183,7 +191,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or not finite.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 }
@@ -272,7 +283,10 @@ mod tests {
     fn constructors_agree() {
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
         assert_eq!(SimTime::from_millis(1), SimTime::from_micros(1_000));
-        assert_eq!(SimDuration::from_secs(2), SimDuration::from_micros(2_000_000));
+        assert_eq!(
+            SimDuration::from_secs(2),
+            SimDuration::from_micros(2_000_000)
+        );
     }
 
     #[test]
@@ -305,7 +319,10 @@ mod tests {
         let d = SimDuration::from_millis(100);
         assert_eq!(d * 3, SimDuration::from_millis(300));
         assert_eq!(d + d, SimDuration::from_millis(200));
-        assert_eq!(d.saturating_sub(SimDuration::from_millis(150)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_millis(150)),
+            SimDuration::ZERO
+        );
         assert_eq!(d.mul_f64(1.5), SimDuration::from_millis(150));
         assert!(SimDuration::ZERO.is_zero());
         assert!(!d.is_zero());
@@ -313,8 +330,10 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            [1u64, 2, 3].iter().map(|&ms| SimDuration::from_millis(ms)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .sum();
         assert_eq!(total, SimDuration::from_millis(6));
     }
 

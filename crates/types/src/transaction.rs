@@ -45,7 +45,11 @@ impl Transaction {
     /// Creates a transaction from client id, per-client sequence number,
     /// and payload bytes.
     pub fn new(client: u64, seq: u64, payload: Vec<u8>) -> Self {
-        Self { client, seq, payload }
+        Self {
+            client,
+            seq,
+            payload,
+        }
     }
 
     /// The submitting client's id.
@@ -75,7 +79,13 @@ impl Transaction {
 
 impl fmt::Debug for Transaction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Txn(client={}, seq={}, {}B)", self.client, self.seq, self.payload.len())
+        write!(
+            f,
+            "Txn(client={}, seq={}, {}B)",
+            self.client,
+            self.seq,
+            self.payload.len()
+        )
     }
 }
 
@@ -106,7 +116,11 @@ impl Decode for Transaction {
         let (head, tail) = buf.split_at(len);
         let payload = head.to_vec();
         *buf = tail;
-        Ok(Self { client, seq, payload })
+        Ok(Self {
+            client,
+            seq,
+            payload,
+        })
     }
 }
 
@@ -149,7 +163,11 @@ impl Payload {
 
     /// Creates a synthetic batch descriptor.
     pub fn synthetic(txn_count: u32, txn_bytes: u32, tag: u64) -> Self {
-        Payload::Synthetic { txn_count, txn_bytes, tag }
+        Payload::Synthetic {
+            txn_count,
+            txn_bytes,
+            tag,
+        }
     }
 
     /// Number of transactions the payload represents.
@@ -170,7 +188,11 @@ impl Payload {
     pub fn wire_bytes(&self) -> usize {
         match self {
             Payload::Transactions(_) => self.encoded_len(),
-            Payload::Synthetic { txn_count, txn_bytes, .. } => {
+            Payload::Synthetic {
+                txn_count,
+                txn_bytes,
+                ..
+            } => {
                 // What an inline encoding of the described batch would cost
                 // in transaction bytes, plus this descriptor's own framing.
                 *txn_count as usize * *txn_bytes as usize + 24
@@ -188,7 +210,11 @@ impl Payload {
                 }
                 h.finish()
             }
-            Payload::Synthetic { txn_count, txn_bytes, tag } => Hasher::new("payload-synth")
+            Payload::Synthetic {
+                txn_count,
+                txn_bytes,
+                tag,
+            } => Hasher::new("payload-synth")
                 .field(&txn_count.to_be_bytes())
                 .field(&txn_bytes.to_be_bytes())
                 .field(&tag.to_be_bytes())
@@ -201,7 +227,11 @@ impl fmt::Debug for Payload {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Payload::Transactions(txns) => write!(f, "Payload({} txns)", txns.len()),
-            Payload::Synthetic { txn_count, txn_bytes, tag } => {
+            Payload::Synthetic {
+                txn_count,
+                txn_bytes,
+                tag,
+            } => {
                 write!(f, "Payload(synthetic {txn_count}x{txn_bytes}B #{tag})")
             }
         }
@@ -215,7 +245,11 @@ impl Encode for Payload {
                 buf.push(0);
                 txns.encode(buf);
             }
-            Payload::Synthetic { txn_count, txn_bytes, tag } => {
+            Payload::Synthetic {
+                txn_count,
+                txn_bytes,
+                tag,
+            } => {
                 buf.push(1);
                 txn_count.encode(buf);
                 txn_bytes.encode(buf);

@@ -43,7 +43,12 @@ impl VoteData {
         parent_id: HashValue,
         parent_round: Round,
     ) -> Self {
-        Self { block_id, block_round, parent_id, parent_round }
+        Self {
+            block_id,
+            block_round,
+            parent_id,
+            parent_round,
+        }
     }
 
     /// Id of the voted block.
@@ -260,7 +265,12 @@ impl StrongVote {
     pub fn new(data: VoteData, endorse: EndorseInfo, key_pair: &KeyPair) -> Self {
         let digest = vote_signing_digest(&data, &endorse);
         let signature = key_pair.sign(digest.as_ref());
-        Self { data, endorse, author: ReplicaId::new(key_pair.signer() as u16), signature }
+        Self {
+            data,
+            endorse,
+            author: ReplicaId::new(key_pair.signer() as u16),
+            signature,
+        }
     }
 
     /// Reassembles a vote from parts (used by the decoder and by test
@@ -271,7 +281,12 @@ impl StrongVote {
         author: ReplicaId,
         signature: Signature,
     ) -> Self {
-        Self { data, endorse, author, signature }
+        Self {
+            data,
+            endorse,
+            author,
+            signature,
+        }
     }
 
     /// The vote data.
@@ -344,17 +359,30 @@ mod tests {
     use super::*;
 
     fn sample_data() -> VoteData {
-        VoteData::new(HashValue::of(b"B5"), Round::new(5), HashValue::of(b"B4"), Round::new(4))
+        VoteData::new(
+            HashValue::of(b"B5"),
+            Round::new(5),
+            HashValue::of(b"B4"),
+            Round::new(4),
+        )
     }
 
     #[test]
     fn vote_data_digest_binds_fields() {
         let base = sample_data();
-        let other =
-            VoteData::new(HashValue::of(b"B5"), Round::new(6), HashValue::of(b"B4"), Round::new(4));
+        let other = VoteData::new(
+            HashValue::of(b"B5"),
+            Round::new(6),
+            HashValue::of(b"B4"),
+            Round::new(4),
+        );
         assert_ne!(base.digest(), other.digest());
-        let other2 =
-            VoteData::new(HashValue::of(b"B5"), Round::new(5), HashValue::of(b"X"), Round::new(4));
+        let other2 = VoteData::new(
+            HashValue::of(b"B5"),
+            Round::new(5),
+            HashValue::of(b"X"),
+            Round::new(4),
+        );
         assert_ne!(base.digest(), other2.digest());
     }
 
@@ -372,7 +400,11 @@ mod tests {
         assert!(!info.endorses_ancestor_round(Round::new(5)));
         assert!(info.endorses_ancestor_round(Round::new(6)));
         assert_eq!(info.min_endorsed_round(), Some(Round::new(6)));
-        assert_eq!(info.overhead_bytes(), 8, "one u64 — the paper's 'one integer' overhead");
+        assert_eq!(
+            info.overhead_bytes(),
+            8,
+            "one u64 — the paper's 'one integer' overhead"
+        );
     }
 
     #[test]
@@ -423,7 +455,7 @@ mod tests {
             *vote.data(),
             EndorseInfo::Marker(Round::ZERO),
             vote.author(),
-            vote.signature().clone(),
+            *vote.signature(),
         );
         assert!(!forged.verify(&registry));
     }
@@ -433,14 +465,14 @@ mod tests {
         let registry = KeyRegistry::deterministic(4);
         let kp = registry.key_pair(1).unwrap();
         let vote = StrongVote::new(sample_data(), EndorseInfo::None, &kp);
-        let other =
-            VoteData::new(HashValue::of(b"EVIL"), Round::new(5), HashValue::of(b"B4"), Round::new(4));
-        let forged = StrongVote::from_parts(
-            other,
-            EndorseInfo::None,
-            vote.author(),
-            vote.signature().clone(),
+        let other = VoteData::new(
+            HashValue::of(b"EVIL"),
+            Round::new(5),
+            HashValue::of(b"B4"),
+            Round::new(4),
         );
+        let forged =
+            StrongVote::from_parts(other, EndorseInfo::None, vote.author(), *vote.signature());
         assert!(!forged.verify(&registry));
     }
 
@@ -453,7 +485,7 @@ mod tests {
             *vote.data(),
             EndorseInfo::None,
             ReplicaId::new(2),
-            vote.signature().clone(),
+            *vote.signature(),
         );
         assert!(!forged.verify(&registry));
     }
@@ -480,6 +512,9 @@ mod tests {
 
     #[test]
     fn endorse_bad_tag() {
-        assert_eq!(EndorseInfo::from_bytes(&[9]), Err(DecodeError::InvalidTag(9)));
+        assert_eq!(
+            EndorseInfo::from_bytes(&[9]),
+            Err(DecodeError::InvalidTag(9))
+        );
     }
 }
