@@ -1,0 +1,85 @@
+//! Cross-protocol comparison: SFT-DiemBFT (round-based main protocol)
+//! vs SFT-Streamlet (Appendix D) under identical delay and fault
+//! scenarios — the "two protocols, one harness" experiment the ROADMAP's
+//! scenario-diversity goal asks for.
+//!
+//! Two kinds of numbers come out:
+//!
+//! - **simulator throughput** (wall time per full run) via the harness —
+//!   how expensive each protocol is to simulate;
+//! - **protocol metrics** (virtual commit latency, commit strength,
+//!   message/byte complexity) printed as a comparison table — the numbers
+//!   that correspond to the paper's Figs 7/8, now side by side per
+//!   protocol.
+
+use sft_bench::Harness;
+use sft_sim::{Behavior, Protocol, SimConfig, SimReport};
+
+const N: usize = 4;
+const ROUNDS: u64 = 10;
+
+fn scenario(protocol: Protocol, behavior: Option<Behavior>) -> SimConfig {
+    let mut config = SimConfig::new(N, ROUNDS)
+        .with_protocol(protocol)
+        // Small blocks: these runs measure protocol machinery, not payload
+        // hashing (fig7a/b own the workload-sweep question).
+        .with_workload(100, 64);
+    if let Some(behavior) = behavior {
+        config = config.with_behavior((N - 1) as u16, behavior);
+    }
+    config
+}
+
+fn protocol_name(protocol: Protocol) -> &'static str {
+    match protocol {
+        Protocol::Streamlet => "streamlet",
+        Protocol::Fbft => "fbft",
+    }
+}
+
+fn describe(report: &SimReport) -> String {
+    let first_commit = report
+        .first_commit_at(0)
+        .map_or_else(|| "never".to_string(), |t| t.to_string());
+    format!(
+        "first commit {first_commit}, {} committed, level {}, elapsed {}, {} msgs, {} B",
+        report.max_committed(),
+        report.max_commit_level(),
+        report.elapsed,
+        report.net.messages,
+        report.net.bytes,
+    )
+}
+
+fn main() {
+    let scenarios: [(&str, Option<Behavior>); 4] = [
+        ("honest", None),
+        ("withhold", Some(Behavior::WithholdVote)),
+        ("stall_leader", Some(Behavior::StallLeader)),
+        ("equivocate", Some(Behavior::Equivocate)),
+    ];
+
+    let mut harness = Harness::new("fbft_vs_streamlet");
+    for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+        for (name, behavior) in scenarios {
+            harness.bench(&format!("{}::{name}_n{N}", protocol_name(protocol)), || {
+                scenario(protocol, behavior).run().max_committed()
+            });
+        }
+    }
+
+    println!("\n-- protocol metrics (virtual time, identical scenarios) --");
+    for (name, behavior) in scenarios {
+        for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+            let report = scenario(protocol, behavior).run();
+            assert!(report.agreement(), "agreement must hold in every scenario");
+            println!(
+                "  {:<12} {:<10} {}",
+                name,
+                protocol_name(protocol),
+                describe(&report)
+            );
+        }
+    }
+    harness.finish();
+}

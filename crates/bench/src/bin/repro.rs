@@ -1,60 +1,175 @@
-//! End-to-end reproduction driver: runs one simulated SFT-Streamlet
-//! consensus instance and prints what the protocol did.
+//! End-to-end reproduction driver: runs simulated consensus instances of
+//! one (or both) protocols and prints what they did.
 //!
 //! ```text
-//! cargo run -p sft-bench --bin repro [-- n epochs [byzantine]]
-//!   n         replica count           (default 4)
-//!   epochs    epochs to simulate      (default 10)
-//!   byzantine equivocate | withhold | silent — behavior of replica n-1
+//! cargo run -p sft-bench --bin repro [-- n epochs [byzantine] [flags]]
+//!   n          replica count           (default 4)
+//!   epochs     epochs/rounds to run    (default 10)
+//!   byzantine  equivocate | withhold | silent | stall — behavior of replica n-1
+//!
+//! flags:
+//!   --protocol streamlet | fbft | both   which protocol(s) to run (default streamlet)
+//!   --json-dir DIR                       also write BENCH_<protocol>.json summaries
 //! ```
+//!
+//! The JSON summaries (`BENCH_streamlet.json` / `BENCH_fbft.json`) are the
+//! machine-readable perf trajectory CI archives on every run, so future
+//! changes can be compared against a recorded baseline.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use sft_core::ProtocolConfig;
-use sft_sim::{Behavior, SimConfig};
+use sft_sim::{Behavior, Protocol, SimConfig, SimReport};
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = match args.first() {
-        None => 4,
-        Some(a) => match a.parse() {
-            Ok(n) if n >= 4 => n,
-            _ => {
-                eprintln!("bad replica count {a:?}; need an integer >= 4");
-                return ExitCode::FAILURE;
-            }
-        },
+struct Args {
+    n: usize,
+    epochs: u64,
+    byzantine: Option<Behavior>,
+    protocols: Vec<Protocol>,
+    json_dir: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        n: 4,
+        epochs: 10,
+        byzantine: None,
+        protocols: vec![Protocol::Streamlet],
+        json_dir: None,
     };
-    let epochs: u64 = match args.get(1) {
-        None => 10,
-        Some(a) => match a.parse() {
-            Ok(e) => e,
-            Err(_) => {
-                eprintln!("bad epoch count {a:?}; need an integer");
-                return ExitCode::FAILURE;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = 0usize;
+    let mut iter = raw.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--protocol" => {
+                let value = iter.next().ok_or("--protocol needs a value")?;
+                args.protocols = match value.as_str() {
+                    "streamlet" => vec![Protocol::Streamlet],
+                    "fbft" => vec![Protocol::Fbft],
+                    "both" => vec![Protocol::Streamlet, Protocol::Fbft],
+                    other => return Err(format!("unknown protocol {other:?}")),
+                };
             }
-        },
-    };
-    let byzantine = match args.get(2).map(String::as_str) {
-        None => None,
-        Some("equivocate") => Some(Behavior::Equivocate),
-        Some("withhold") => Some(Behavior::WithholdVote),
-        Some("silent") => Some(Behavior::Silent),
-        Some(other) => {
-            eprintln!("unknown behavior {other:?}; use equivocate | withhold | silent");
-            return ExitCode::FAILURE;
+            "--json-dir" => {
+                args.json_dir = Some(iter.next().ok_or("--json-dir needs a value")?.clone());
+            }
+            value => {
+                match positional {
+                    0 => {
+                        args.n = value
+                            .parse()
+                            .ok()
+                            .filter(|n| *n >= 4)
+                            .ok_or_else(|| format!("bad replica count {value:?}; need >= 4"))?;
+                    }
+                    1 => {
+                        args.epochs = value
+                            .parse()
+                            .map_err(|_| format!("bad epoch count {value:?}"))?;
+                    }
+                    2 => {
+                        args.byzantine = Some(match value {
+                            "equivocate" => Behavior::Equivocate,
+                            "withhold" => Behavior::WithholdVote,
+                            "silent" => Behavior::Silent,
+                            "stall" => Behavior::StallLeader,
+                            other => {
+                                return Err(format!(
+                                    "unknown behavior {other:?}; use equivocate | withhold | silent | stall"
+                                ))
+                            }
+                        });
+                    }
+                    _ => return Err(format!("unexpected argument {value:?}")),
+                }
+                positional += 1;
+            }
         }
-    };
+    }
+    Ok(args)
+}
 
-    let cfg = ProtocolConfig::for_replicas(n);
-    let mut config = SimConfig::new(n, epochs);
-    if let Some(behavior) = byzantine {
-        config = config.with_behavior((n - 1) as u16, behavior);
-        println!("replica {} is {:?}", n - 1, behavior);
+fn protocol_name(protocol: Protocol) -> &'static str {
+    match protocol {
+        Protocol::Streamlet => "streamlet",
+        Protocol::Fbft => "fbft",
+    }
+}
+
+fn behavior_name(behavior: Option<Behavior>) -> &'static str {
+    match behavior {
+        None => "honest",
+        Some(Behavior::Honest) => "honest",
+        Some(Behavior::Equivocate) => "equivocate",
+        Some(Behavior::WithholdVote) => "withhold",
+        Some(Behavior::Silent) => "silent",
+        Some(Behavior::StallLeader) => "stall",
+    }
+}
+
+/// Renders the run summary as a flat JSON object. Written by hand — the
+/// offline dependency set has no serde, and the schema is a dozen scalar
+/// fields.
+fn summary_json(
+    args: &Args,
+    protocol: Protocol,
+    cfg: ProtocolConfig,
+    report: &SimReport,
+) -> String {
+    let mut out = String::from("{\n");
+    let mut field = |key: &str, value: String| {
+        let _ = writeln!(out, "  \"{key}\": {value},");
+    };
+    field("protocol", format!("\"{}\"", protocol_name(protocol)));
+    field("n", args.n.to_string());
+    field("f", cfg.f().to_string());
+    field("epochs", args.epochs.to_string());
+    field("behavior", format!("\"{}\"", behavior_name(args.byzantine)));
+    field("committed_blocks", report.max_committed().to_string());
+    field("max_commit_level", report.max_commit_level().to_string());
+    field("strength_ceiling", cfg.max_strength().to_string());
+    field("agreement", report.agreement().to_string());
+    field(
+        "strength_monotone",
+        report.commit_strength_monotone().to_string(),
+    );
+    field(
+        "first_commit_us",
+        report
+            .first_commit_at(0)
+            .map_or("null".to_string(), |t| t.as_micros().to_string()),
+    );
+    field("elapsed_us", report.elapsed.as_micros().to_string());
+    field("messages", report.net.messages.to_string());
+    // Last field without the trailing comma.
+    let _ = write!(out, "  \"bytes\": {}\n}}\n", report.net.bytes);
+    out
+}
+
+fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
+    let cfg = ProtocolConfig::for_replicas(args.n);
+    let mut config = SimConfig::new(args.n, args.epochs).with_protocol(protocol);
+    if let Some(behavior) = args.byzantine {
+        config = config.with_behavior((args.n - 1) as u16, behavior);
+        println!("replica {} is {:?}", args.n - 1, behavior);
     }
     println!(
-        "running SFT-Streamlet: n={n} (f={}), {epochs} epochs, δ={}, quorum={}, 2f ceiling={}",
+        "running SFT-{}: n={} (f={}), {} {}, δ={}, quorum={}, 2f ceiling={}",
+        if protocol == Protocol::Fbft {
+            "DiemBFT"
+        } else {
+            "Streamlet"
+        },
+        args.n,
         cfg.f(),
+        args.epochs,
+        if protocol == Protocol::Fbft {
+            "rounds"
+        } else {
+            "epochs"
+        },
         config.delay,
         cfg.quorum(),
         cfg.max_strength(),
@@ -91,19 +206,47 @@ fn main() -> ExitCode {
     }
 
     if !report.agreement() || report.safety_violations > 0 {
-        eprintln!(
-            "FAIL: replicas disagree (violations: {})",
+        return Err(format!(
+            "replicas disagree (violations: {})",
             report.safety_violations
-        );
-        return ExitCode::FAILURE;
+        ));
     }
     if report.max_committed() == 0 {
-        eprintln!("FAIL: nothing committed");
-        return ExitCode::FAILURE;
+        return Err("nothing committed".to_string());
+    }
+    if !report.commit_strength_monotone() {
+        return Err("commit strength regressed".to_string());
     }
     println!(
         "\nOK: agreement holds, max commit level {}",
         report.max_commit_level()
     );
+
+    if let Some(dir) = &args.json_dir {
+        let path = format!("{dir}/BENCH_{}.json", protocol_name(protocol));
+        let json = summary_json(args, protocol, cfg, &report);
+        std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for (i, &protocol) in args.protocols.iter().enumerate() {
+        if i > 0 {
+            println!("\n{}\n", "=".repeat(64));
+        }
+        if let Err(message) = run_protocol(&args, protocol) {
+            eprintln!("FAIL ({}): {message}", protocol_name(protocol));
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }

@@ -344,6 +344,28 @@ impl BlockStore {
         self.ancestors(descendant).any(|b| b.id() == ancestor)
     }
 
+    /// The deepest block on both `a`'s and `b`'s paths to genesis (either
+    /// endpoint counts as its own ancestor here — the common ancestor of a
+    /// block and its parent is the parent). `None` if either id is unknown.
+    ///
+    /// This is the fork point `r_l` of the §3.4 window computation: a voter
+    /// that once voted on fork `F` withholds endorsement exactly for rounds
+    /// in `(common_ancestor(F, B).round, F.round]`.
+    pub fn common_ancestor(&self, a: HashValue, b: HashValue) -> Option<&Block> {
+        if !self.blocks.contains_key(&a) {
+            return None;
+        }
+        let on_a_path: std::collections::HashSet<HashValue> = std::iter::once(a)
+            .chain(self.ancestors(a).map(|blk| blk.id()))
+            .collect();
+        if b == a || on_a_path.contains(&b) {
+            return self.blocks.get(&b);
+        }
+        std::iter::once(self.blocks.get(&b)?)
+            .chain(self.ancestors(b))
+            .find(|blk| on_a_path.contains(&blk.id()))
+    }
+
     /// The chain from genesis (exclusive) to `id` (inclusive), oldest first.
     /// Empty if `id` is unknown.
     pub fn chain_to(&self, id: HashValue) -> Vec<&Block> {
@@ -546,6 +568,48 @@ mod tests {
             .collect();
         assert_eq!(chain, vec![1, 2, 3], "oldest first, genesis excluded");
         assert!(store.chain_to(HashValue::of(b"nope")).is_empty());
+    }
+
+    #[test]
+    fn common_ancestor_finds_fork_point() {
+        let mut store = BlockStore::new();
+        let genesis_id = store.genesis_id();
+        let b1 = extend(&mut store, genesis_id, 1);
+        let b2 = extend(&mut store, b1.id(), 2);
+        let b3 = extend(&mut store, b2.id(), 3);
+        let c2 = extend(&mut store, b1.id(), 4); // fork off b1
+
+        let fork_point = store.common_ancestor(b3.id(), c2.id()).unwrap();
+        assert_eq!(fork_point.id(), b1.id());
+        // Symmetric.
+        let fork_point = store.common_ancestor(c2.id(), b3.id()).unwrap();
+        assert_eq!(fork_point.id(), b1.id());
+        // An endpoint on the other's path is the answer itself.
+        assert_eq!(
+            store.common_ancestor(b3.id(), b1.id()).unwrap().id(),
+            b1.id()
+        );
+        assert_eq!(
+            store.common_ancestor(b1.id(), b3.id()).unwrap().id(),
+            b1.id()
+        );
+        assert_eq!(
+            store.common_ancestor(b2.id(), b2.id()).unwrap().id(),
+            b2.id()
+        );
+        // Fully disjoint non-genesis paths meet at genesis.
+        let d1 = extend(&mut store, genesis_id, 9);
+        assert_eq!(
+            store.common_ancestor(b3.id(), d1.id()).unwrap().id(),
+            genesis_id
+        );
+        // Unknown ids have no common ancestor.
+        assert!(store
+            .common_ancestor(b3.id(), HashValue::of(b"nope"))
+            .is_none());
+        assert!(store
+            .common_ancestor(HashValue::of(b"nope"), b3.id())
+            .is_none());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! Per §3.2, a strong-vote for block `B'` *endorses* `B'` itself and every
 //! ancestor `B` of `B'` whose round the vote's
-//! [`EndorseInfo`](sft_types::EndorseInfo) admits
+//! [`EndorseInfo`] admits
 //! (`B.round > marker`, or `B.round ∈ I` in the §3.4 generalization). The
 //! [`EndorsementTracker`] maintains, per block, the set of distinct
 //! endorsing replicas; [`ProtocolConfig::strength_of`] converts that tally
@@ -13,9 +13,79 @@
 use std::collections::HashMap;
 
 use sft_crypto::HashValue;
-use sft_types::{SignerSet, StrongCommitUpdate, StrongVote};
+use sft_types::{
+    EndorseInfo, EndorseMode, Round, RoundIntervalSet, SignerSet, StrongCommitUpdate, StrongVote,
+};
 
-use crate::{BlockStore, ProtocolConfig};
+use crate::{Block, BlockStore, ProtocolConfig};
+
+/// Computes the [`EndorseInfo`] an honest voter attaches when voting for
+/// `block`, from the `(round, id)` history of every block it ever voted
+/// for. Shared by the height-based and round-based replicas — the marker
+/// maintenance of §3.2 and the interval computation of §3.4 are protocol
+/// independent.
+///
+/// - [`EndorseMode::Vanilla`] — no info.
+/// - [`EndorseMode::Marker`] — the highest round of any previously voted
+///   block that conflicts with (is not an ancestor of) `block`.
+/// - [`EndorseMode::Interval`] — `I = [1, block.round]` minus, per
+///   conflicting voted block `F`, the window `D_F = (fork_round, F.round]`
+///   where `fork_round` is the round of `F`'s common ancestor with `block`.
+///   Rounds *below* the fork point stay endorsed — the refinement the
+///   single marker gives up.
+///
+/// # Examples
+///
+/// ```
+/// use sft_core::{honest_endorse_info, Block, BlockStore};
+/// use sft_types::{EndorseInfo, EndorseMode, Payload, ReplicaId, Round};
+///
+/// let mut store = BlockStore::new();
+/// let b1 = Block::new(store.genesis(), Round::new(1), ReplicaId::new(1), Payload::empty());
+/// let b2 = Block::new(&b1, Round::new(2), ReplicaId::new(2), Payload::empty());
+/// store.insert(b1.clone()).unwrap();
+/// store.insert(b2.clone()).unwrap();
+/// // A clean history endorses everything: marker 0.
+/// let voted = vec![(Round::new(1), b1.id())];
+/// let info = honest_endorse_info(EndorseMode::Marker, &store, &voted, &b2);
+/// assert_eq!(info, EndorseInfo::Marker(Round::ZERO));
+/// ```
+pub fn honest_endorse_info(
+    mode: EndorseMode,
+    store: &BlockStore,
+    voted_blocks: &[(Round, HashValue)],
+    block: &Block,
+) -> EndorseInfo {
+    let conflicting = |id: &HashValue| !store.extends(block.id(), *id);
+    match mode {
+        EndorseMode::Vanilla => EndorseInfo::None,
+        EndorseMode::Marker => {
+            let marker = voted_blocks
+                .iter()
+                .filter(|(_, id)| conflicting(id))
+                .map(|(round, _)| *round)
+                .max()
+                .unwrap_or(Round::ZERO);
+            EndorseInfo::Marker(marker)
+        }
+        EndorseMode::Interval => {
+            let mut set = RoundIntervalSet::full_range(Round::new(1), block.round());
+            for (round, id) in voted_blocks {
+                if !conflicting(id) {
+                    continue;
+                }
+                let fork_round = store
+                    .common_ancestor(*id, block.id())
+                    .map(Block::round)
+                    .unwrap_or(Round::ZERO);
+                if fork_round < *round {
+                    set.subtract(fork_round.next(), *round);
+                }
+            }
+            EndorseInfo::Intervals(set)
+        }
+    }
+}
 
 /// Per-block endorser accounting and strength grading.
 ///
@@ -66,7 +136,7 @@ impl EndorsementTracker {
 
     /// Records the endorsements carried by one verified vote: the voted
     /// block directly, plus each strict ancestor admitted by the vote's
-    /// [`EndorseInfo`](sft_types::EndorseInfo). Returns the ids of blocks
+    /// [`EndorseInfo`]. Returns the ids of blocks
     /// whose endorser set grew.
     ///
     /// Callers must have verified the vote's signature (the
@@ -340,6 +410,73 @@ mod tests {
             .take_level_update(b1.id(), &fx.store)
             .expect("level 2f update");
         assert_eq!(up.level(), 2);
+    }
+
+    /// §3.4 recovery scenario: the voter once voted on a fork branching off
+    /// round 1, then voted the winning chain. The single marker (= the
+    /// fork's round) cuts off every ancestor at or below it; the interval
+    /// set re-admits rounds below the fork point.
+    #[test]
+    fn interval_mode_recovers_endorsements_below_the_fork_point() {
+        let fx = fixture();
+        let mut store = fx.store.clone();
+        // Fork f5 off b1 (round 1): rounds 2..4 on the main chain conflict.
+        let fork = Block::new(
+            &fx.chain[0],
+            Round::new(5),
+            ReplicaId::new(2),
+            Payload::synthetic(3, 3, 99),
+        );
+        store.insert(fork.clone()).unwrap();
+        let next = Block::new(
+            &fx.chain[3],
+            Round::new(6),
+            ReplicaId::new(2),
+            Payload::empty(),
+        );
+        store.insert(next.clone()).unwrap();
+
+        // History: voted b1..b4 honestly, then strayed onto the fork.
+        let mut voted: Vec<(Round, HashValue)> =
+            fx.chain.iter().map(|b| (b.round(), b.id())).collect();
+        voted.push((fork.round(), fork.id()));
+
+        // Now voting for `next`, which extends b4 — the fork conflicts.
+        let marker = honest_endorse_info(EndorseMode::Marker, &store, &voted, &next);
+        assert_eq!(marker, EndorseInfo::Marker(Round::new(5)));
+        // The marker refuses every ancestor round <= 5: b2..b4 all lost.
+        for round in 2..=4u64 {
+            assert!(!marker.endorses_ancestor_round(Round::new(round)));
+        }
+
+        let interval = honest_endorse_info(EndorseMode::Interval, &store, &voted, &next);
+        // Fork point is b1 (round 1): only D_F = [2, 5] is excluded...
+        for round in 2..=5u64 {
+            assert!(!interval.endorses_ancestor_round(Round::new(round)));
+        }
+        // ...but round 1 below the fork point stays endorsed.
+        assert!(interval.endorses_ancestor_round(Round::new(1)));
+        assert!(interval.endorses_ancestor_round(Round::new(6)));
+        // §3.4 soundness: the marker approximation is a subset of I.
+        let EndorseInfo::Intervals(ref set) = interval else {
+            panic!("interval mode yields interval sets");
+        };
+        assert!(RoundIntervalSet::from_marker(Round::new(5), Round::new(6)).is_subset_of(set));
+    }
+
+    #[test]
+    fn interval_mode_with_clean_history_endorses_everything() {
+        let fx = fixture();
+        let voted: Vec<(Round, HashValue)> =
+            fx.chain[..3].iter().map(|b| (b.round(), b.id())).collect();
+        let info = honest_endorse_info(EndorseMode::Interval, &fx.store, &voted, &fx.chain[3]);
+        for round in 1..=4u64 {
+            assert!(info.endorses_ancestor_round(Round::new(round)));
+        }
+        assert_eq!(
+            honest_endorse_info(EndorseMode::Vanilla, &fx.store, &voted, &fx.chain[3]),
+            EndorseInfo::None
+        );
     }
 
     /// The tentpole safety scenario at the endorsement layer: a block whose

@@ -40,9 +40,11 @@
 pub mod block;
 pub mod config;
 pub mod endorse;
+pub mod ledger;
 pub mod qc;
 
 pub use block::{Ancestors, Block, BlockStore, BlockStoreError};
 pub use config::ProtocolConfig;
-pub use endorse::EndorsementTracker;
+pub use endorse::{honest_endorse_info, EndorsementTracker};
+pub use ledger::CommitLedger;
 pub use qc::{QuorumCertificate, VoteOutcome, VoteTracker};

@@ -11,17 +11,20 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use sft_crypto::{HashValue, KeyRegistry};
-use sft_types::{ReplicaId, Round, SignerSet, StrongVote, VoteData};
+use sft_crypto::{HashValue, Hasher, KeyRegistry};
+use sft_types::{Decode, DecodeError, Encode, ReplicaId, Round, SignerSet, StrongVote, VoteData};
 
-use crate::ProtocolConfig;
+use crate::{Block, ProtocolConfig};
 
 /// Proof that `2f + 1` distinct replicas voted for the same [`VoteData`].
 ///
-/// The per-vote signatures live in the tracker; the certificate itself
-/// carries the voted data plus the signer set, which is all downstream
-/// logic consumes. (A wire-transferable QC with aggregated signatures is
-/// future networking work.)
+/// The per-vote signatures live in the tracker; the certificate carries the
+/// voted data plus the signer set, which is all downstream logic consumes.
+/// The round-based protocol ships QCs inside proposals, so the certificate
+/// is wire-encodable; receivers validate it *structurally* (signer count
+/// against the quorum) — within the simulator's threat model the vote
+/// tracker that formed it has already checked every signature, and a
+/// threshold-aggregated signature slots in here when real networking lands.
 #[derive(Clone, PartialEq, Eq)]
 pub struct QuorumCertificate {
     data: VoteData,
@@ -33,6 +36,17 @@ impl QuorumCertificate {
     /// verified the underlying votes (the tracker has).
     pub fn new(data: VoteData, signers: SignerSet) -> Self {
         Self { data, signers }
+    }
+
+    /// The well-known certificate for the genesis block of an `n`-replica
+    /// system: round 0, no signers. Genesis is trusted by construction, so
+    /// its QC carries no votes — structural validation special-cases it.
+    pub fn genesis(n: usize) -> Self {
+        let genesis = Block::genesis();
+        Self {
+            data: genesis.vote_data(),
+            signers: SignerSet::new(n),
+        }
     }
 
     /// The certified vote data.
@@ -53,6 +67,39 @@ impl QuorumCertificate {
     /// The replicas whose votes formed the certificate.
     pub fn signers(&self) -> &SignerSet {
         &self.signers
+    }
+
+    /// Digest of the certificate (mixed into proposal signing preimages so
+    /// a leader's signature covers the QC it proposes on).
+    pub fn digest(&self) -> HashValue {
+        Hasher::new("quorum-certificate")
+            .field(&self.to_bytes())
+            .finish()
+    }
+
+    /// Structural validity against a protocol configuration: the genesis
+    /// certificate, or a signer set meeting the classic `2f + 1` quorum.
+    pub fn is_well_formed(&self, config: &ProtocolConfig) -> bool {
+        if self.round() == Round::ZERO {
+            return self.block_id() == Block::genesis().id() && self.signers.is_empty();
+        }
+        self.signers.len() >= config.quorum()
+    }
+}
+
+impl Encode for QuorumCertificate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.data.encode(buf);
+        self.signers.encode(buf);
+    }
+}
+
+impl Decode for QuorumCertificate {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self {
+            data: VoteData::decode(buf)?,
+            signers: SignerSet::decode(buf)?,
+        })
     }
 }
 
@@ -305,6 +352,59 @@ mod tests {
             "voting in a later round is not equivocation"
         );
         assert!(tracker.equivocators().is_empty());
+    }
+
+    #[test]
+    fn genesis_certificate_is_well_formed_and_empty() {
+        let cfg = ProtocolConfig::for_replicas(4);
+        let qc = QuorumCertificate::genesis(4);
+        assert_eq!(qc.round(), Round::ZERO);
+        assert!(qc.signers().is_empty());
+        assert!(qc.is_well_formed(&cfg));
+        // A forged "round 0" QC naming a non-genesis block is rejected.
+        let forged = QuorumCertificate::new(
+            VoteData::new(
+                HashValue::of(b"evil"),
+                Round::ZERO,
+                HashValue::zero(),
+                Round::ZERO,
+            ),
+            SignerSet::new(4),
+        );
+        assert!(!forged.is_well_formed(&cfg));
+    }
+
+    #[test]
+    fn well_formedness_requires_quorum() {
+        let (cfg, registry, mut tracker) = setup();
+        let d = data(b"B", 1);
+        for signer in 0..3 {
+            tracker.add_vote(&vote(&registry, signer, d));
+        }
+        let sub_quorum = QuorumCertificate::new(
+            d,
+            SignerSet::from_iter_with_capacity(4, [ReplicaId::new(0), ReplicaId::new(1)]),
+        );
+        assert!(!sub_quorum.is_well_formed(&cfg));
+        let full = QuorumCertificate::new(
+            d,
+            SignerSet::from_iter_with_capacity(4, (0..3).map(ReplicaId::new)),
+        );
+        assert!(full.is_well_formed(&cfg));
+    }
+
+    #[test]
+    fn codec_roundtrips_and_digest_binds() {
+        let d = data(b"B", 1);
+        let qc = QuorumCertificate::new(
+            d,
+            SignerSet::from_iter_with_capacity(4, (0..3).map(ReplicaId::new)),
+        );
+        let back = QuorumCertificate::from_bytes(&qc.to_bytes()).unwrap();
+        assert_eq!(back, qc);
+        assert_eq!(back.digest(), qc.digest());
+        let other = QuorumCertificate::new(d, SignerSet::new(4));
+        assert_ne!(qc.digest(), other.digest(), "digest covers the signers");
     }
 
     #[test]

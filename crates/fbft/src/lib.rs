@@ -1,17 +1,34 @@
 //! # sft-fbft
 //!
-//! Round-based commit rules in the DiemBFT style — the protocol family the
-//! paper's *main body* strengthens (§2–§3), as opposed to the height-based
-//! Streamlet variant of Appendix D implemented in
-//! [`sft-streamlet`](../sft_streamlet/index.html).
+//! SFT-DiemBFT: the paper's strengthened fault tolerance applied to the
+//! round-based DiemBFT protocol family its *main body* targets (§2–§3,
+//! Figs 2/3) — the counterpart to the height-based Streamlet variant of
+//! Appendix D in [`sft-streamlet`](../sft_streamlet/index.html).
 //!
-//! This crate currently provides the pure decision core — the
-//! [`TwoChainState`] commit/locking rule (Fig 2/3) — as chain-agnostic
-//! functions over [`VoteData`](sft_types::VoteData). The full replica loop (pacemaker, round
-//! timeouts, leader schedule, FeBFT-style async networking) lands in later
-//! PRs and will reuse the certification and endorsement machinery of
-//! [`sft-core`](../sft_core/index.html) exactly as the Streamlet replica
-//! does.
+//! The crate layers a full replica over the pure decision core:
+//!
+//! - [`TwoChainState`] — the chain-agnostic 2-chain commit and locking
+//!   rule (Fig 2/3), small enough to test exhaustively;
+//! - [`Pacemaker`] — deterministic round synchronization: advance on QC or
+//!   TC, round-robin leaders, timeout back-off;
+//! - [`FbftProposal`] / [`FbftMessage`] — self-justifying wire messages
+//!   (each proposal ships the QC it extends, plus the TC after a timeout);
+//! - [`FbftReplica`] — the state machine tying them together with the
+//!   shared certification ([`sft_core::VoteTracker`]) and strengthening
+//!   ([`sft_core::EndorsementTracker`]) machinery, exactly as the
+//!   Streamlet replica does.
+//!
+//! ## Protocol map
+//!
+//! | Paper concept | Here |
+//! |---|---|
+//! | round leader, proposal on the highest QC (§2, Fig 2) | [`FbftReplica::try_propose`], [`FbftProposal`] |
+//! | voting rule (locked round, one vote per round) | [`FbftReplica::on_proposal`], [`TwoChainState::safe_to_vote`] |
+//! | certification at `2f + 1` votes | [`FbftReplica::on_vote`] via [`sft_core::VoteTracker`] |
+//! | 2-chain commit (consecutive certified rounds) | [`TwoChainState::on_qc`] (standard commit, strength `f`) |
+//! | round synchronization / timeouts | [`Pacemaker`], [`sft_types::TimeoutMsg`], [`sft_types::TimeoutCertificate`] |
+//! | strong-votes with markers / intervals (§3.2, §3.4) | [`sft_types::EndorseMode`], shared [`sft_core::honest_endorse_info`] |
+//! | graded commit strength `x ≤ 2f` (Def. 1) | [`FbftReplica::commit_level`], commit-log entries |
 //!
 //! ## The 2-chain rule in brief
 //!
@@ -23,6 +40,12 @@
 
 #![deny(missing_docs)]
 
+pub mod message;
+pub mod pacemaker;
+pub mod replica;
 pub mod two_chain;
 
+pub use message::{FbftMessage, FbftProposal};
+pub use pacemaker::{Pacemaker, RoundEntry};
+pub use replica::{FbftReplica, ProposalOutcome};
 pub use two_chain::TwoChainState;

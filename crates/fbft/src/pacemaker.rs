@@ -1,0 +1,303 @@
+//! The pacemaker: deterministic round synchronization for SFT-DiemBFT.
+//!
+//! A replica is always in exactly one *round*. It leaves round `r` for
+//! round `r + 1` when it obtains either a quorum certificate for a block of
+//! round `r` (the happy path) or a timeout certificate closing round `r`
+//! (the recovery path). If neither arrives before the round's deadline the
+//! replica broadcasts a timeout message — once per round — and keeps
+//! participating until a certificate moves it forward. This is the
+//! synchronizer pattern of the DiemBFT lineage (cf. Abraham et al.,
+//! *Efficient Synchronous Byzantine Consensus*): round advancement is
+//! driven purely by certificates, so all honest replicas move through the
+//! same round sequence.
+//!
+//! Everything here is deterministic: deadlines are computed from the entry
+//! instant and a base timeout with exponential back-off on consecutive
+//! timeout-entered rounds, so a simulation replays byte-identically.
+
+use std::fmt;
+
+use sft_types::{ReplicaId, Round, SimDuration, SimTime};
+
+/// Why the pacemaker entered its current round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundEntry {
+    /// Initial round (nothing certified yet).
+    Genesis,
+    /// Entered because the previous round produced a quorum certificate.
+    Qc,
+    /// Entered because the previous round closed with a timeout
+    /// certificate.
+    Tc,
+}
+
+/// Per-replica round state: current round, deadline, and back-off.
+///
+/// # Examples
+///
+/// ```
+/// use sft_fbft::Pacemaker;
+/// use sft_types::{ReplicaId, Round, SimDuration, SimTime};
+///
+/// let mut pm = Pacemaker::new(4, SimDuration::from_millis(400), SimTime::ZERO);
+/// assert_eq!(pm.current_round(), Round::new(1));
+/// assert_eq!(pm.leader_of(Round::new(1)), ReplicaId::new(1)); // round-robin
+/// // A QC for round 1 advances to round 2.
+/// let t = SimTime::from_millis(200);
+/// assert_eq!(pm.on_qc_round(Round::new(1), t), Some(Round::new(2)));
+/// // Stale certificates never move the round backwards.
+/// assert_eq!(pm.on_qc_round(Round::new(1), t), None);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Pacemaker {
+    n: usize,
+    base_timeout: SimDuration,
+    round: Round,
+    entered_at: SimTime,
+    entry: RoundEntry,
+    /// Rounds entered via TC since the last QC-entered round; drives the
+    /// exponential back-off so repeated timeouts leave more and more slack
+    /// for a slow network to catch up.
+    consecutive_timeouts: u32,
+    /// True once the local timeout for the current round has fired (the
+    /// timeout message is broadcast at most once per round).
+    timeout_fired: bool,
+}
+
+/// Cap on the back-off exponent: timeouts grow at most `2^6 = 64×` the
+/// base, keeping deadlines bounded and arithmetic overflow-free.
+const MAX_BACKOFF_EXP: u32 = 6;
+
+impl Pacemaker {
+    /// Creates a pacemaker for an `n`-replica system, entering round 1 at
+    /// `now` with the given base round timeout.
+    ///
+    /// The base timeout must exceed one proposal-plus-vote exchange
+    /// (`> 2δ`) for the happy path to ever complete; 4δ is a comfortable
+    /// default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or the timeout is zero.
+    pub fn new(n: usize, base_timeout: SimDuration, now: SimTime) -> Self {
+        assert!(n > 0, "need at least one replica");
+        assert!(!base_timeout.is_zero(), "zero timeout would always fire");
+        Self {
+            n,
+            base_timeout,
+            round: Round::new(1),
+            entered_at: now,
+            entry: RoundEntry::Genesis,
+            consecutive_timeouts: 0,
+            timeout_fired: false,
+        }
+    }
+
+    /// The round this replica is currently in.
+    pub fn current_round(&self) -> Round {
+        self.round
+    }
+
+    /// How the current round was entered.
+    pub fn entry(&self) -> RoundEntry {
+        self.entry
+    }
+
+    /// The deterministic round-robin leader of `round` in an `n`-replica
+    /// system — the single source of the leader schedule (the replica
+    /// delegates here, so a future rotation change lands in one place).
+    pub fn leader_for(n: usize, round: Round) -> ReplicaId {
+        ReplicaId::new((round.as_u64() % n as u64) as u16)
+    }
+
+    /// The deterministic round-robin leader of `round`.
+    pub fn leader_of(&self, round: Round) -> ReplicaId {
+        Self::leader_for(self.n, round)
+    }
+
+    /// The instant the current round times out, or `None` once the local
+    /// timeout has already fired (it fires at most once per round).
+    pub fn deadline(&self) -> Option<SimTime> {
+        if self.timeout_fired {
+            None
+        } else {
+            Some(self.entered_at + self.current_timeout())
+        }
+    }
+
+    /// The current round's timeout span: `base × 2^consecutive_timeouts`,
+    /// capped at `2^6`.
+    pub fn current_timeout(&self) -> SimDuration {
+        self.base_timeout * (1u64 << self.consecutive_timeouts.min(MAX_BACKOFF_EXP))
+    }
+
+    /// Observes a quorum certificate for a block of `round`. Advances to
+    /// `round + 1` (resetting the back-off) and returns the new round if
+    /// that moves this replica forward; stale certificates return `None`.
+    pub fn on_qc_round(&mut self, round: Round, now: SimTime) -> Option<Round> {
+        if round.next() <= self.round {
+            return None;
+        }
+        self.consecutive_timeouts = 0;
+        self.enter(round.next(), RoundEntry::Qc, now);
+        Some(self.round)
+    }
+
+    /// Observes a timeout certificate closing `round`. Advances to
+    /// `round + 1` (growing the back-off) and returns the new round if that
+    /// moves this replica forward; stale certificates return `None`.
+    pub fn on_tc_round(&mut self, round: Round, now: SimTime) -> Option<Round> {
+        if round.next() <= self.round {
+            return None;
+        }
+        self.consecutive_timeouts = (self.consecutive_timeouts + 1).min(MAX_BACKOFF_EXP);
+        self.enter(round.next(), RoundEntry::Tc, now);
+        Some(self.round)
+    }
+
+    /// Advances the clock. Returns `Some(round)` exactly once per round,
+    /// the first time `now` reaches the deadline — the signal to broadcast
+    /// a [`TimeoutMsg`](sft_types::TimeoutMsg) for that round.
+    pub fn on_tick(&mut self, now: SimTime) -> Option<Round> {
+        let deadline = self.deadline()?;
+        if now < deadline {
+            return None;
+        }
+        self.timeout_fired = true;
+        Some(self.round)
+    }
+
+    fn enter(&mut self, round: Round, entry: RoundEntry, now: SimTime) {
+        self.round = round;
+        self.entry = entry;
+        self.entered_at = now;
+        self.timeout_fired = false;
+    }
+}
+
+impl fmt::Debug for Pacemaker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Pacemaker(r={} {:?} entered={} timeout={}{})",
+            self.round,
+            self.entry,
+            self.entered_at,
+            self.current_timeout(),
+            if self.timeout_fired { " fired" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pm() -> Pacemaker {
+        Pacemaker::new(4, SimDuration::from_millis(400), SimTime::ZERO)
+    }
+
+    #[test]
+    fn starts_in_round_one() {
+        let pm = pm();
+        assert_eq!(pm.current_round(), Round::new(1));
+        assert_eq!(pm.entry(), RoundEntry::Genesis);
+        assert_eq!(pm.deadline(), Some(SimTime::from_millis(400)));
+    }
+
+    #[test]
+    fn round_robin_leaders_wrap() {
+        let pm = pm();
+        assert_eq!(pm.leader_of(Round::new(1)), ReplicaId::new(1));
+        assert_eq!(pm.leader_of(Round::new(3)), ReplicaId::new(3));
+        assert_eq!(pm.leader_of(Round::new(4)), ReplicaId::new(0));
+        assert_eq!(pm.leader_of(Round::new(9)), ReplicaId::new(1));
+    }
+
+    #[test]
+    fn qc_advances_and_resets_deadline() {
+        let mut pm = pm();
+        let t = SimTime::from_millis(200);
+        assert_eq!(pm.on_qc_round(Round::new(1), t), Some(Round::new(2)));
+        assert_eq!(pm.entry(), RoundEntry::Qc);
+        assert_eq!(pm.deadline(), Some(SimTime::from_millis(600)));
+    }
+
+    #[test]
+    fn stale_certificates_are_ignored() {
+        let mut pm = pm();
+        let t = SimTime::from_millis(100);
+        pm.on_qc_round(Round::new(5), t);
+        assert_eq!(pm.current_round(), Round::new(6));
+        assert_eq!(pm.on_qc_round(Round::new(4), t), None);
+        assert_eq!(pm.on_tc_round(Round::new(5), t), None);
+        assert_eq!(pm.current_round(), Round::new(6));
+    }
+
+    #[test]
+    fn timeout_fires_exactly_once_per_round() {
+        let mut pm = pm();
+        assert_eq!(pm.on_tick(SimTime::from_millis(399)), None);
+        assert_eq!(pm.on_tick(SimTime::from_millis(400)), Some(Round::new(1)));
+        assert_eq!(pm.deadline(), None, "no deadline after firing");
+        assert_eq!(pm.on_tick(SimTime::from_millis(800)), None, "once only");
+        // Advancing re-arms the timer.
+        pm.on_tc_round(Round::new(1), SimTime::from_millis(500));
+        assert!(pm.deadline().is_some());
+    }
+
+    #[test]
+    fn backoff_doubles_on_tc_and_resets_on_qc() {
+        let mut pm = pm();
+        let t = SimTime::ZERO;
+        assert_eq!(pm.current_timeout(), SimDuration::from_millis(400));
+        pm.on_tc_round(Round::new(1), t);
+        assert_eq!(pm.current_timeout(), SimDuration::from_millis(800));
+        pm.on_tc_round(Round::new(2), t);
+        assert_eq!(pm.current_timeout(), SimDuration::from_millis(1600));
+        pm.on_qc_round(Round::new(3), t);
+        assert_eq!(
+            pm.current_timeout(),
+            SimDuration::from_millis(400),
+            "QC resets the back-off"
+        );
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let mut pm = pm();
+        for round in 1..=20u64 {
+            pm.on_tc_round(Round::new(round), SimTime::ZERO);
+        }
+        assert_eq!(
+            pm.current_timeout(),
+            SimDuration::from_millis(400) * 64,
+            "2^6 cap"
+        );
+    }
+
+    #[test]
+    fn qc_and_tc_for_same_round_converge() {
+        let t = SimTime::ZERO;
+        let mut a = pm();
+        let mut b = pm();
+        a.on_qc_round(Round::new(3), t);
+        a.on_tc_round(Round::new(3), t);
+        b.on_tc_round(Round::new(3), t);
+        b.on_qc_round(Round::new(3), t);
+        assert_eq!(a.current_round(), b.current_round());
+        assert_eq!(a.current_round(), Round::new(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero timeout")]
+    fn zero_timeout_panics() {
+        Pacemaker::new(4, SimDuration::ZERO, SimTime::ZERO);
+    }
+
+    #[test]
+    fn debug_format_mentions_round() {
+        let pm = pm();
+        assert!(format!("{pm:?}").contains("r=1"));
+    }
+}

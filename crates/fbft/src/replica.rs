@@ -1,0 +1,655 @@
+//! The SFT-DiemBFT replica state machine.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use sft_core::{
+    honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, ProtocolConfig,
+    QuorumCertificate, VoteOutcome, VoteTracker,
+};
+use sft_crypto::{HashValue, KeyPair, KeyRegistry};
+use sft_types::{
+    EndorseMode, Payload, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate, StrongVote,
+    TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome,
+};
+
+use crate::message::FbftProposal;
+use crate::pacemaker::Pacemaker;
+use crate::two_chain::TwoChainState;
+
+/// What processing one proposal produced: this replica's vote (to
+/// broadcast), plus any commit-log entries the proposal's embedded QC
+/// triggered.
+#[derive(Clone, Debug, Default)]
+pub struct ProposalOutcome {
+    /// The strong-vote to broadcast, if the voting rule fired.
+    pub vote: Option<StrongVote>,
+    /// Commit-log entries produced while processing the proposal.
+    pub updates: Vec<StrongCommitUpdate>,
+}
+
+/// A single SFT-DiemBFT replica: pacemaker-driven rounds, QC/TC
+/// aggregation, the 2-chain commit rule, and strength-graded commits.
+///
+/// The protocol per round `r` (paper §2, Figs 2/3, strengthened per §3):
+///
+/// 1. the leader of `r` (round-robin) proposes a block extending the
+///    highest QC it knows, shipping that QC — and, after a timeout round,
+///    the TC justifying the skip ([`FbftReplica::try_propose`]);
+/// 2. every replica votes for the first justified proposal of its current
+///    round that satisfies the locking rule ([`TwoChainState::safe_to_vote`]),
+///    attaching §3.2/§3.4 endorsement info, and broadcasts the strong-vote
+///    ([`FbftReplica::on_proposal`]);
+/// 3. `2f + 1` votes certify the block; every replica aggregates votes
+///    itself (votes are broadcast precisely so endorsements are countable),
+///    advances its round on the new QC, and applies the 2-chain commit rule
+///    ([`FbftReplica::on_vote`]);
+/// 4. if a round's deadline passes uncertified, replicas broadcast timeout
+///    messages ([`FbftReplica::on_tick`]); `2f + 1` of them form a TC that
+///    advances the round without a QC ([`FbftReplica::on_timeout_msg`]);
+/// 5. endorsements carried by strong-votes grade every commit with the
+///    strength `x = q − f − 1` of Definition 1, reported as
+///    [`StrongCommitUpdate`]s in the replica's commit log.
+///
+/// # Examples
+///
+/// Driving one happy-path round of a 4-replica system by hand:
+///
+/// ```
+/// use sft_core::ProtocolConfig;
+/// use sft_crypto::KeyRegistry;
+/// use sft_fbft::FbftReplica;
+/// use sft_types::{EndorseMode, Payload, Round, SimDuration, SimTime};
+///
+/// let config = ProtocolConfig::for_replicas(4);
+/// let registry = KeyRegistry::deterministic(4);
+/// let now = SimTime::ZERO;
+/// let mut replicas: Vec<FbftReplica> = (0..4)
+///     .map(|i| {
+///         FbftReplica::new(
+///             i,
+///             config,
+///             registry.clone(),
+///             EndorseMode::Marker,
+///             SimDuration::from_millis(400),
+///             now,
+///         )
+///     })
+///     .collect();
+///
+/// // Round 1: replica 1 leads and proposes on the genesis QC.
+/// let proposal = replicas[1].try_propose(Payload::empty()).expect("leader proposes");
+/// let votes: Vec<_> = replicas
+///     .iter_mut()
+///     .filter_map(|r| r.on_proposal(&proposal, now).vote)
+///     .collect();
+/// assert_eq!(votes.len(), 4, "every honest replica votes");
+/// for vote in &votes {
+///     for replica in replicas.iter_mut() {
+///         replica.on_vote(vote, now);
+///     }
+/// }
+/// // The QC formed everywhere: all replicas advanced to round 2.
+/// assert!(replicas.iter().all(|r| r.current_round() == Round::new(2)));
+/// // One round certifies but cannot commit: the 2-chain is still open.
+/// assert!(replicas[0].committed_chain().is_empty());
+/// ```
+pub struct FbftReplica {
+    id: ReplicaId,
+    config: ProtocolConfig,
+    key_pair: KeyPair,
+    endorse_mode: EndorseMode,
+    store: BlockStore,
+    votes: VoteTracker,
+    endorsements: EndorsementTracker,
+    timeouts: TimeoutAggregator,
+    two_chain: TwoChainState,
+    pacemaker: Pacemaker,
+    /// The highest quorum certificate this replica knows — what it
+    /// proposes on when leading.
+    high_qc: QuorumCertificate,
+    /// The TC that justified entering the current round, if it was entered
+    /// on the timeout path (shipped with this replica's next proposal).
+    last_tc: Option<TimeoutCertificate>,
+    /// Rounds this replica already voted in (vote-once rule).
+    voted_rounds: HashSet<Round>,
+    /// Every block this replica ever voted for, for marker/interval
+    /// computation (§3.2 / §3.4).
+    voted_blocks: Vec<(Round, HashValue)>,
+    /// Rounds this replica already proposed in (propose-once rule).
+    proposed_rounds: HashSet<Round>,
+    ledger: CommitLedger,
+    commit_log: Vec<StrongCommitUpdate>,
+}
+
+impl FbftReplica {
+    /// Creates replica `id` of an `n`-replica system, entering round 1 at
+    /// `now` with the given base round timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry holds no key for `id` or fewer than
+    /// `config.n()` keys, or if the timeout is zero.
+    pub fn new(
+        id: u16,
+        config: ProtocolConfig,
+        registry: KeyRegistry,
+        mode: EndorseMode,
+        base_timeout: SimDuration,
+        now: SimTime,
+    ) -> Self {
+        assert!(
+            registry.len() >= config.n(),
+            "registry smaller than the replica set"
+        );
+        let key_pair = registry
+            .key_pair(u64::from(id))
+            .expect("key for this replica");
+        Self {
+            id: ReplicaId::new(id),
+            config,
+            key_pair,
+            endorse_mode: mode,
+            store: BlockStore::new(),
+            votes: VoteTracker::new(config, registry.clone()),
+            endorsements: EndorsementTracker::new(config),
+            timeouts: TimeoutAggregator::new(config.n(), config.quorum(), registry),
+            two_chain: TwoChainState::new(),
+            pacemaker: Pacemaker::new(config.n(), base_timeout, now),
+            high_qc: QuorumCertificate::genesis(config.n()),
+            last_tc: None,
+            voted_rounds: HashSet::new(),
+            voted_blocks: Vec::new(),
+            proposed_rounds: HashSet::new(),
+            ledger: CommitLedger::new(),
+            commit_log: Vec::new(),
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> ProtocolConfig {
+        self.config
+    }
+
+    /// The round this replica is currently in.
+    pub fn current_round(&self) -> Round {
+        self.pacemaker.current_round()
+    }
+
+    /// The deterministic round-robin leader of `round` (delegates to the
+    /// pacemaker's schedule so the formula lives in exactly one place).
+    pub fn leader(config: ProtocolConfig, round: Round) -> ReplicaId {
+        Pacemaker::leader_for(config.n(), round)
+    }
+
+    /// The replica's pacemaker (round, deadline, back-off state).
+    pub fn pacemaker(&self) -> &Pacemaker {
+        &self.pacemaker
+    }
+
+    /// The highest quorum certificate this replica knows.
+    pub fn high_qc(&self) -> &QuorumCertificate {
+        &self.high_qc
+    }
+
+    /// The replica's block store (all delivered blocks).
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// The next instant this replica's round timer fires, or `None` once
+    /// the current round's timeout has already been broadcast.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.pacemaker.deadline()
+    }
+
+    /// The committed chain, oldest block first (genesis excluded).
+    pub fn committed_chain(&self) -> &[HashValue] {
+        self.ledger.chain()
+    }
+
+    /// The strong-commit log: one [`StrongCommitUpdate`] per commit and per
+    /// subsequent strength increase, in the order they happened (§5).
+    pub fn commit_log(&self) -> &[StrongCommitUpdate] {
+        &self.commit_log
+    }
+
+    /// The highest strength level recorded for a committed block, or `None`
+    /// if the block is not committed.
+    pub fn commit_level(&self, block_id: HashValue) -> Option<u64> {
+        if !self.ledger.contains(block_id) {
+            return None;
+        }
+        self.endorsements.strength(block_id)
+    }
+
+    /// True if this replica ever observed two conflicting committed chains.
+    pub fn safety_violated(&self) -> bool {
+        self.ledger.safety_violated()
+    }
+
+    /// Replicas caught equivocating by this replica's vote tracker.
+    pub fn observed_equivocators(&self) -> &[ReplicaId] {
+        self.votes.equivocators()
+    }
+
+    /// If this replica leads its current round and has not proposed yet,
+    /// returns a signed proposal extending the highest-QC block with
+    /// `payload`, carrying that QC and — after a timeout round — the
+    /// justifying TC. The proposal must be broadcast (the caller owns
+    /// transport) and fed back via [`on_proposal`](Self::on_proposal) like
+    /// any other replica's.
+    pub fn try_propose(&mut self, payload: Payload) -> Option<FbftProposal> {
+        let round = self.pacemaker.current_round();
+        if Self::leader(self.config, round) != self.id || self.proposed_rounds.contains(&round) {
+            return None;
+        }
+        let parent = self.store.get(self.high_qc.block_id())?.clone();
+        let block = Block::new(&parent, round, self.id, payload);
+        self.store
+            .insert(block.clone())
+            .expect("parent is in the store");
+        self.proposed_rounds.insert(round);
+        Some(FbftProposal::new(
+            block,
+            self.high_qc.clone(),
+            self.last_tc.clone(),
+            &self.key_pair,
+        ))
+    }
+
+    /// Handles a round proposal. Verifies the leader signature and the
+    /// structural justification, absorbs the embedded certificates (which
+    /// may advance the round and commit — stragglers catch up here), and
+    /// applies the voting rule: first proposal of the current round whose
+    /// parent satisfies the 2-chain lock. The returned vote, if any, must
+    /// be broadcast to all replicas.
+    pub fn on_proposal(&mut self, proposal: &FbftProposal, now: SimTime) -> ProposalOutcome {
+        let mut out = ProposalOutcome::default();
+        if !proposal.verify(self.votes.registry()) || !proposal.is_justified(&self.config) {
+            return out;
+        }
+        let block = proposal.block();
+        if block.proposer() != Self::leader(self.config, block.round()) {
+            return out;
+        }
+        // Absorb the embedded certificates before judging the round: a
+        // replica that missed the QC or TC formation learns it from the
+        // proposal itself.
+        out.updates = self.process_qc(&proposal.qc().clone(), now);
+        self.commit_log.extend(out.updates.iter().copied());
+        if let Some(tc) = proposal.tc() {
+            if self.pacemaker.on_tc_round(tc.round(), now).is_some() {
+                self.last_tc = Some(tc.clone());
+            }
+        }
+        // Record the block regardless of the voting decision — descendants
+        // and certificates may arrive later. Orphans are dropped.
+        if self.store.insert(block.clone()).is_err() {
+            return out;
+        }
+        let round = block.round();
+        if round != self.pacemaker.current_round() || self.voted_rounds.contains(&round) {
+            return out;
+        }
+        let data = block.vote_data();
+        if !self.two_chain.safe_to_vote(&data) {
+            return out;
+        }
+        let endorse =
+            honest_endorse_info(self.endorse_mode, &self.store, &self.voted_blocks, block);
+        self.voted_rounds.insert(round);
+        self.voted_blocks.push((round, block.id()));
+        out.vote = Some(StrongVote::new(data, endorse, &self.key_pair));
+        out
+    }
+
+    /// Handles a broadcast strong-vote (including this replica's own).
+    /// Counts it toward certification, records its endorsements, and — when
+    /// it completes a QC — advances the round and applies the 2-chain
+    /// commit rule. Returns the commit-log entries this vote produced.
+    pub fn on_vote(&mut self, vote: &StrongVote, now: SimTime) -> Vec<StrongCommitUpdate> {
+        let outcome = self.votes.add_vote(vote);
+        let certified = match outcome {
+            VoteOutcome::BadSignature | VoteOutcome::Equivocation | VoteOutcome::Duplicate => {
+                return Vec::new();
+            }
+            VoteOutcome::Certified(qc) => Some(qc),
+            VoteOutcome::Counted(_) => None,
+        };
+        let grown = self.endorsements.record_vote(vote, &self.store);
+
+        let mut updates = Vec::new();
+        if let Some(qc) = certified {
+            updates.extend(self.process_qc(&qc, now));
+        }
+        // Endorsements may have raised the strength of blocks committed
+        // earlier: report each increase once.
+        for block_id in grown {
+            if self.ledger.contains(block_id) {
+                if let Some(update) = self.endorsements.take_level_update(block_id, &self.store) {
+                    updates.push(update);
+                }
+            }
+        }
+        self.commit_log.extend(updates.iter().copied());
+        updates
+    }
+
+    /// Handles a broadcast timeout message (including this replica's own).
+    /// Aggregates it; at `2f + 1` the round's TC forms and the pacemaker
+    /// advances. Returns `true` if this message moved the replica to a new
+    /// round (the driver should then poll [`try_propose`](Self::try_propose)).
+    pub fn on_timeout_msg(&mut self, msg: &TimeoutMsg, now: SimTime) -> bool {
+        if msg.round() < self.pacemaker.current_round() {
+            return false; // stale: a certificate for that round is useless
+        }
+        match self.timeouts.add(msg) {
+            TimeoutOutcome::Certified(tc) => {
+                let advanced = self.pacemaker.on_tc_round(tc.round(), now).is_some();
+                if advanced {
+                    self.last_tc = Some(tc);
+                    self.timeouts.prune_below(self.pacemaker.current_round());
+                }
+                advanced
+            }
+            _ => false,
+        }
+    }
+
+    /// Advances the replica's clock. If the current round's deadline has
+    /// passed, returns the timeout message to broadcast — exactly once per
+    /// round. The caller must also feed the message back via
+    /// [`on_timeout_msg`](Self::on_timeout_msg) (a replica counts its own
+    /// timeout).
+    pub fn on_tick(&mut self, now: SimTime) -> Option<TimeoutMsg> {
+        let round = self.pacemaker.on_tick(now)?;
+        Some(TimeoutMsg::new(round, self.high_qc.round(), &self.key_pair))
+    }
+
+    /// Absorbs a quorum certificate: raises the high-QC, advances the
+    /// round, applies the 2-chain commit + locking rules, and grades any
+    /// newly committed blocks. Returns the resulting commit-log entries;
+    /// the caller appends them to the log (exactly once).
+    fn process_qc(&mut self, qc: &QuorumCertificate, now: SimTime) -> Vec<StrongCommitUpdate> {
+        if !qc.is_well_formed(&self.config) {
+            return Vec::new();
+        }
+        if qc.round() > self.high_qc.round() {
+            self.high_qc = qc.clone();
+        }
+        if self.pacemaker.on_qc_round(qc.round(), now).is_some() {
+            // Entering on the happy path: no TC to ship with our proposal.
+            self.last_tc = None;
+            self.timeouts.prune_below(self.pacemaker.current_round());
+        }
+        let mut updates = Vec::new();
+        if let Some((committed_id, _)) = self.two_chain.on_qc(qc.data()) {
+            for id in self.ledger.finalize_through(&self.store, committed_id) {
+                if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
+                    updates.push(update);
+                }
+            }
+        }
+        updates
+    }
+}
+
+impl fmt::Debug for FbftReplica {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FbftReplica({} r={} qc_high={} committed={})",
+            self.id,
+            self.pacemaker.current_round(),
+            self.high_qc.round(),
+            self.ledger.chain().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_types::EndorseInfo;
+
+    fn system(n: usize) -> Vec<FbftReplica> {
+        let config = ProtocolConfig::for_replicas(n);
+        let registry = KeyRegistry::deterministic(n);
+        (0..n as u16)
+            .map(|i| {
+                FbftReplica::new(
+                    i,
+                    config,
+                    registry.clone(),
+                    EndorseMode::Marker,
+                    SimDuration::from_millis(400),
+                    SimTime::ZERO,
+                )
+            })
+            .collect()
+    }
+
+    /// Runs one happy-path round by hand: leader proposes, everyone votes,
+    /// all votes delivered everywhere. Returns the proposal.
+    fn run_round(replicas: &mut [FbftReplica], now: SimTime) -> FbftProposal {
+        let round = replicas[0].current_round();
+        let leader = FbftReplica::leader(replicas[0].config(), round).as_usize();
+        let proposal = replicas[leader]
+            .try_propose(Payload::synthetic(1, 1, round.as_u64()))
+            .expect("leader proposes");
+        let votes: Vec<_> = replicas
+            .iter_mut()
+            .filter_map(|r| r.on_proposal(&proposal, now).vote)
+            .collect();
+        for vote in &votes {
+            for replica in replicas.iter_mut() {
+                replica.on_vote(vote, now);
+            }
+        }
+        proposal
+    }
+
+    #[test]
+    fn two_chain_commits_after_two_rounds() {
+        let mut replicas = system(4);
+        let now = SimTime::ZERO;
+        let p1 = run_round(&mut replicas, now);
+        assert!(replicas.iter().all(|r| r.committed_chain().is_empty()));
+        let _p2 = run_round(&mut replicas, now);
+        for r in &replicas {
+            assert_eq!(r.committed_chain(), &[p1.block().id()]);
+            assert!(!r.safety_violated());
+        }
+    }
+
+    #[test]
+    fn all_honest_commits_reach_the_ceiling() {
+        let mut replicas = system(4);
+        let now = SimTime::ZERO;
+        let p1 = run_round(&mut replicas, now);
+        run_round(&mut replicas, now);
+        let cfg = replicas[0].config();
+        for r in &replicas {
+            assert_eq!(
+                r.commit_level(p1.block().id()),
+                Some(cfg.max_strength()),
+                "all n votes endorse the whole chain"
+            );
+        }
+    }
+
+    #[test]
+    fn non_leader_cannot_propose_and_leader_proposes_once() {
+        let mut replicas = system(4);
+        assert!(replicas[0].try_propose(Payload::empty()).is_none());
+        assert!(replicas[1].try_propose(Payload::empty()).is_some());
+        assert!(
+            replicas[1].try_propose(Payload::empty()).is_none(),
+            "propose-once per round"
+        );
+    }
+
+    #[test]
+    fn replica_votes_once_per_round() {
+        let mut replicas = system(4);
+        let now = SimTime::ZERO;
+        let proposal = replicas[1].try_propose(Payload::empty()).unwrap();
+        assert!(replicas[0].on_proposal(&proposal, now).vote.is_some());
+        assert!(replicas[0].on_proposal(&proposal, now).vote.is_none());
+    }
+
+    #[test]
+    fn stale_round_proposal_is_not_voted() {
+        let mut replicas = system(4);
+        let now = SimTime::ZERO;
+        let proposal = replicas[1].try_propose(Payload::empty()).unwrap();
+        let votes: Vec<_> = replicas
+            .iter_mut()
+            .filter_map(|r| r.on_proposal(&proposal, now).vote)
+            .collect();
+        for vote in &votes {
+            for r in replicas.iter_mut() {
+                r.on_vote(vote, now);
+            }
+        }
+        assert!(replicas.iter().all(|r| r.current_round() == Round::new(2)));
+        // Replaying the round-1 proposal cannot attract votes in round 2.
+        assert!(replicas[2].on_proposal(&proposal, now).vote.is_none());
+    }
+
+    #[test]
+    fn timeout_path_forms_tc_and_advances() {
+        let mut replicas = system(4);
+        // Nobody proposes in round 1; deadlines fire at 400 ms.
+        let t = SimTime::from_millis(400);
+        let msgs: Vec<_> = replicas.iter_mut().filter_map(|r| r.on_tick(t)).collect();
+        assert_eq!(msgs.len(), 4);
+        for r in replicas.iter_mut() {
+            assert!(r.on_tick(t).is_none(), "timeout fires once");
+        }
+        for msg in &msgs {
+            for r in replicas.iter_mut() {
+                r.on_timeout_msg(msg, t);
+            }
+        }
+        assert!(replicas.iter().all(|r| r.current_round() == Round::new(2)));
+        // The round-2 leader now proposes on the genesis QC, shipping the TC.
+        let proposal = replicas[2].try_propose(Payload::empty()).expect("leader");
+        assert!(proposal.tc().is_some(), "timeout entry ships the TC");
+        assert!(proposal.is_justified(&replicas[0].config()));
+        let now = t;
+        let votes: Vec<_> = replicas
+            .iter_mut()
+            .filter_map(|r| r.on_proposal(&proposal, now).vote)
+            .collect();
+        assert_eq!(votes.len(), 4, "round-2 proposal attracts every vote");
+    }
+
+    #[test]
+    fn tc_justified_proposal_after_skipped_round_commits_later() {
+        let mut replicas = system(4);
+        let now = SimTime::ZERO;
+        let p1 = run_round(&mut replicas, now); // round 1 certifies
+                                                // Round 2 leader stalls: time out.
+        let t = replicas[0].next_deadline().unwrap();
+        let msgs: Vec<_> = replicas.iter_mut().filter_map(|r| r.on_tick(t)).collect();
+        for msg in &msgs {
+            for r in replicas.iter_mut() {
+                r.on_timeout_msg(msg, t);
+            }
+        }
+        assert!(replicas.iter().all(|r| r.current_round() == Round::new(3)));
+        // Round 3 certifies B3 on top of B1 — but (r1, r3) is not a
+        // 2-chain (non-consecutive rounds), so nothing commits yet.
+        let p3 = run_round(&mut replicas, t);
+        assert_eq!(p3.block().parent_id(), p1.block().id());
+        for r in &replicas {
+            assert!(
+                r.committed_chain().is_empty(),
+                "a round gap breaks the 2-chain"
+            );
+        }
+        // Round 4 closes the (r3, r4) 2-chain: the whole suffix commits.
+        run_round(&mut replicas, t);
+        for r in &replicas {
+            assert_eq!(r.committed_chain(), &[p1.block().id(), p3.block().id()]);
+            assert!(!r.safety_violated());
+        }
+    }
+
+    #[test]
+    fn equivocating_votes_are_detected() {
+        let mut replicas = system(4);
+        let now = SimTime::ZERO;
+        let registry = KeyRegistry::deterministic(4);
+        let proposal = replicas[1].try_propose(Payload::empty()).unwrap();
+        let out = replicas[0].on_proposal(&proposal, now);
+        let honest_vote = out.vote.unwrap();
+        replicas[0].on_vote(&honest_vote, now);
+        // Replica 3 votes for two different blocks in round 1.
+        let other = Block::new(
+            &Block::genesis(),
+            Round::new(1),
+            ReplicaId::new(1),
+            Payload::synthetic(9, 9, 9),
+        );
+        let v1 = StrongVote::new(
+            proposal.block().vote_data(),
+            EndorseInfo::Marker(Round::ZERO),
+            &registry.key_pair(3).unwrap(),
+        );
+        let v2 = StrongVote::new(
+            other.vote_data(),
+            EndorseInfo::Marker(Round::ZERO),
+            &registry.key_pair(3).unwrap(),
+        );
+        replicas[0].on_vote(&v1, now);
+        replicas[0].on_vote(&v2, now);
+        assert_eq!(replicas[0].observed_equivocators(), &[ReplicaId::new(3)]);
+    }
+
+    /// Regression: commits reached via a vote-completed QC must appear in
+    /// the commit log exactly once per (block, level) — `process_qc`'s
+    /// entries were briefly double-appended by `on_vote`.
+    #[test]
+    fn commit_log_has_one_entry_per_block_and_level() {
+        let mut replicas = system(4);
+        let now = SimTime::ZERO;
+        for _ in 0..4 {
+            run_round(&mut replicas, now);
+        }
+        for r in &replicas {
+            assert_eq!(r.committed_chain().len(), 3, "4 rounds commit 3 blocks");
+            let mut seen = HashSet::new();
+            for update in r.commit_log() {
+                assert!(
+                    seen.insert((update.block_id(), update.level())),
+                    "duplicate commit-log entry {update:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn commit_levels_are_monotone_per_block() {
+        let mut replicas = system(7);
+        let now = SimTime::ZERO;
+        for _ in 0..5 {
+            run_round(&mut replicas, now);
+        }
+        for r in &replicas {
+            let mut best: std::collections::HashMap<HashValue, u64> = Default::default();
+            for update in r.commit_log() {
+                let prev = best.entry(update.block_id()).or_insert(0);
+                assert!(update.level() >= *prev, "levels only climb");
+                *prev = update.level();
+            }
+        }
+    }
+}

@@ -165,6 +165,13 @@ impl SimNetwork {
         self.queue.len()
     }
 
+    /// The earliest instant an in-flight message becomes deliverable, or
+    /// `None` if the queue is empty — the quantity an event-driven driver
+    /// (as opposed to the lock-step epoch loop) schedules against.
+    pub fn next_deliver_at(&self) -> Option<SimTime> {
+        self.queue.front().map(|e| e.deliver_at)
+    }
+
     /// Traffic counters since construction.
     pub fn stats(&self) -> NetworkStats {
         self.stats
@@ -238,6 +245,16 @@ mod tests {
         let mut net = SimNetwork::new(SimDuration::from_millis(1));
         net.deliver_due(SimTime::from_millis(5));
         net.deliver_due(SimTime::from_millis(4));
+    }
+
+    #[test]
+    fn next_deliver_at_tracks_the_queue_head() {
+        let mut net = SimNetwork::new(SimDuration::from_millis(100));
+        assert_eq!(net.next_deliver_at(), None);
+        net.send(r(0), r(1), vec![1]);
+        assert_eq!(net.next_deliver_at(), Some(SimTime::from_millis(100)));
+        net.deliver_due(SimTime::from_millis(100));
+        assert_eq!(net.next_deliver_at(), None);
     }
 
     #[test]

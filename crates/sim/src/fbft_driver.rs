@@ -1,0 +1,350 @@
+//! The event-driven SFT-DiemBFT driver.
+//!
+//! Unlike Streamlet's externally clocked epochs, SFT-DiemBFT rounds are
+//! paced by the replicas themselves: a round ends when its QC forms or its
+//! timeout certificate closes it. The driver therefore runs a discrete
+//! event loop over two event sources — network deliveries and pacemaker
+//! deadlines — advancing virtual time to the earliest pending event,
+//! draining every consequence at that instant (self-delivered messages are
+//! free, like a replica hearing itself), and repeating until every honest
+//! replica has moved past the target round.
+
+use std::collections::{HashSet, VecDeque};
+
+use sft_core::{Block, ProtocolConfig};
+use sft_crypto::{HashValue, KeyPair, KeyRegistry};
+use sft_fbft::{FbftMessage, FbftProposal, FbftReplica};
+use sft_network::SimNetwork;
+use sft_types::{
+    Decode, Encode, EndorseInfo, Payload, ReplicaId, Round, SimTime, StrongCommitUpdate, StrongVote,
+};
+
+use crate::{Behavior, SimConfig, SimReport};
+
+struct Node {
+    behavior: Behavior,
+    replica: FbftReplica,
+    key_pair: KeyPair,
+    /// Blocks this (Byzantine) node already forged a vote for.
+    forged_votes: HashSet<HashValue>,
+}
+
+/// Messages pending immediate (same-instant) delivery: a replica's own
+/// broadcasts loop back to it without paying the network delay.
+type Inbox = VecDeque<(ReplicaId, FbftMessage)>;
+
+/// The SFT-DiemBFT simulator. Most callers use
+/// [`SimConfig::run`](crate::SimConfig::run) with
+/// [`Protocol::Fbft`](crate::Protocol::Fbft); the struct is public so
+/// benchmarks can construct and run it directly.
+pub struct FbftSimulation {
+    config: SimConfig,
+    protocol: ProtocolConfig,
+    nodes: Vec<Node>,
+    net: SimNetwork,
+    timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
+}
+
+impl FbftSimulation {
+    /// Builds replicas, keys, and the network for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.behaviors` is not exactly `n` entries.
+    pub fn new(config: SimConfig) -> Self {
+        assert_eq!(config.behaviors.len(), config.n, "one behavior per replica");
+        let protocol = ProtocolConfig::for_replicas(config.n);
+        let registry = KeyRegistry::deterministic(config.n);
+        let nodes = (0..config.n as u16)
+            .map(|id| Node {
+                behavior: config.behaviors[id as usize],
+                replica: FbftReplica::new(
+                    id,
+                    protocol,
+                    registry.clone(),
+                    config.endorse_mode,
+                    config.base_timeout,
+                    SimTime::ZERO,
+                ),
+                key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
+                forged_votes: HashSet::new(),
+            })
+            .collect();
+        Self {
+            net: SimNetwork::new(config.delay),
+            timelines: vec![Vec::new(); config.n],
+            config,
+            protocol,
+            nodes,
+        }
+    }
+
+    /// The protocol configuration derived from `n`.
+    pub fn protocol(&self) -> ProtocolConfig {
+        self.protocol
+    }
+
+    /// Immutable access to replica `id`, for tests and benches.
+    pub fn replica(&self, id: u16) -> &FbftReplica {
+        &self.nodes[id as usize].replica
+    }
+
+    /// Runs until every honest replica passes round `config.epochs` (or no
+    /// event can ever fire again) and reports.
+    pub fn run(mut self) -> SimReport {
+        let target = Round::new(self.config.epochs);
+        self.step_instant(SimTime::ZERO);
+        while self.honest_min_round() <= target {
+            let Some(next) = self.next_event_time() else {
+                break;
+            };
+            self.step_instant(next);
+        }
+        self.report()
+    }
+
+    /// The smallest current round among honest replicas (the run's
+    /// progress measure). Falls back to the global maximum if the
+    /// configuration has no fully honest replica.
+    fn honest_min_round(&self) -> Round {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.behavior, Behavior::Honest | Behavior::StallLeader))
+            .map(|n| n.replica.current_round())
+            .min()
+            .unwrap_or_else(|| {
+                self.nodes
+                    .iter()
+                    .map(|n| n.replica.current_round())
+                    .max()
+                    .expect("at least one replica")
+            })
+    }
+
+    /// The earliest pending event: a network delivery or a live pacemaker
+    /// deadline. `None` when nothing can ever happen again.
+    fn next_event_time(&self) -> Option<SimTime> {
+        let delivery = self.net.next_deliver_at();
+        let deadline = self
+            .nodes
+            .iter()
+            .filter(|n| n.behavior != Behavior::Silent)
+            .filter_map(|n| n.replica.next_deadline())
+            .min();
+        match (delivery, deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Processes everything that happens at instant `now`: due deliveries,
+    /// due timeouts, and new proposals — iterating until the instant
+    /// produces nothing further (self-deliveries cascade within it).
+    fn step_instant(&mut self, now: SimTime) {
+        let mut inbox: Inbox = self
+            .net
+            .deliver_due(now)
+            .into_iter()
+            .map(|e| {
+                let msg = FbftMessage::from_bytes(&e.payload).expect("well-formed wire message");
+                (e.to, msg)
+            })
+            .collect();
+        loop {
+            while let Some((to, msg)) = inbox.pop_front() {
+                self.handle(to, msg, now, &mut inbox);
+            }
+            let fired = self.fire_due_timeouts(now, &mut inbox);
+            let proposed = self.pump_proposals(now, &mut inbox);
+            if inbox.is_empty() && !fired && !proposed {
+                break;
+            }
+        }
+    }
+
+    /// Broadcasts `msg` from `from` over the network and loops it back to
+    /// the sender immediately.
+    fn broadcast(&mut self, from: ReplicaId, msg: FbftMessage, inbox: &mut Inbox) {
+        self.net.broadcast(from, self.config.n, &msg.to_bytes());
+        inbox.push_back((from, msg));
+    }
+
+    /// Fires the round timer of every live node whose deadline has passed.
+    fn fire_due_timeouts(&mut self, now: SimTime, inbox: &mut Inbox) -> bool {
+        let mut fired = false;
+        for i in 0..self.config.n {
+            if self.nodes[i].behavior == Behavior::Silent {
+                continue;
+            }
+            if let Some(msg) = self.nodes[i].replica.on_tick(now) {
+                fired = true;
+                let from = self.nodes[i].replica.id();
+                self.broadcast(from, FbftMessage::Timeout(msg), inbox);
+            }
+        }
+        fired
+    }
+
+    /// Lets every node that leads its current round (and wants to) propose.
+    fn pump_proposals(&mut self, now: SimTime, inbox: &mut Inbox) -> bool {
+        let _ = now;
+        let mut proposed = false;
+        for i in 0..self.config.n {
+            match self.nodes[i].behavior {
+                // Silent never acts; StallLeader's whole deviation is here.
+                Behavior::Silent | Behavior::StallLeader => continue,
+                Behavior::Honest | Behavior::WithholdVote => {
+                    let round = self.nodes[i].replica.current_round();
+                    let payload = self.payload_for(round);
+                    if let Some(proposal) = self.nodes[i].replica.try_propose(payload) {
+                        proposed = true;
+                        let from = proposal.block().proposer();
+                        self.broadcast(from, FbftMessage::Proposal(proposal), inbox);
+                    }
+                }
+                Behavior::Equivocate => {
+                    let round = self.nodes[i].replica.current_round();
+                    let payload = self.payload_for(round);
+                    if let Some(honest) = self.nodes[i].replica.try_propose(payload) {
+                        proposed = true;
+                        self.send_equivocating_pair(i, honest, inbox);
+                    }
+                }
+            }
+        }
+        proposed
+    }
+
+    /// Split-brain delivery of an equivocating leader's twin proposals:
+    /// low ids see A, high ids see B, and the equivocator itself sees both
+    /// (so it casts the conflicting votes honest trackers will flag).
+    fn send_equivocating_pair(&mut self, i: usize, honest: FbftProposal, inbox: &mut Inbox) {
+        let n = self.config.n;
+        let node = &self.nodes[i];
+        let parent = node
+            .replica
+            .store()
+            .get(honest.block().parent_id())
+            .expect("parent of own proposal")
+            .clone();
+        let round = honest.block().round();
+        let conflicting_payload = Payload::synthetic(1, 1, u64::MAX - round.as_u64());
+        let twin_block = Block::new(&parent, round, node.replica.id(), conflicting_payload);
+        let twin = FbftProposal::new(
+            twin_block,
+            honest.qc().clone(),
+            honest.tc().cloned(),
+            &node.key_pair,
+        );
+        let from = node.replica.id();
+        for to in 0..n as u16 {
+            let target = ReplicaId::new(to);
+            let msg = if (to as usize) < n / 2 {
+                FbftMessage::Proposal(honest.clone())
+            } else {
+                FbftMessage::Proposal(twin.clone())
+            };
+            if target == from {
+                inbox.push_back((target, msg));
+            } else {
+                self.net.send(from, target, msg.to_bytes());
+            }
+        }
+        // The equivocator also sees the twin its own half did NOT receive.
+        let other_half = if (from.as_usize()) < n / 2 {
+            twin
+        } else {
+            honest
+        };
+        inbox.push_back((from, FbftMessage::Proposal(other_half)));
+    }
+
+    fn payload_for(&self, round: Round) -> Payload {
+        Payload::synthetic(
+            self.config.txns_per_block,
+            self.config.txn_bytes,
+            round.as_u64(),
+        )
+    }
+
+    /// Processes one delivered message for node `to` according to its
+    /// behavior.
+    fn handle(&mut self, to: ReplicaId, msg: FbftMessage, now: SimTime, inbox: &mut Inbox) {
+        let i = to.as_usize();
+        if self.nodes[i].behavior == Behavior::Silent {
+            return;
+        }
+        match msg {
+            FbftMessage::Proposal(proposal) => match self.nodes[i].behavior {
+                Behavior::Silent => unreachable!("filtered above"),
+                Behavior::Honest | Behavior::StallLeader => {
+                    let outcome = self.nodes[i].replica.on_proposal(&proposal, now);
+                    self.timelines[i].extend(outcome.updates.into_iter().map(|u| (now, u)));
+                    if let Some(vote) = outcome.vote {
+                        self.broadcast(to, FbftMessage::Vote(vote), inbox);
+                    }
+                }
+                Behavior::WithholdVote => {
+                    let outcome = self.nodes[i].replica.on_proposal(&proposal, now);
+                    self.timelines[i].extend(outcome.updates.into_iter().map(|u| (now, u)));
+                }
+                Behavior::Equivocate => {
+                    // Vote for everything, once per block, with a forged
+                    // clean-history marker; the honest vote is discarded.
+                    let outcome = self.nodes[i].replica.on_proposal(&proposal, now);
+                    self.timelines[i].extend(outcome.updates.into_iter().map(|u| (now, u)));
+                    let block_id = proposal.block().id();
+                    if self.nodes[i].forged_votes.insert(block_id) {
+                        let forged = StrongVote::new(
+                            proposal.block().vote_data(),
+                            EndorseInfo::Marker(Round::ZERO),
+                            &self.nodes[i].key_pair,
+                        );
+                        self.broadcast(to, FbftMessage::Vote(forged), inbox);
+                    }
+                }
+            },
+            FbftMessage::Vote(vote) => {
+                let updates = self.nodes[i].replica.on_vote(&vote, now);
+                self.timelines[i].extend(updates.into_iter().map(|u| (now, u)));
+            }
+            FbftMessage::Timeout(timeout) => {
+                let _ = self.nodes[i].replica.on_timeout_msg(&timeout, now);
+            }
+        }
+    }
+
+    /// Snapshot of the current run state as a report.
+    pub fn report(&self) -> SimReport {
+        let chains = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.committed_chain().to_vec())
+            .collect();
+        let commit_logs = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.commit_log().to_vec())
+            .collect();
+        let safety_violations = self
+            .nodes
+            .iter()
+            .filter(|node| node.replica.safety_violated())
+            .count();
+        let equivocators_detected = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.observed_equivocators().len())
+            .max()
+            .unwrap_or(0);
+        SimReport {
+            chains,
+            commit_logs,
+            timelines: self.timelines.clone(),
+            net: self.net.stats(),
+            elapsed: self.net.now(),
+            safety_violations,
+            equivocators_detected,
+        }
+    }
+}

@@ -1,12 +1,22 @@
 //! # sft-sim
 //!
-//! A deterministic, in-process simulator for SFT-Streamlet: `n` replicas
-//! run the full protocol over the [`sft_network::SimNetwork`] transport in
-//! lock-step epochs of two message delays (propose → vote), with pluggable
-//! Byzantine behaviors per replica. There is no real networking and no
-//! wall-clock anywhere, so every run with the same [`SimConfig`] produces
-//! byte-identical results on every platform — which is what makes protocol
-//! bugs reproducible and the paper's delay-sweep experiments (§4) scriptable.
+//! A deterministic, in-process simulator for the SFT protocol family: `n`
+//! replicas run a full protocol over the [`sft_network::SimNetwork`]
+//! transport with pluggable Byzantine behaviors per replica. There is no
+//! real networking and no wall-clock anywhere, so every run with the same
+//! [`SimConfig`] produces byte-identical results on every platform — which
+//! is what makes protocol bugs reproducible and the paper's delay-sweep
+//! experiments (§4) scriptable.
+//!
+//! Two protocols share the harness ([`Protocol`]):
+//!
+//! - [`Protocol::Streamlet`] — the Appendix-D variant, driven in lock-step
+//!   epochs of two message delays (propose → vote) by
+//!   [`Simulation`];
+//! - [`Protocol::Fbft`] — the main-body SFT-DiemBFT protocol, driven
+//!   event-by-event (deliveries and pacemaker deadlines) by
+//!   [`FbftSimulation`], so the timeout/TC recovery path runs exactly as
+//!   the pacemaker schedules it.
 //!
 //! ## Fault injection
 //!
@@ -19,27 +29,36 @@
 //! - [`Behavior::Equivocate`] — as leader, proposes two conflicting blocks
 //!   to the two halves of the replica set; as voter, votes for every
 //!   proposal it sees and always attaches a lying marker of 0.
+//! - [`Behavior::StallLeader`] — follows the protocol except that it never
+//!   proposes when leading. In SFT-DiemBFT this forces the timeout/TC path
+//!   every time its turn comes; in Streamlet (externally clocked epochs,
+//!   no timeout machinery) its epochs simply stay empty.
 //!
 //! ## Example
 //!
 //! ```
-//! use sft_sim::{Behavior, SimConfig};
+//! use sft_sim::{Behavior, Protocol, SimConfig};
 //!
 //! let report = SimConfig::new(4, 10).run();
 //! assert!(report.agreement(), "honest runs always agree");
 //! assert!(report.max_commit_level() >= 1);
+//!
+//! // The same scenario against the round-based main protocol.
+//! let report = SimConfig::new(4, 10).with_protocol(Protocol::Fbft).run();
+//! assert!(report.agreement());
 //! ```
 
 #![deny(missing_docs)]
 
-use sft_core::{Block, ProtocolConfig};
-use sft_crypto::{HashValue, KeyPair, KeyRegistry};
-use sft_network::{NetworkStats, SimNetwork};
-use sft_streamlet::{EndorseMode, Message, Proposal, Replica};
-use sft_types::{
-    Decode, Encode, EndorseInfo, Payload, ReplicaId, Round, SimDuration, SimTime,
-    StrongCommitUpdate, StrongVote,
-};
+pub mod fbft_driver;
+pub mod streamlet_driver;
+
+use sft_crypto::HashValue;
+use sft_network::NetworkStats;
+use sft_types::{EndorseMode, SimDuration, SimTime, StrongCommitUpdate};
+
+pub use fbft_driver::FbftSimulation;
+pub use streamlet_driver::Simulation;
 
 /// Per-replica fault model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -54,6 +73,19 @@ pub enum Behavior {
     /// Proposes conflicting blocks to the two halves of the replica set
     /// when leading; votes for every proposal with a forged zero marker.
     Equivocate,
+    /// Honest in every way except that it never proposes when leading —
+    /// the scenario that exercises the timeout/TC recovery path.
+    StallLeader,
+}
+
+/// Which protocol the simulated replicas run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Protocol {
+    /// SFT-Streamlet (Appendix D): height-based, lock-step epochs.
+    #[default]
+    Streamlet,
+    /// SFT-DiemBFT (§2–§3): round-based, pacemaker-driven with timeouts.
+    Fbft,
 }
 
 /// Simulation parameters. Build with [`SimConfig::new`] and the `with_*`
@@ -62,14 +94,20 @@ pub enum Behavior {
 pub struct SimConfig {
     /// Number of replicas (`n = 3f + 1` recommended).
     pub n: usize,
-    /// Number of epochs to run.
+    /// Number of epochs (Streamlet) or rounds (SFT-DiemBFT) to run.
     pub epochs: u64,
+    /// Which protocol the replicas run.
+    pub protocol: Protocol,
     /// Behavior per replica; defaults to all-honest.
     pub behaviors: Vec<Behavior>,
     /// Endorsement info honest voters attach.
     pub endorse_mode: EndorseMode,
     /// One-way network delay δ.
     pub delay: SimDuration,
+    /// Base round timeout for the SFT-DiemBFT pacemaker (ignored by
+    /// Streamlet, whose epochs are externally clocked). Must exceed the
+    /// 2δ propose-plus-vote exchange; defaults to 4δ.
+    pub base_timeout: SimDuration,
     /// Transactions per proposed block (the paper uses ~1000).
     pub txns_per_block: u32,
     /// Bytes per transaction (the paper uses ~450).
@@ -77,18 +115,27 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// An all-honest configuration with the paper's workload shape
-    /// (1000 × 450 B blocks) and δ = 100 ms.
+    /// An all-honest Streamlet configuration with the paper's workload
+    /// shape (1000 × 450 B blocks) and δ = 100 ms.
     pub fn new(n: usize, epochs: u64) -> Self {
+        let delay = SimDuration::from_millis(100);
         Self {
             n,
             epochs,
+            protocol: Protocol::Streamlet,
             behaviors: vec![Behavior::Honest; n],
             endorse_mode: EndorseMode::Marker,
-            delay: SimDuration::from_millis(100),
+            delay,
+            base_timeout: delay * 4,
             txns_per_block: 1000,
             txn_bytes: 450,
         }
+    }
+
+    /// Selects the protocol the replicas run.
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
     }
 
     /// Sets replica `id`'s behavior.
@@ -107,9 +154,21 @@ impl SimConfig {
         self
     }
 
-    /// Sets the one-way delay δ.
+    /// Sets the one-way delay δ. The base round timeout follows to 4δ
+    /// unless it was explicitly overridden with
+    /// [`with_base_timeout`](Self::with_base_timeout) — builder order does
+    /// not matter.
     pub fn with_delay(mut self, delay: SimDuration) -> Self {
+        if self.base_timeout == self.delay * 4 {
+            self.base_timeout = delay * 4;
+        }
         self.delay = delay;
+        self
+    }
+
+    /// Sets the SFT-DiemBFT base round timeout explicitly.
+    pub fn with_base_timeout(mut self, timeout: SimDuration) -> Self {
+        self.base_timeout = timeout;
         self
     }
 
@@ -120,13 +179,16 @@ impl SimConfig {
         self
     }
 
-    /// Runs the simulation to completion.
+    /// Runs the simulation to completion under the configured protocol.
     pub fn run(self) -> SimReport {
-        Simulation::new(self).run()
+        match self.protocol {
+            Protocol::Streamlet => Simulation::new(self).run(),
+            Protocol::Fbft => FbftSimulation::new(self).run(),
+        }
     }
 }
 
-/// Everything a finished run reports.
+/// Everything a finished run reports, protocol independent.
 #[derive(Clone, Debug)]
 pub struct SimReport {
     /// Committed chain per replica, oldest block first.
@@ -174,255 +236,24 @@ impl SimReport {
             .max()
             .unwrap_or(0)
     }
-}
 
-struct Node {
-    behavior: Behavior,
-    replica: Replica,
-    key_pair: KeyPair,
-    /// Blocks this (Byzantine) node already cast a forged vote for in the
-    /// current epoch, to avoid unbounded duplicates.
-    equivocation_votes: Vec<HashValue>,
-}
+    /// The virtual instant of the first commit-log entry on replica
+    /// `id`'s timeline, if it ever committed — the per-run latency number
+    /// the cross-protocol comparison charts.
+    pub fn first_commit_at(&self, id: usize) -> Option<SimTime> {
+        self.timelines.get(id)?.first().map(|(at, _)| *at)
+    }
 
-/// The simulator: owns the replicas and the network, runs lock-step
-/// epochs. Most callers use [`SimConfig::run`]; the struct is public so
-/// benchmarks can drive epochs one at a time.
-pub struct Simulation {
-    config: SimConfig,
-    protocol: ProtocolConfig,
-    nodes: Vec<Node>,
-    net: SimNetwork,
-    timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
-}
-
-impl Simulation {
-    /// Builds replicas, keys, and the network for `config`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `config.behaviors` is not exactly `n` entries.
-    pub fn new(config: SimConfig) -> Self {
-        assert_eq!(config.behaviors.len(), config.n, "one behavior per replica");
-        let protocol = ProtocolConfig::for_replicas(config.n);
-        let registry = KeyRegistry::deterministic(config.n);
-        let nodes = (0..config.n as u16)
-            .map(|id| Node {
-                behavior: config.behaviors[id as usize],
-                replica: Replica::new(id, protocol, registry.clone(), config.endorse_mode),
-                key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
-                equivocation_votes: Vec::new(),
+    /// Per-block strength levels never decrease in any replica's commit
+    /// log — the monotonicity the §5 log format promises light clients.
+    pub fn commit_strength_monotone(&self) -> bool {
+        self.commit_logs.iter().all(|log| {
+            let mut best: std::collections::HashMap<HashValue, u64> = Default::default();
+            log.iter().all(|update| {
+                let prev = best.insert(update.block_id(), update.level());
+                prev.is_none_or(|p| p <= update.level())
             })
-            .collect();
-        Self {
-            net: SimNetwork::new(config.delay),
-            timelines: vec![Vec::new(); config.n],
-            config,
-            protocol,
-            nodes,
-        }
-    }
-
-    /// The protocol configuration derived from `n`.
-    pub fn protocol(&self) -> ProtocolConfig {
-        self.protocol
-    }
-
-    /// Runs all configured epochs and reports.
-    pub fn run(mut self) -> SimReport {
-        for epoch in 1..=self.config.epochs {
-            self.run_epoch(Round::new(epoch));
-        }
-        self.report()
-    }
-
-    /// Runs one epoch: propose at `T`, deliver + vote at `T + δ`, deliver
-    /// votes and evaluate commits at `T + 2δ`.
-    pub fn run_epoch(&mut self, epoch: Round) {
-        let n = self.config.n;
-        let payload = Payload::synthetic(
-            self.config.txns_per_block,
-            self.config.txn_bytes,
-            epoch.as_u64(),
-        );
-
-        // Phase 1 — propose. Self-routed messages skip the network (a
-        // replica hears itself immediately), everything else pays δ.
-        let mut self_inbox: Vec<(ReplicaId, Message)> = Vec::new();
-        for i in 0..n {
-            let node = &mut self.nodes[i];
-            node.equivocation_votes.clear();
-            let proposals = match node.behavior {
-                Behavior::Silent => Vec::new(),
-                Behavior::Honest | Behavior::WithholdVote => node
-                    .replica
-                    .begin_epoch(epoch, payload.clone())
-                    .into_iter()
-                    .collect(),
-                Behavior::Equivocate => equivocating_proposals(node, epoch, &payload),
-            };
-            match proposals.as_slice() {
-                [] => {}
-                [proposal] => {
-                    let msg = Message::Proposal(proposal.clone());
-                    self.net
-                        .broadcast(proposal.block().proposer(), n, &msg.to_bytes());
-                    self_inbox.push((proposal.block().proposer(), msg));
-                }
-                [a, b] => {
-                    // Split-brain delivery: low ids see A, high ids see B.
-                    let from = a.block().proposer();
-                    for to in 0..n as u16 {
-                        let target = ReplicaId::new(to);
-                        let msg = if (to as usize) < n / 2 {
-                            Message::Proposal(a.clone())
-                        } else {
-                            Message::Proposal(b.clone())
-                        };
-                        if target == from {
-                            self_inbox.push((target, msg));
-                        } else {
-                            self.net.send(from, target, msg.to_bytes());
-                        }
-                    }
-                    // The equivocator also sees the twin its own half did
-                    // NOT receive, so it casts the conflicting votes honest
-                    // trackers will flag regardless of which half it sits in.
-                    let twin = if (from.as_usize()) < n / 2 { b } else { a };
-                    self_inbox.push((from, Message::Proposal(twin.clone())));
-                }
-                _ => unreachable!("at most two proposals per epoch"),
-            }
-        }
-
-        // Phase 2 — deliver proposals, collect votes.
-        let mid = self.net.now() + self.config.delay;
-        let mut votes: Vec<StrongVote> = Vec::new();
-        let mut vote_inbox: Vec<(ReplicaId, Message)> = Vec::new();
-        let deliveries = self_inbox
-            .into_iter()
-            .chain(self.net.deliver_due(mid).into_iter().map(|e| {
-                let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
-                (e.to, msg)
-            }));
-        for (to, msg) in deliveries {
-            let Message::Proposal(proposal) = msg else {
-                continue;
-            };
-            let node = &mut self.nodes[to.as_usize()];
-            for vote in node.handle_proposal(&proposal) {
-                let msg = Message::Vote(vote.clone());
-                self.net.broadcast(to, n, &msg.to_bytes());
-                vote_inbox.push((to, msg));
-                votes.push(vote);
-            }
-        }
-
-        // Phase 3 — deliver votes everywhere, evaluate the commit rules.
-        let end = mid + self.config.delay;
-        let deliveries = vote_inbox
-            .into_iter()
-            .chain(self.net.deliver_due(end).into_iter().map(|e| {
-                let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
-                (e.to, msg)
-            }));
-        for (to, msg) in deliveries {
-            let Message::Vote(vote) = msg else { continue };
-            let node = &mut self.nodes[to.as_usize()];
-            if node.behavior != Behavior::Silent {
-                let now = self.net.now();
-                let updates = node.replica.on_vote(&vote);
-                self.timelines[to.as_usize()].extend(updates.into_iter().map(|u| (now, u)));
-            }
-        }
-    }
-
-    /// Snapshot of the current run state as a report.
-    pub fn report(&self) -> SimReport {
-        let chains = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.committed_chain().to_vec())
-            .collect();
-        let commit_logs = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.commit_log().to_vec())
-            .collect();
-        let safety_violations = self
-            .nodes
-            .iter()
-            .filter(|node| node.replica.safety_violated())
-            .count();
-        let equivocators_detected = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.observed_equivocators().len())
-            .max()
-            .unwrap_or(0);
-        SimReport {
-            chains,
-            commit_logs,
-            timelines: self.timelines.clone(),
-            net: self.net.stats(),
-            elapsed: self.net.now(),
-            safety_violations,
-            equivocators_detected,
-        }
-    }
-
-    /// Immutable access to replica `id`, for tests and benches.
-    pub fn replica(&self, id: u16) -> &Replica {
-        &self.nodes[id as usize].replica
-    }
-}
-
-/// As the epoch leader, produce one honest proposal plus one conflicting
-/// sibling with a different payload tag. Non-leaders produce nothing.
-fn equivocating_proposals(node: &mut Node, epoch: Round, payload: &Payload) -> Vec<Proposal> {
-    let Some(honest) = node.replica.begin_epoch(epoch, payload.clone()) else {
-        return Vec::new();
-    };
-    let parent = node
-        .replica
-        .store()
-        .get(honest.block().parent_id())
-        .expect("parent of own proposal")
-        .clone();
-    let conflicting_payload = Payload::synthetic(1, 1, u64::MAX - epoch.as_u64());
-    let twin = Block::new(&parent, epoch, node.replica.id(), conflicting_payload);
-    let twin = Proposal::new(twin, &node.key_pair);
-    vec![honest, twin]
-}
-
-impl Node {
-    /// Processes one delivered proposal according to the node's behavior,
-    /// returning the votes it broadcasts.
-    fn handle_proposal(&mut self, proposal: &Proposal) -> Vec<StrongVote> {
-        match self.behavior {
-            Behavior::Silent => Vec::new(),
-            Behavior::WithholdVote => {
-                let _ = self.replica.on_proposal(proposal);
-                Vec::new()
-            }
-            Behavior::Honest => self.replica.on_proposal(proposal).into_iter().collect(),
-            Behavior::Equivocate => {
-                // Vote for everything, once per block, with a forged
-                // clean-history marker.
-                let block_id = proposal.block().id();
-                if self.equivocation_votes.contains(&block_id) {
-                    return Vec::new();
-                }
-                self.equivocation_votes.push(block_id);
-                // Keep the replica's store current so later epochs work.
-                let _ = self.replica.on_proposal(proposal);
-                vec![StrongVote::new(
-                    proposal.block().vote_data(),
-                    EndorseInfo::Marker(Round::ZERO),
-                    &self.key_pair,
-                )]
-            }
-        }
+        })
     }
 }
 
@@ -443,8 +274,7 @@ mod tests {
         );
         assert_eq!(report.safety_violations, 0);
         // First commit lands when the second epoch's votes arrive: 4δ.
-        let first_commit = report.timelines[0].first().expect("replica 0 commits").0;
-        assert_eq!(first_commit, SimTime::from_millis(400));
+        assert_eq!(report.first_commit_at(0), Some(SimTime::from_millis(400)));
     }
 
     #[test]

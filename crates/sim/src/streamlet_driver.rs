@@ -1,0 +1,269 @@
+//! The lock-step SFT-Streamlet driver: epochs of two message delays
+//! (propose at `T`, vote at `T + δ`, count at `T + 2δ`), matching the
+//! synchrony assumption of Appendix D where epochs are externally clocked.
+
+use sft_core::{Block, ProtocolConfig};
+use sft_crypto::HashValue;
+use sft_network::SimNetwork;
+use sft_streamlet::{Message, Proposal, Replica};
+use sft_types::{
+    Decode, Encode, EndorseInfo, Payload, ReplicaId, Round, SimTime, StrongCommitUpdate, StrongVote,
+};
+
+use crate::{Behavior, SimConfig, SimReport};
+
+struct Node {
+    behavior: Behavior,
+    replica: Replica,
+    key_pair: sft_crypto::KeyPair,
+    /// Blocks this (Byzantine) node already cast a forged vote for in the
+    /// current epoch, to avoid unbounded duplicates.
+    equivocation_votes: Vec<HashValue>,
+}
+
+/// The Streamlet simulator: owns the replicas and the network, runs
+/// lock-step epochs. Most callers use [`SimConfig::run`]; the struct is
+/// public so benchmarks can drive epochs one at a time.
+pub struct Simulation {
+    config: SimConfig,
+    protocol: ProtocolConfig,
+    nodes: Vec<Node>,
+    net: SimNetwork,
+    timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
+}
+
+impl Simulation {
+    /// Builds replicas, keys, and the network for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.behaviors` is not exactly `n` entries.
+    pub fn new(config: SimConfig) -> Self {
+        assert_eq!(config.behaviors.len(), config.n, "one behavior per replica");
+        let protocol = ProtocolConfig::for_replicas(config.n);
+        let registry = sft_crypto::KeyRegistry::deterministic(config.n);
+        let nodes = (0..config.n as u16)
+            .map(|id| Node {
+                behavior: config.behaviors[id as usize],
+                replica: Replica::new(id, protocol, registry.clone(), config.endorse_mode),
+                key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
+                equivocation_votes: Vec::new(),
+            })
+            .collect();
+        Self {
+            net: SimNetwork::new(config.delay),
+            timelines: vec![Vec::new(); config.n],
+            config,
+            protocol,
+            nodes,
+        }
+    }
+
+    /// The protocol configuration derived from `n`.
+    pub fn protocol(&self) -> ProtocolConfig {
+        self.protocol
+    }
+
+    /// Runs all configured epochs and reports.
+    pub fn run(mut self) -> SimReport {
+        for epoch in 1..=self.config.epochs {
+            self.run_epoch(Round::new(epoch));
+        }
+        self.report()
+    }
+
+    /// Runs one epoch: propose at `T`, deliver + vote at `T + δ`, deliver
+    /// votes and evaluate commits at `T + 2δ`.
+    pub fn run_epoch(&mut self, epoch: Round) {
+        let n = self.config.n;
+        let payload = Payload::synthetic(
+            self.config.txns_per_block,
+            self.config.txn_bytes,
+            epoch.as_u64(),
+        );
+
+        // Phase 1 — propose. Self-routed messages skip the network (a
+        // replica hears itself immediately), everything else pays δ.
+        let mut self_inbox: Vec<(ReplicaId, Message)> = Vec::new();
+        for i in 0..n {
+            let node = &mut self.nodes[i];
+            node.equivocation_votes.clear();
+            let proposals = match node.behavior {
+                Behavior::Silent => Vec::new(),
+                Behavior::StallLeader => {
+                    // Advances its epoch like everyone else, but its own
+                    // proposal (if leading) is never sent anywhere.
+                    let _ = node.replica.begin_epoch(epoch, payload.clone());
+                    Vec::new()
+                }
+                Behavior::Honest | Behavior::WithholdVote => node
+                    .replica
+                    .begin_epoch(epoch, payload.clone())
+                    .into_iter()
+                    .collect(),
+                Behavior::Equivocate => equivocating_proposals(node, epoch, &payload),
+            };
+            match proposals.as_slice() {
+                [] => {}
+                [proposal] => {
+                    let msg = Message::Proposal(proposal.clone());
+                    self.net
+                        .broadcast(proposal.block().proposer(), n, &msg.to_bytes());
+                    self_inbox.push((proposal.block().proposer(), msg));
+                }
+                [a, b] => {
+                    // Split-brain delivery: low ids see A, high ids see B.
+                    let from = a.block().proposer();
+                    for to in 0..n as u16 {
+                        let target = ReplicaId::new(to);
+                        let msg = if (to as usize) < n / 2 {
+                            Message::Proposal(a.clone())
+                        } else {
+                            Message::Proposal(b.clone())
+                        };
+                        if target == from {
+                            self_inbox.push((target, msg));
+                        } else {
+                            self.net.send(from, target, msg.to_bytes());
+                        }
+                    }
+                    // The equivocator also sees the twin its own half did
+                    // NOT receive, so it casts the conflicting votes honest
+                    // trackers will flag regardless of which half it sits in.
+                    let twin = if (from.as_usize()) < n / 2 { b } else { a };
+                    self_inbox.push((from, Message::Proposal(twin.clone())));
+                }
+                _ => unreachable!("at most two proposals per epoch"),
+            }
+        }
+
+        // Phase 2 — deliver proposals, collect votes.
+        let mid = self.net.now() + self.config.delay;
+        let mut vote_inbox: Vec<(ReplicaId, Message)> = Vec::new();
+        let deliveries = self_inbox
+            .into_iter()
+            .chain(self.net.deliver_due(mid).into_iter().map(|e| {
+                let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
+                (e.to, msg)
+            }));
+        for (to, msg) in deliveries {
+            let Message::Proposal(proposal) = msg else {
+                continue;
+            };
+            let node = &mut self.nodes[to.as_usize()];
+            for vote in node.handle_proposal(&proposal) {
+                let msg = Message::Vote(vote.clone());
+                self.net.broadcast(to, n, &msg.to_bytes());
+                vote_inbox.push((to, msg));
+            }
+        }
+
+        // Phase 3 — deliver votes everywhere, evaluate the commit rules.
+        let end = mid + self.config.delay;
+        let deliveries = vote_inbox
+            .into_iter()
+            .chain(self.net.deliver_due(end).into_iter().map(|e| {
+                let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
+                (e.to, msg)
+            }));
+        for (to, msg) in deliveries {
+            let Message::Vote(vote) = msg else { continue };
+            let node = &mut self.nodes[to.as_usize()];
+            if node.behavior != Behavior::Silent {
+                let now = self.net.now();
+                let updates = node.replica.on_vote(&vote);
+                self.timelines[to.as_usize()].extend(updates.into_iter().map(|u| (now, u)));
+            }
+        }
+    }
+
+    /// Snapshot of the current run state as a report.
+    pub fn report(&self) -> SimReport {
+        let chains = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.committed_chain().to_vec())
+            .collect();
+        let commit_logs = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.commit_log().to_vec())
+            .collect();
+        let safety_violations = self
+            .nodes
+            .iter()
+            .filter(|node| node.replica.safety_violated())
+            .count();
+        let equivocators_detected = self
+            .nodes
+            .iter()
+            .map(|node| node.replica.observed_equivocators().len())
+            .max()
+            .unwrap_or(0);
+        SimReport {
+            chains,
+            commit_logs,
+            timelines: self.timelines.clone(),
+            net: self.net.stats(),
+            elapsed: self.net.now(),
+            safety_violations,
+            equivocators_detected,
+        }
+    }
+
+    /// Immutable access to replica `id`, for tests and benches.
+    pub fn replica(&self, id: u16) -> &Replica {
+        &self.nodes[id as usize].replica
+    }
+}
+
+/// As the epoch leader, produce one honest proposal plus one conflicting
+/// sibling with a different payload tag. Non-leaders produce nothing.
+fn equivocating_proposals(node: &mut Node, epoch: Round, payload: &Payload) -> Vec<Proposal> {
+    let Some(honest) = node.replica.begin_epoch(epoch, payload.clone()) else {
+        return Vec::new();
+    };
+    let parent = node
+        .replica
+        .store()
+        .get(honest.block().parent_id())
+        .expect("parent of own proposal")
+        .clone();
+    let conflicting_payload = Payload::synthetic(1, 1, u64::MAX - epoch.as_u64());
+    let twin = Block::new(&parent, epoch, node.replica.id(), conflicting_payload);
+    let twin = Proposal::new(twin, &node.key_pair);
+    vec![honest, twin]
+}
+
+impl Node {
+    /// Processes one delivered proposal according to the node's behavior,
+    /// returning the votes it broadcasts.
+    fn handle_proposal(&mut self, proposal: &Proposal) -> Vec<StrongVote> {
+        match self.behavior {
+            Behavior::Silent => Vec::new(),
+            Behavior::WithholdVote => {
+                let _ = self.replica.on_proposal(proposal);
+                Vec::new()
+            }
+            Behavior::Honest | Behavior::StallLeader => {
+                self.replica.on_proposal(proposal).into_iter().collect()
+            }
+            Behavior::Equivocate => {
+                // Vote for everything, once per block, with a forged
+                // clean-history marker.
+                let block_id = proposal.block().id();
+                if self.equivocation_votes.contains(&block_id) {
+                    return Vec::new();
+                }
+                self.equivocation_votes.push(block_id);
+                // Keep the replica's store current so later epochs work.
+                let _ = self.replica.on_proposal(proposal);
+                vec![StrongVote::new(
+                    proposal.block().vote_data(),
+                    EndorseInfo::Marker(Round::ZERO),
+                    &self.key_pair,
+                )]
+            }
+        }
+    }
+}

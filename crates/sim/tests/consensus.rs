@@ -6,6 +6,63 @@ use sft_sim::{Behavior, SimConfig};
 use sft_streamlet::EndorseMode;
 use sft_types::SimDuration;
 
+/// A stalling leader has no timeout machinery to trip in Streamlet —
+/// epochs are externally clocked — so its leadership epochs simply stay
+/// empty and notarization resumes in the next epoch. Liveness degrades
+/// (the 3-consecutive-epochs window restarts) but agreement and the
+/// strength ceiling are untouched, since the staller still votes.
+#[test]
+fn stalling_leader_only_leaves_empty_epochs() {
+    let report = SimConfig::new(4, 12)
+        .with_behavior(2, Behavior::StallLeader)
+        .run();
+    assert!(report.agreement());
+    assert_eq!(report.safety_violations, 0);
+    assert!(
+        report.max_committed() >= 3,
+        "commits land between the staller's leadership slots"
+    );
+    let cfg = ProtocolConfig::for_replicas(4);
+    assert_eq!(
+        report.max_commit_level(),
+        cfg.max_strength(),
+        "the staller votes, so strength still reaches 2f"
+    );
+}
+
+/// §3.4 interval endorsements in the honest Streamlet voting path: an
+/// all-honest run behaves exactly like marker mode (clean histories make
+/// `I = [1, r]`), reaching the ceiling.
+#[test]
+fn interval_mode_reaches_the_ceiling() {
+    let report = SimConfig::new(4, 8)
+        .with_endorse_mode(EndorseMode::Interval)
+        .run();
+    assert!(report.agreement());
+    assert_eq!(
+        report.max_commit_level(),
+        ProtocolConfig::for_replicas(4).max_strength()
+    );
+}
+
+/// Under equivocation the interval set is at least as generous as the
+/// marker (the marker is its single-interval over-approximation, §3.4), so
+/// interval-mode runs can only match or beat marker-mode strength.
+#[test]
+fn interval_mode_is_at_least_as_strong_as_marker_under_equivocation() {
+    let run = |mode| {
+        SimConfig::new(4, 12)
+            .with_behavior(0, Behavior::Equivocate)
+            .with_endorse_mode(mode)
+            .run()
+    };
+    let marker = run(EndorseMode::Marker);
+    let interval = run(EndorseMode::Interval);
+    assert!(marker.agreement() && interval.agreement());
+    assert!(interval.max_commit_level() >= marker.max_commit_level());
+    assert!(interval.commit_strength_monotone());
+}
+
 /// n = 4 honest replicas reach both commit levels: every block commits via
 /// the standard three-consecutive-epochs rule (strength ≥ f = 1), and with
 /// all n voters endorsing, commits reach the strong 2f = 2 ceiling.

@@ -37,4 +37,6 @@ pub mod message;
 pub mod replica;
 
 pub use message::{Message, Proposal};
-pub use replica::{EndorseMode, Replica};
+pub use replica::Replica;
+// Historically defined here; now shared with the round-based replica.
+pub use sft_types::EndorseMode;

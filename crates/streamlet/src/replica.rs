@@ -3,25 +3,14 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use sft_core::{Block, BlockStore, EndorsementTracker, ProtocolConfig, VoteOutcome, VoteTracker};
+use sft_core::{
+    honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, ProtocolConfig,
+    VoteOutcome, VoteTracker,
+};
 use sft_crypto::{HashValue, KeyPair, KeyRegistry};
-use sft_types::{EndorseInfo, Payload, ReplicaId, Round, StrongCommitUpdate, StrongVote};
+use sft_types::{EndorseMode, Payload, ReplicaId, Round, StrongCommitUpdate, StrongVote};
 
 use crate::message::Proposal;
-
-/// Which endorsement information honest voters attach to their votes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum EndorseMode {
-    /// Vanilla Streamlet votes ([`EndorseInfo::None`]): the baseline
-    /// configuration of the paper's evaluation. Votes endorse only the
-    /// block they name, so ancestors are never strengthened by descendants.
-    Vanilla,
-    /// §3.2 strong-votes carrying the conflicting-round marker: each vote
-    /// also endorses every ancestor newer than the voter's last conflicting
-    /// vote. This is the paper's "one integer of overhead" configuration.
-    #[default]
-    Marker,
-}
 
 /// A single SFT-Streamlet replica: epoch state machine, vote aggregation,
 /// the two-level commit rule, and the strong-commit log.
@@ -95,12 +84,11 @@ pub struct Replica {
     notarized_children: HashMap<HashValue, Vec<HashValue>>,
     epoch: Round,
     voted_epochs: HashSet<Round>,
-    /// Every block this replica ever voted for, for marker computation.
+    /// Every block this replica ever voted for, for marker/interval
+    /// computation (§3.2 / §3.4).
     voted_blocks: Vec<(Round, HashValue)>,
-    committed: Vec<HashValue>,
-    committed_ids: HashSet<HashValue>,
+    ledger: CommitLedger,
     commit_log: Vec<StrongCommitUpdate>,
-    safety_violation: bool,
 }
 
 impl Replica {
@@ -134,10 +122,8 @@ impl Replica {
             epoch: Round::ZERO,
             voted_epochs: HashSet::new(),
             voted_blocks: Vec::new(),
-            committed: Vec::new(),
-            committed_ids: HashSet::new(),
+            ledger: CommitLedger::new(),
             commit_log: Vec::new(),
-            safety_violation: false,
         }
     }
 
@@ -173,7 +159,7 @@ impl Replica {
 
     /// The committed chain, oldest block first (genesis excluded).
     pub fn committed_chain(&self) -> &[HashValue] {
-        &self.committed
+        self.ledger.chain()
     }
 
     /// The strong-commit log: one [`StrongCommitUpdate`] per commit and per
@@ -185,7 +171,7 @@ impl Replica {
     /// The highest strength level recorded for a committed block, or `None`
     /// if the block is not committed.
     pub fn commit_level(&self, block_id: HashValue) -> Option<u64> {
-        if !self.committed_ids.contains(&block_id) {
+        if !self.ledger.contains(block_id) {
             return None;
         }
         self.endorsements.strength(block_id)
@@ -195,7 +181,7 @@ impl Replica {
     /// — impossible while the fault assumption of the committed levels
     /// holds, and the signal the strengthened rule exists to prevent.
     pub fn safety_violated(&self) -> bool {
-        self.safety_violation
+        self.ledger.safety_violated()
     }
 
     /// Replicas caught equivocating by this replica's vote tracker.
@@ -246,7 +232,8 @@ impl Replica {
         if !self.extends_longest_notarized(block) {
             return None;
         }
-        let endorse = self.endorse_info(block);
+        let endorse =
+            honest_endorse_info(self.endorse_mode, &self.store, &self.voted_blocks, block);
         self.voted_epochs.insert(block.round());
         self.voted_blocks.push((block.round(), block.id()));
         Some(StrongVote::new(block.vote_data(), endorse, &self.key_pair))
@@ -288,7 +275,7 @@ impl Replica {
         // Endorsements may have raised the strength of blocks committed
         // earlier (possibly far in the past): report each increase once.
         for block_id in grown {
-            if self.committed_ids.contains(&block_id) {
+            if self.ledger.contains(block_id) {
                 if let Some(update) = self.endorsements.take_level_update(block_id, &self.store) {
                     updates.push(update);
                 }
@@ -316,25 +303,6 @@ impl Replica {
         self.store
             .get(block.parent_id())
             .is_some_and(|parent| parent.height() == max_height)
-    }
-
-    /// The endorsement info an honest voter attaches when voting for
-    /// `block`: in marker mode, the highest round of any previously voted
-    /// block that conflicts with (is not an ancestor of) `block` (§3.2).
-    fn endorse_info(&self, block: &Block) -> EndorseInfo {
-        match self.endorse_mode {
-            EndorseMode::Vanilla => EndorseInfo::None,
-            EndorseMode::Marker => {
-                let marker = self
-                    .voted_blocks
-                    .iter()
-                    .filter(|(_, id)| !self.store.extends(block.id(), *id))
-                    .map(|(round, _)| *round)
-                    .max()
-                    .unwrap_or(Round::ZERO);
-                EndorseInfo::Marker(marker)
-            }
-        }
     }
 
     /// Streamlet's commit rule: three notarized blocks at consecutive
@@ -411,50 +379,9 @@ impl Replica {
             .max_by(|a, b| (a.height(), a.round(), a.id()).cmp(&(b.height(), b.round(), b.id())))
             .map(Block::id);
         match best_middle {
-            Some(middle_id) => self.finalize_through(middle_id),
+            Some(middle_id) => self.ledger.finalize_through(&self.store, middle_id),
             None => Vec::new(),
         }
-    }
-
-    /// Finalizes the chain through `middle_id` by walking back to the
-    /// committed tip — O(new suffix), not O(whole chain). The finalized
-    /// chain must extend what was committed before; anything else flags a
-    /// safety violation (observable only when the actual fault count
-    /// exceeds the committed strength level).
-    fn finalize_through(&mut self, middle_id: HashValue) -> Vec<HashValue> {
-        if self.committed_ids.contains(&middle_id) {
-            return Vec::new();
-        }
-        let mut suffix = Vec::new();
-        let mut cursor = middle_id;
-        let extends_committed_tip = loop {
-            let Some(block) = self.store.get(cursor) else {
-                return Vec::new();
-            };
-            if block.is_genesis() {
-                // Rooted directly at genesis: consistent only if nothing
-                // was committed before.
-                break self.committed.is_empty();
-            }
-            suffix.push(cursor);
-            let parent_id = block.parent_id();
-            if self.committed_ids.contains(&parent_id) {
-                // Extending anything but the committed tip forks out of
-                // the middle of the finalized prefix.
-                break self.committed.last() == Some(&parent_id);
-            }
-            cursor = parent_id;
-        };
-        if !extends_committed_tip {
-            self.safety_violation = true;
-            return Vec::new();
-        }
-        suffix.reverse();
-        for id in &suffix {
-            self.committed.push(*id);
-            self.committed_ids.insert(*id);
-        }
-        suffix
     }
 
     fn votes_registry(&self) -> &KeyRegistry {
@@ -471,7 +398,7 @@ impl fmt::Debug for Replica {
             self.id,
             self.epoch,
             self.notarized.len(),
-            self.committed.len()
+            self.ledger.chain().len()
         )
     }
 }

@@ -13,6 +13,7 @@
 //! | strong-vote `⟨vote, B, r, marker⟩_i` (§3.2, Fig 4) | [`vote`]: [`StrongVote`], [`VoteData`] |
 //! | endorsement marker / interval set `I` (§3.2, §3.4) | [`vote`]: [`EndorseInfo`]; [`interval`]: [`RoundIntervalSet`] |
 //! | endorser accounting per block (§3.2) | [`bitset`]: [`SignerSet`] |
+//! | timeout `⟨timeout, r⟩_i`, TC (main protocol liveness) | [`timeout`]: [`TimeoutMsg`], [`TimeoutCertificate`] |
 //! | strong-commit `Log` for light clients (§5) | [`commit_log`]: [`StrongCommitUpdate`] |
 //! | block contents / workload of §4 | [`transaction`]: [`Transaction`], [`Payload`] |
 //! | injected delays δ of the evaluation (§4) | [`time`]: [`SimTime`], [`SimDuration`] |
@@ -40,6 +41,7 @@ pub mod commit_log;
 pub mod ids;
 pub mod interval;
 pub mod time;
+pub mod timeout;
 pub mod transaction;
 pub mod vote;
 
@@ -49,5 +51,8 @@ pub use commit_log::{commit_log_digest, StrongCommitUpdate};
 pub use ids::{Height, ReplicaId, Round};
 pub use interval::{RoundInterval, RoundIntervalSet};
 pub use time::{SimDuration, SimTime};
+pub use timeout::{
+    timeout_signing_digest, TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome,
+};
 pub use transaction::{Payload, Transaction};
-pub use vote::{vote_signing_digest, EndorseInfo, StrongVote, VoteData};
+pub use vote::{vote_signing_digest, EndorseInfo, EndorseMode, StrongVote, VoteData};

@@ -1,0 +1,452 @@
+//! Timeout messages and timeout certificates — the liveness machinery of
+//! the round-based main protocol (SFT-DiemBFT).
+//!
+//! When a replica's round timer expires before it sees a quorum certificate
+//! for the round, it broadcasts a signed [`TimeoutMsg`] naming the round and
+//! the highest QC round it knows. `2f + 1` distinct timeout messages for the
+//! same round aggregate into a [`TimeoutCertificate`] (TC), which justifies
+//! every replica advancing to the next round even though nothing was
+//! certified — the synchronizer pattern of the DiemBFT / Jolteon lineage.
+//!
+//! The [`TimeoutAggregator`] mirrors [`VoteTracker`](../sft_core) at the
+//! timeout layer: it verifies signatures, deduplicates authors per round,
+//! and emits each round's certificate exactly once.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use sft_crypto::{HashValue, Hasher, KeyPair, KeyRegistry, Signature};
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::{ReplicaId, Round, SignerSet};
+
+/// Signing preimage for a timeout message: binds the timed-out round and
+/// the sender's highest QC round under one signature.
+pub fn timeout_signing_digest(round: Round, high_qc_round: Round) -> HashValue {
+    Hasher::new("timeout")
+        .field(&round.as_u64().to_be_bytes())
+        .field(&high_qc_round.as_u64().to_be_bytes())
+        .finish()
+}
+
+/// A replica's signed declaration that `round` expired without a QC:
+/// `⟨timeout, r, qc_high⟩_i`.
+///
+/// # Examples
+///
+/// ```
+/// use sft_crypto::KeyRegistry;
+/// use sft_types::{ReplicaId, Round, TimeoutMsg};
+///
+/// let registry = KeyRegistry::deterministic(4);
+/// let msg = TimeoutMsg::new(Round::new(5), Round::new(3), &registry.key_pair(2).unwrap());
+/// assert_eq!(msg.author(), ReplicaId::new(2));
+/// assert!(msg.verify(&registry));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct TimeoutMsg {
+    round: Round,
+    high_qc_round: Round,
+    author: ReplicaId,
+    signature: Signature,
+}
+
+impl TimeoutMsg {
+    /// Creates and signs a timeout message.
+    pub fn new(round: Round, high_qc_round: Round, key_pair: &KeyPair) -> Self {
+        let digest = timeout_signing_digest(round, high_qc_round);
+        Self {
+            round,
+            high_qc_round,
+            author: ReplicaId::new(key_pair.signer() as u16),
+            signature: key_pair.sign(digest.as_ref()),
+        }
+    }
+
+    /// Reassembles a message from parts (decoder and Byzantine harnesses).
+    pub fn from_parts(
+        round: Round,
+        high_qc_round: Round,
+        author: ReplicaId,
+        signature: Signature,
+    ) -> Self {
+        Self {
+            round,
+            high_qc_round,
+            author,
+            signature,
+        }
+    }
+
+    /// The round that timed out.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The highest QC round the sender had seen when it timed out.
+    pub fn high_qc_round(&self) -> Round {
+        self.high_qc_round
+    }
+
+    /// The sending replica.
+    pub fn author(&self) -> ReplicaId {
+        self.author
+    }
+
+    /// The signature over `(round, high_qc_round)`.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// Verifies the signature against the PKI.
+    pub fn verify(&self, registry: &KeyRegistry) -> bool {
+        let digest = timeout_signing_digest(self.round, self.high_qc_round);
+        registry.verify(self.author.as_u64(), digest.as_ref(), &self.signature)
+    }
+}
+
+impl fmt::Debug for TimeoutMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TimeoutMsg({} r={} qc_high={})",
+            self.author, self.round, self.high_qc_round
+        )
+    }
+}
+
+impl Encode for TimeoutMsg {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.round.encode(buf);
+        self.high_qc_round.encode(buf);
+        self.author.encode(buf);
+        self.signature.encode(buf);
+    }
+}
+
+impl Decode for TimeoutMsg {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self {
+            round: Round::decode(buf)?,
+            high_qc_round: Round::decode(buf)?,
+            author: ReplicaId::decode(buf)?,
+            signature: Signature::decode(buf)?,
+        })
+    }
+}
+
+/// Proof that `2f + 1` distinct replicas timed out in the same round.
+///
+/// Carries the maximum `high_qc_round` among the aggregated messages — the
+/// next leader must propose on a QC at least that fresh, which is what
+/// makes the timeout path safe (no certified block can be forgotten).
+///
+/// As with [`QuorumCertificate`](../sft_core), the per-message signatures
+/// live with the aggregator; the certificate carries the signer set, which
+/// is all downstream logic consumes.
+#[derive(Clone, PartialEq, Eq)]
+pub struct TimeoutCertificate {
+    round: Round,
+    max_high_qc_round: Round,
+    signers: SignerSet,
+}
+
+impl TimeoutCertificate {
+    /// Assembles a certificate from parts. Callers are expected to have
+    /// verified the underlying timeout messages (the aggregator has).
+    pub fn new(round: Round, max_high_qc_round: Round, signers: SignerSet) -> Self {
+        Self {
+            round,
+            max_high_qc_round,
+            signers,
+        }
+    }
+
+    /// The round the certificate closes.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// The freshest QC round any aggregated replica had seen.
+    pub fn max_high_qc_round(&self) -> Round {
+        self.max_high_qc_round
+    }
+
+    /// The replicas whose timeout messages formed the certificate.
+    pub fn signers(&self) -> &SignerSet {
+        &self.signers
+    }
+
+    /// Digest of the certificate (mixed into proposal signing preimages).
+    pub fn digest(&self) -> HashValue {
+        Hasher::new("timeout-certificate")
+            .field(&self.to_bytes())
+            .finish()
+    }
+}
+
+impl fmt::Debug for TimeoutCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TC(r={} qc_high={} by {:?})",
+            self.round, self.max_high_qc_round, self.signers
+        )
+    }
+}
+
+impl Encode for TimeoutCertificate {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.round.encode(buf);
+        self.max_high_qc_round.encode(buf);
+        self.signers.encode(buf);
+    }
+}
+
+impl Decode for TimeoutCertificate {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self {
+            round: Round::decode(buf)?,
+            max_high_qc_round: Round::decode(buf)?,
+            signers: SignerSet::decode(buf)?,
+        })
+    }
+}
+
+/// Outcome of feeding one timeout message to a [`TimeoutAggregator`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TimeoutOutcome {
+    /// The message was counted; the round now has this many timeouts.
+    Counted(usize),
+    /// The message completed the quorum: the round's certificate formed.
+    /// Emitted at most once per round.
+    Certified(TimeoutCertificate),
+    /// This replica already timed out in this round — ignored.
+    Duplicate,
+    /// The signature did not verify — ignored.
+    BadSignature,
+}
+
+/// Aggregates verified timeout messages into timeout certificates.
+///
+/// The quorum is passed as a plain count (the `2f + 1` of the protocol
+/// configuration) so this crate stays independent of the quorum arithmetic
+/// in `sft-core`.
+///
+/// # Examples
+///
+/// ```
+/// use sft_crypto::KeyRegistry;
+/// use sft_types::{Round, TimeoutAggregator, TimeoutMsg, TimeoutOutcome};
+///
+/// let registry = KeyRegistry::deterministic(4);
+/// let mut agg = TimeoutAggregator::new(4, 3, registry.clone());
+/// for i in 0..2 {
+///     let msg = TimeoutMsg::new(Round::new(1), Round::ZERO, &registry.key_pair(i).unwrap());
+///     assert!(matches!(agg.add(&msg), TimeoutOutcome::Counted(_)));
+/// }
+/// let msg = TimeoutMsg::new(Round::new(1), Round::ZERO, &registry.key_pair(2).unwrap());
+/// assert!(matches!(agg.add(&msg), TimeoutOutcome::Certified(_)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimeoutAggregator {
+    n: usize,
+    quorum: usize,
+    registry: KeyRegistry,
+    /// Per round: the distinct signers and the max `high_qc_round` seen.
+    by_round: HashMap<Round, (SignerSet, Round)>,
+    /// Rounds that already produced a certificate (emit-once).
+    certified: HashSet<Round>,
+}
+
+impl TimeoutAggregator {
+    /// Creates an aggregator for `n` replicas with the given quorum count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quorum` is zero or exceeds `n`.
+    pub fn new(n: usize, quorum: usize, registry: KeyRegistry) -> Self {
+        assert!(quorum >= 1 && quorum <= n, "bad quorum {quorum} for n={n}");
+        Self {
+            n,
+            quorum,
+            registry,
+            by_round: HashMap::new(),
+            certified: HashSet::new(),
+        }
+    }
+
+    /// Verifies and counts one timeout message. See [`TimeoutOutcome`].
+    pub fn add(&mut self, msg: &TimeoutMsg) -> TimeoutOutcome {
+        if !msg.verify(&self.registry) {
+            return TimeoutOutcome::BadSignature;
+        }
+        let n = self.n;
+        let (signers, max_high) = self
+            .by_round
+            .entry(msg.round())
+            .or_insert_with(|| (SignerSet::new(n), Round::ZERO));
+        if !signers.insert(msg.author()) {
+            return TimeoutOutcome::Duplicate;
+        }
+        *max_high = (*max_high).max(msg.high_qc_round());
+        let count = signers.len();
+        if count >= self.quorum && self.certified.insert(msg.round()) {
+            let (signers, max_high) = &self.by_round[&msg.round()];
+            return TimeoutOutcome::Certified(TimeoutCertificate::new(
+                msg.round(),
+                *max_high,
+                signers.clone(),
+            ));
+        }
+        TimeoutOutcome::Counted(count)
+    }
+
+    /// Number of distinct replicas that timed out in `round` so far.
+    pub fn timeouts_for(&self, round: Round) -> usize {
+        self.by_round.get(&round).map_or(0, |(s, _)| s.len())
+    }
+
+    /// True if `round` already produced a certificate.
+    pub fn is_certified(&self, round: Round) -> bool {
+        self.certified.contains(&round)
+    }
+
+    /// Drops per-round state for all rounds below `round` — the caller has
+    /// advanced past them, so their certificates can never matter again.
+    pub fn prune_below(&mut self, round: Round) {
+        self.by_round.retain(|r, _| *r >= round);
+        self.certified.retain(|r| *r >= round);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (KeyRegistry, TimeoutAggregator) {
+        let registry = KeyRegistry::deterministic(4);
+        let agg = TimeoutAggregator::new(4, 3, registry.clone());
+        (registry, agg)
+    }
+
+    fn msg(registry: &KeyRegistry, signer: u64, round: u64, high: u64) -> TimeoutMsg {
+        TimeoutMsg::new(
+            Round::new(round),
+            Round::new(high),
+            &registry.key_pair(signer).unwrap(),
+        )
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let (registry, _) = setup();
+        let m = msg(&registry, 1, 5, 3);
+        assert!(m.verify(&registry));
+        assert_eq!(m.round(), Round::new(5));
+        assert_eq!(m.high_qc_round(), Round::new(3));
+        assert_eq!(m.author(), ReplicaId::new(1));
+    }
+
+    #[test]
+    fn tampered_round_fails_verification() {
+        let (registry, _) = setup();
+        let honest = msg(&registry, 1, 5, 3);
+        let forged = TimeoutMsg::from_parts(
+            Round::new(6),
+            honest.high_qc_round(),
+            honest.author(),
+            *honest.signature(),
+        );
+        assert!(!forged.verify(&registry));
+    }
+
+    #[test]
+    fn quorum_certifies_exactly_once() {
+        let (registry, mut agg) = setup();
+        assert_eq!(
+            agg.add(&msg(&registry, 0, 2, 0)),
+            TimeoutOutcome::Counted(1)
+        );
+        assert_eq!(
+            agg.add(&msg(&registry, 1, 2, 1)),
+            TimeoutOutcome::Counted(2)
+        );
+        let outcome = agg.add(&msg(&registry, 2, 2, 0));
+        let TimeoutOutcome::Certified(tc) = outcome else {
+            panic!("expected certification, got {outcome:?}");
+        };
+        assert_eq!(tc.round(), Round::new(2));
+        assert_eq!(tc.max_high_qc_round(), Round::new(1), "max of aggregated");
+        assert_eq!(tc.signers().len(), 3);
+        assert!(agg.is_certified(Round::new(2)));
+        // A fourth message still counts but does not re-certify.
+        assert_eq!(
+            agg.add(&msg(&registry, 3, 2, 0)),
+            TimeoutOutcome::Counted(4)
+        );
+        assert_eq!(agg.timeouts_for(Round::new(2)), 4);
+    }
+
+    #[test]
+    fn duplicates_and_bad_signatures_ignored() {
+        let (registry, mut agg) = setup();
+        agg.add(&msg(&registry, 0, 1, 0));
+        assert_eq!(agg.add(&msg(&registry, 0, 1, 0)), TimeoutOutcome::Duplicate);
+        let honest = msg(&registry, 1, 1, 0);
+        let forged = TimeoutMsg::from_parts(
+            honest.round(),
+            honest.high_qc_round(),
+            ReplicaId::new(2), // wrong author for the signature
+            *honest.signature(),
+        );
+        assert_eq!(agg.add(&forged), TimeoutOutcome::BadSignature);
+        assert_eq!(agg.timeouts_for(Round::new(1)), 1);
+    }
+
+    #[test]
+    fn rounds_are_independent() {
+        let (registry, mut agg) = setup();
+        agg.add(&msg(&registry, 0, 1, 0));
+        agg.add(&msg(&registry, 0, 2, 0));
+        assert_eq!(agg.timeouts_for(Round::new(1)), 1);
+        assert_eq!(agg.timeouts_for(Round::new(2)), 1);
+    }
+
+    #[test]
+    fn prune_drops_stale_rounds() {
+        let (registry, mut agg) = setup();
+        for s in 0..3 {
+            agg.add(&msg(&registry, s, 1, 0));
+        }
+        agg.add(&msg(&registry, 0, 5, 0));
+        assert!(agg.is_certified(Round::new(1)));
+        agg.prune_below(Round::new(4));
+        assert!(!agg.is_certified(Round::new(1)));
+        assert_eq!(agg.timeouts_for(Round::new(1)), 0);
+        assert_eq!(agg.timeouts_for(Round::new(5)), 1, "live rounds survive");
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let (registry, mut agg) = setup();
+        let m = msg(&registry, 3, 7, 4);
+        let back = TimeoutMsg::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+        assert!(back.verify(&registry));
+
+        agg.add(&msg(&registry, 0, 7, 0));
+        agg.add(&msg(&registry, 1, 7, 1));
+        let TimeoutOutcome::Certified(tc) = agg.add(&msg(&registry, 2, 7, 2)) else {
+            panic!("third timeout certifies");
+        };
+        let back = TimeoutCertificate::from_bytes(&tc.to_bytes()).unwrap();
+        assert_eq!(back, tc);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad quorum")]
+    fn zero_quorum_panics() {
+        TimeoutAggregator::new(4, 0, KeyRegistry::deterministic(4));
+    }
+}

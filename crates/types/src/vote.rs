@@ -119,6 +119,30 @@ impl Decode for VoteData {
     }
 }
 
+/// Which endorsement information honest voters attach to their votes.
+///
+/// This is a *configuration* knob (per deployment, not per vote): it decides
+/// which [`EndorseInfo`] variant an honest replica computes when it votes.
+/// Byzantine replicas can of course attach whatever they like — the commit
+/// rules only ever credit what a vote's signature actually covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EndorseMode {
+    /// Vanilla votes ([`EndorseInfo::None`]): the unmodified-baseline
+    /// configuration of the paper's evaluation (§4). Votes endorse only the
+    /// block they name, so ancestors are never strengthened by descendants.
+    Vanilla,
+    /// §3.2 strong-votes carrying the conflicting-round marker: each vote
+    /// also endorses every ancestor newer than the voter's last conflicting
+    /// vote. This is the paper's "one integer of overhead" configuration.
+    #[default]
+    Marker,
+    /// §3.4 generalized strong-votes carrying the explicit interval set
+    /// `I`: per conflicting fork `F`, only the window `D_F` back to the
+    /// fork point is excluded, recovering endorsements the single marker
+    /// over-approximates away.
+    Interval,
+}
+
 /// The endorsement summary attached to a strong-vote.
 ///
 /// Decides which *ancestors* of the voted block this vote endorses (the
