@@ -3,14 +3,24 @@
 //! scenarios — the "two protocols, one harness" experiment the ROADMAP's
 //! scenario-diversity goal asks for.
 //!
-//! Two kinds of numbers come out:
+//! Three kinds of numbers come out:
 //!
 //! - **simulator throughput** (wall time per full run) via the harness —
 //!   how expensive each protocol is to simulate;
 //! - **protocol metrics** (virtual commit latency, commit strength,
 //!   message/byte complexity) printed as a comparison table — the numbers
 //!   that correspond to the paper's Figs 7/8, now side by side per
-//!   protocol.
+//!   protocol;
+//! - **batched throughput scaling** (committed txns/s of virtual time)
+//!   across a replica-count sweep, batched vs unbatched — the number the
+//!   batching + pipelining work is graded by.
+//!
+//! Knobs (environment variables, since cargo-bench owns the CLI):
+//!
+//! ```text
+//! SFT_SWEEP_N=4,7,13   replica counts for the batched scaling sweep
+//! SFT_BATCH=256        transactions per drained batch
+//! ```
 
 use sft_bench::Harness;
 use sft_sim::{Behavior, Protocol, SimConfig, SimReport};
@@ -28,6 +38,13 @@ fn scenario(protocol: Protocol, behavior: Option<Behavior>) -> SimConfig {
         config = config.with_behavior((N - 1) as u16, behavior);
     }
     config
+}
+
+fn batched(protocol: Protocol, n: usize, batch: u32) -> SimConfig {
+    SimConfig::new(n, ROUNDS)
+        .with_protocol(protocol)
+        .with_workload(100, 64)
+        .with_batch_size(batch)
 }
 
 fn protocol_name(protocol: Protocol) -> &'static str {
@@ -49,6 +66,25 @@ fn describe(report: &SimReport) -> String {
         report.net.messages,
         report.net.bytes,
     )
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(name)
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|v| v.trim().parse().ok())
+                .collect()
+        })
+        .filter(|list: &Vec<usize>| !list.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {
@@ -78,6 +114,31 @@ fn main() {
                 name,
                 protocol_name(protocol),
                 describe(&report)
+            );
+        }
+    }
+
+    // Batched throughput scaling: committed txns per virtual second across
+    // a replica-count sweep, against the unbatched (batch = 1) baseline.
+    let sweep = env_list("SFT_SWEEP_N", &[4, 7, 13]);
+    let batch = env_u32("SFT_BATCH", 256).max(2);
+    println!("\n-- batched throughput sweep (batch={batch}, honest) --");
+    for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+        for &n in &sweep {
+            let report = batched(protocol, n, batch).run();
+            assert!(report.agreement());
+            let baseline = batched(protocol, n, 1).run();
+            let speedup = report.txns_committed as f64 / baseline.txns_committed.max(1) as f64;
+            println!(
+                "  {:<10} n={n:<3} {:>8} txns  {:>10.1} txns/s  ({speedup:.0}x over unbatched, {} msgs)",
+                protocol_name(protocol),
+                report.txns_committed,
+                report.txns_per_sec(),
+                report.net.messages,
+            );
+            harness.bench(
+                &format!("{}::batched_n{n}_b{batch}", protocol_name(protocol)),
+                || batched(protocol, n, batch).run().txns_committed,
             );
         }
     }

@@ -9,12 +9,22 @@
 //!
 //! flags:
 //!   --protocol streamlet | fbft | both   which protocol(s) to run (default streamlet)
+//!   --batch-size B                       txns per drained mempool batch; 0 = synthetic
+//!                                        descriptor workload (default 256)
+//!   --replicas LIST                      comma-separated n sweep, e.g. 4,7,10; the
+//!                                        first entry is the headline run
 //!   --json-dir DIR                       also write BENCH_<protocol>.json summaries
 //! ```
 //!
+//! Every batched headline run is compared against an *unbatched* baseline
+//! (the same scenario at batch size 1, equal simulated time); the run fails
+//! if batching does not commit at least twice the transactions — the
+//! regression bar CI holds the batching/pipelining path to.
+//!
 //! The JSON summaries (`BENCH_streamlet.json` / `BENCH_fbft.json`) are the
-//! machine-readable perf trajectory CI archives on every run, so future
-//! changes can be compared against a recorded baseline.
+//! machine-readable perf trajectory CI archives on every run and feeds to
+//! `scripts/bench_gate`, so future changes are compared against a recorded
+//! baseline instead of asserted fast.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -27,7 +37,17 @@ struct Args {
     epochs: u64,
     byzantine: Option<Behavior>,
     protocols: Vec<Protocol>,
+    batch_size: u32,
+    sweep: Vec<usize>,
     json_dir: Option<String>,
+}
+
+fn parse_replica_count(value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .ok()
+        .filter(|n| *n >= 4)
+        .ok_or_else(|| format!("bad replica count {value:?}; need >= 4"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +56,8 @@ fn parse_args() -> Result<Args, String> {
         epochs: 10,
         byzantine: None,
         protocols: vec![Protocol::Streamlet],
+        batch_size: 256,
+        sweep: Vec::new(),
         json_dir: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -52,18 +74,28 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown protocol {other:?}")),
                 };
             }
+            "--batch-size" => {
+                let value = iter.next().ok_or("--batch-size needs a value")?;
+                args.batch_size = value
+                    .parse()
+                    .map_err(|_| format!("bad batch size {value:?}"))?;
+            }
+            "--replicas" => {
+                let value = iter.next().ok_or("--replicas needs a value")?;
+                args.sweep = value
+                    .split(',')
+                    .map(parse_replica_count)
+                    .collect::<Result<_, _>>()?;
+                if args.sweep.is_empty() {
+                    return Err("--replicas needs at least one value".to_string());
+                }
+            }
             "--json-dir" => {
                 args.json_dir = Some(iter.next().ok_or("--json-dir needs a value")?.clone());
             }
             value => {
                 match positional {
-                    0 => {
-                        args.n = value
-                            .parse()
-                            .ok()
-                            .filter(|n| *n >= 4)
-                            .ok_or_else(|| format!("bad replica count {value:?}; need >= 4"))?;
-                    }
+                    0 => args.n = parse_replica_count(value)?,
                     1 => {
                         args.epochs = value
                             .parse()
@@ -88,6 +120,11 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    if args.sweep.is_empty() {
+        args.sweep = vec![args.n];
+    } else {
+        args.n = args.sweep[0];
+    }
     Ok(args)
 }
 
@@ -109,14 +146,45 @@ fn behavior_name(behavior: Option<Behavior>) -> &'static str {
     }
 }
 
-/// Renders the run summary as a flat JSON object. Written by hand — the
-/// offline dependency set has no serde, and the schema is a dozen scalar
-/// fields.
+/// One simulated scenario, ready to run.
+fn configure(args: &Args, protocol: Protocol, n: usize, batch_size: u32) -> SimConfig {
+    let mut config = SimConfig::new(n, args.epochs)
+        .with_protocol(protocol)
+        .with_batch_size(batch_size);
+    if let Some(behavior) = args.byzantine {
+        config = config.with_behavior((n - 1) as u16, behavior);
+    }
+    config
+}
+
+/// Sanity-checks every run, batched or not: agreement, liveness, and
+/// monotone commit strength.
+fn validate(report: &SimReport) -> Result<(), String> {
+    if !report.agreement() || report.safety_violations > 0 {
+        return Err(format!(
+            "replicas disagree (violations: {})",
+            report.safety_violations
+        ));
+    }
+    if report.max_committed() == 0 {
+        return Err("nothing committed".to_string());
+    }
+    if !report.commit_strength_monotone() {
+        return Err("commit strength regressed".to_string());
+    }
+    Ok(())
+}
+
+/// Renders the run summary as a flat JSON object (plus a small `sweep`
+/// array). Written by hand — the offline dependency set has no serde, and
+/// the schema is a dozen scalar fields.
 fn summary_json(
     args: &Args,
     protocol: Protocol,
     cfg: ProtocolConfig,
     report: &SimReport,
+    baseline: Option<&SimReport>,
+    sweep: &[(usize, SimReport)],
 ) -> String {
     let mut out = String::from("{\n");
     let mut field = |key: &str, value: String| {
@@ -127,7 +195,27 @@ fn summary_json(
     field("f", cfg.f().to_string());
     field("epochs", args.epochs.to_string());
     field("behavior", format!("\"{}\"", behavior_name(args.byzantine)));
+    field("batch_size", args.batch_size.to_string());
     field("committed_blocks", report.max_committed().to_string());
+    field("txns_committed", report.txns_committed.to_string());
+    field("txns_per_sec", format!("{:.3}", report.txns_per_sec()));
+    field(
+        "baseline_txns_committed",
+        baseline.map_or("null".to_string(), |b| b.txns_committed.to_string()),
+    );
+    field(
+        "baseline_txns_per_sec",
+        baseline.map_or("null".to_string(), |b| format!("{:.3}", b.txns_per_sec())),
+    );
+    field(
+        "batch_speedup",
+        baseline.map_or("null".to_string(), |b| {
+            format!(
+                "{:.3}",
+                report.txns_committed as f64 / (b.txns_committed.max(1)) as f64
+            )
+        }),
+    );
     field("max_commit_level", report.max_commit_level().to_string());
     field("strength_ceiling", cfg.max_strength().to_string());
     field("agreement", report.agreement().to_string());
@@ -143,20 +231,29 @@ fn summary_json(
     );
     field("elapsed_us", report.elapsed.as_micros().to_string());
     field("messages", report.net.messages.to_string());
-    // Last field without the trailing comma.
-    let _ = write!(out, "  \"bytes\": {}\n}}\n", report.net.bytes);
+    field("bytes", report.net.bytes.to_string());
+    // The larger-n sweep: throughput scaling at the configured batch size.
+    let entries: Vec<String> = sweep
+        .iter()
+        .map(|(n, r)| {
+            format!(
+                "    {{\"n\": {n}, \"txns_committed\": {}, \"txns_per_sec\": {:.3}, \"elapsed_us\": {}, \"messages\": {}}}",
+                r.txns_committed,
+                r.txns_per_sec(),
+                r.elapsed.as_micros(),
+                r.net.messages
+            )
+        })
+        .collect();
+    let _ = write!(out, "  \"sweep\": [\n{}\n  ]\n}}\n", entries.join(",\n"));
     out
 }
 
 fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     let cfg = ProtocolConfig::for_replicas(args.n);
-    let mut config = SimConfig::new(args.n, args.epochs).with_protocol(protocol);
-    if let Some(behavior) = args.byzantine {
-        config = config.with_behavior((args.n - 1) as u16, behavior);
-        println!("replica {} is {:?}", args.n - 1, behavior);
-    }
+    let config = configure(args, protocol, args.n, args.batch_size);
     println!(
-        "running SFT-{}: n={} (f={}), {} {}, δ={}, quorum={}, 2f ceiling={}",
+        "running SFT-{}: n={} (f={}), {} {}, δ={}, quorum={}, 2f ceiling={}, batch={}",
         if protocol == Protocol::Fbft {
             "DiemBFT"
         } else {
@@ -173,13 +270,24 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
         config.delay,
         cfg.quorum(),
         cfg.max_strength(),
+        if args.batch_size == 0 {
+            "synthetic".to_string()
+        } else {
+            args.batch_size.to_string()
+        },
     );
+    if let Some(behavior) = args.byzantine {
+        println!("replica {} is {:?}", args.n - 1, behavior);
+    }
 
     let report = config.run();
+    validate(&report)?;
 
     println!(
-        "\ncommitted chain (replica 0): {} blocks",
-        report.chains[0].len()
+        "\ncommitted chain (replica 0): {} blocks, {} txns ({:.1} txns/s virtual)",
+        report.chains[0].len(),
+        report.txns_committed,
+        report.txns_per_sec(),
     );
     for (at, update) in &report.timelines[0] {
         println!(
@@ -205,18 +313,44 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
         println!("equivocators detected: {}", report.equivocators_detected);
     }
 
-    if !report.agreement() || report.safety_violations > 0 {
-        return Err(format!(
-            "replicas disagree (violations: {})",
-            report.safety_violations
-        ));
+    // The batching bar: against an unbatched (batch-size 1) baseline at
+    // equal simulated time, batched+pipelined runs must commit at least
+    // twice the transactions. Skipped in synthetic-workload mode.
+    let baseline = if args.batch_size >= 2 {
+        let baseline = configure(args, protocol, args.n, 1).run();
+        validate(&baseline)?;
+        let speedup = report.txns_committed as f64 / baseline.txns_committed.max(1) as f64;
+        println!(
+            "batching: {} txns vs {} unbatched at equal simulated time ({speedup:.1}x)",
+            report.txns_committed, baseline.txns_committed
+        );
+        if speedup < 2.0 {
+            return Err(format!(
+                "batching speedup {speedup:.2}x below the 2x bar (batched {} vs baseline {})",
+                report.txns_committed, baseline.txns_committed
+            ));
+        }
+        Some(baseline)
+    } else {
+        None
+    };
+
+    // Larger-n sweep at the configured batch size (headline run reused).
+    let mut sweep: Vec<(usize, SimReport)> = vec![(args.n, report.clone())];
+    for &n in args.sweep.iter().skip(1) {
+        let r = configure(args, protocol, n, args.batch_size).run();
+        validate(&r)?;
+        println!(
+            "sweep n={n}: {} committed, {} txns ({:.1} txns/s), {} msgs, elapsed {}",
+            r.max_committed(),
+            r.txns_committed,
+            r.txns_per_sec(),
+            r.net.messages,
+            r.elapsed
+        );
+        sweep.push((n, r));
     }
-    if report.max_committed() == 0 {
-        return Err("nothing committed".to_string());
-    }
-    if !report.commit_strength_monotone() {
-        return Err("commit strength regressed".to_string());
-    }
+
     println!(
         "\nOK: agreement holds, max commit level {}",
         report.max_commit_level()
@@ -224,7 +358,7 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
 
     if let Some(dir) = &args.json_dir {
         let path = format!("{dir}/BENCH_{}.json", protocol_name(protocol));
-        let json = summary_json(args, protocol, cfg, &report);
+        let json = summary_json(args, protocol, cfg, &report, baseline.as_ref(), &sweep);
         std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");
     }

@@ -1,0 +1,301 @@
+//! The perf-regression gate: compares two `BENCH_*.json` run summaries.
+//!
+//! CI archives the `repro` binary's JSON summaries on every run
+//! (`BENCH_streamlet.json` / `BENCH_fbft.json`). The gate turns that
+//! archive into an actual check: `scripts/bench_gate` downloads the
+//! previous run's artifacts and the [`compare`] function here grades the
+//! new run against them — commit latency, throughput, and message/byte
+//! complexity each must stay within a tolerance band of the baseline, and
+//! the run fails otherwise. The first run (no baseline artifact yet) seeds
+//! the baseline and passes.
+//!
+//! The summaries are this workspace's own flat hand-written JSON (the
+//! offline dependency set has no serde), so parsing is a deliberately
+//! minimal line scanner over `  "key": value` pairs — nested values (the
+//! `sweep` array) are skipped.
+//!
+//! Every gated metric is *virtual* (simulated time, deterministic message
+//! counts): identical code produces bit-identical summaries on any
+//! machine, so the default tolerance is tight (5%) — it exists to absorb
+//! small intentional shifts, not measurement noise. Keep it tight: the
+//! baseline rolls forward every run, so each tolerated regression
+//! compounds into the next run's baseline.
+
+use std::collections::BTreeMap;
+
+/// One scalar field of a run summary.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// A JSON number (integers included; the gate compares as `f64`).
+    Number(f64),
+    /// A JSON string, unquoted.
+    Text(String),
+    /// A JSON boolean.
+    Bool(bool),
+    /// JSON `null` (e.g. `baseline_txns_per_sec` in synthetic mode).
+    Null,
+}
+
+/// A parsed `BENCH_*.json` summary: the top-level scalar fields.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    fields: BTreeMap<String, FieldValue>,
+}
+
+impl Summary {
+    /// Parses the scalar fields of a summary produced by the `repro`
+    /// binary. Unknown or nested values are ignored, so old and new
+    /// schema revisions stay comparable on their shared fields.
+    pub fn parse(json: &str) -> Self {
+        let mut fields = BTreeMap::new();
+        for line in json.lines() {
+            let line = line.trim();
+            let Some(rest) = line.strip_prefix('"') else {
+                continue;
+            };
+            let Some((key, raw)) = rest.split_once("\":") else {
+                continue;
+            };
+            let raw = raw.trim().trim_end_matches(',');
+            let value = if let Some(text) = raw.strip_prefix('"') {
+                FieldValue::Text(text.trim_end_matches('"').to_string())
+            } else if raw == "true" || raw == "false" {
+                FieldValue::Bool(raw == "true")
+            } else if raw == "null" {
+                FieldValue::Null
+            } else if let Ok(number) = raw.parse::<f64>() {
+                FieldValue::Number(number)
+            } else {
+                continue; // nested value ("[", "{") or garbage: skip
+            };
+            fields.insert(key.to_string(), value);
+        }
+        Self { fields }
+    }
+
+    /// The field, if present.
+    pub fn get(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.get(key)
+    }
+
+    /// The field as a number, if present and numeric.
+    pub fn number(&self, key: &str) -> Option<f64> {
+        match self.fields.get(key) {
+            Some(FieldValue::Number(n)) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Which direction of movement counts as a regression for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Better {
+    /// Larger values are improvements (throughput).
+    Higher,
+    /// Smaller values are improvements (latency, traffic).
+    Lower,
+}
+
+/// One gated metric: a summary field plus its improvement direction.
+#[derive(Clone, Copy, Debug)]
+pub struct Metric {
+    /// Summary field name.
+    pub field: &'static str,
+    /// Improvement direction.
+    pub better: Better,
+}
+
+/// The metrics the gate holds every run to: commit latency, throughput,
+/// and message/byte complexity.
+pub const GATED_METRICS: &[Metric] = &[
+    Metric {
+        field: "first_commit_us",
+        better: Better::Lower,
+    },
+    Metric {
+        field: "txns_per_sec",
+        better: Better::Higher,
+    },
+    Metric {
+        field: "messages",
+        better: Better::Lower,
+    },
+    Metric {
+        field: "bytes",
+        better: Better::Lower,
+    },
+];
+
+/// Scenario-identity fields: when any differs between baseline and new
+/// run, the runs measured different experiments and the gate skips the
+/// numeric comparison (the new run reseeds the baseline) instead of
+/// reporting nonsense regressions.
+pub const IDENTITY_FIELDS: &[&str] = &["protocol", "n", "f", "epochs", "behavior", "batch_size"];
+
+/// The verdict for one summary pair.
+#[derive(Clone, Debug, Default)]
+pub struct GateResult {
+    /// Human-readable per-metric lines (passes and skips included).
+    pub notes: Vec<String>,
+    /// Regressions beyond tolerance; non-empty means the gate fails.
+    pub regressions: Vec<String>,
+}
+
+impl GateResult {
+    /// True when no gated metric regressed beyond tolerance.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Grades `new` against `baseline` with a relative `tolerance` (0.25 =
+/// 25% slack). Invariant fields (`agreement`, `strength_monotone`) must
+/// hold in the new run regardless of the baseline.
+pub fn compare(baseline: &Summary, new: &Summary, tolerance: f64) -> GateResult {
+    let mut result = GateResult::default();
+    for key in ["agreement", "strength_monotone"] {
+        if matches!(new.get(key), Some(FieldValue::Bool(false))) {
+            result.regressions.push(format!("{key} is false"));
+        }
+    }
+    for key in IDENTITY_FIELDS {
+        let (old, new_value) = (baseline.get(key), new.get(key));
+        // A field present on only one side is a scenario change too: an
+        // old-schema baseline predates the knob, so its workload cannot be
+        // assumed comparable (e.g. pre-batching summaries have no
+        // `batch_size` but measured a different workload entirely).
+        if old != new_value {
+            result.notes.push(format!(
+                "scenario changed ({key}: {old:?} -> {new_value:?}); baseline reseeded, comparison skipped"
+            ));
+            return result;
+        }
+    }
+    for metric in GATED_METRICS {
+        let (Some(old), Some(current)) = (baseline.number(metric.field), new.number(metric.field))
+        else {
+            result
+                .notes
+                .push(format!("{}: missing in one side, skipped", metric.field));
+            continue;
+        };
+        let (regressed, arrow) = match metric.better {
+            Better::Higher => (current < old * (1.0 - tolerance), "fell"),
+            Better::Lower => (current > old * (1.0 + tolerance), "rose"),
+        };
+        let line = format!(
+            "{}: {old:.3} -> {current:.3} ({:+.1}%)",
+            metric.field,
+            (current - old) / old.max(f64::MIN_POSITIVE) * 100.0
+        );
+        if regressed {
+            result.regressions.push(format!(
+                "{line} — {arrow} beyond the {:.0}% tolerance",
+                tolerance * 100.0
+            ));
+        } else {
+            result.notes.push(line);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(txns_per_sec: f64, messages: f64, first_commit_us: f64) -> Summary {
+        Summary::parse(&format!(
+            "{{\n  \"protocol\": \"fbft\",\n  \"n\": 4,\n  \"batch_size\": 256,\n  \"agreement\": true,\n  \"strength_monotone\": true,\n  \"first_commit_us\": {first_commit_us},\n  \"txns_per_sec\": {txns_per_sec},\n  \"messages\": {messages},\n  \"bytes\": 1000,\n  \"sweep\": [\n    {{\"n\": 4, \"messages\": 99}}\n  ]\n}}\n"
+        ))
+    }
+
+    #[test]
+    fn parser_reads_scalars_and_skips_nested_values() {
+        let s = summary(1152.0, 156.0, 400000.0);
+        assert_eq!(s.number("txns_per_sec"), Some(1152.0));
+        assert_eq!(
+            s.get("protocol"),
+            Some(&FieldValue::Text("fbft".to_string()))
+        );
+        assert_eq!(s.get("agreement"), Some(&FieldValue::Bool(true)));
+        assert_eq!(s.get("sweep"), None, "nested array is not a scalar field");
+        // Sweep entries must not leak their keys into the top level.
+        assert_eq!(s.number("messages"), Some(156.0));
+    }
+
+    #[test]
+    fn parser_handles_null() {
+        let s = Summary::parse("{\n  \"baseline_txns_per_sec\": null\n}\n");
+        assert_eq!(s.get("baseline_txns_per_sec"), Some(&FieldValue::Null));
+        assert_eq!(s.number("baseline_txns_per_sec"), None);
+    }
+
+    #[test]
+    fn equal_runs_pass() {
+        let base = summary(1000.0, 150.0, 400000.0);
+        let result = compare(&base, &base.clone(), 0.25);
+        assert!(result.passed(), "{:?}", result.regressions);
+    }
+
+    #[test]
+    fn improvements_and_in_tolerance_noise_pass() {
+        let base = summary(1000.0, 150.0, 400000.0);
+        let new = summary(2000.0, 140.0, 300000.0);
+        assert!(compare(&base, &new, 0.25).passed());
+        let noisy = summary(900.0, 160.0, 440000.0); // within 25%
+        assert!(compare(&base, &noisy, 0.25).passed());
+    }
+
+    #[test]
+    fn throughput_drop_beyond_tolerance_fails() {
+        let base = summary(1000.0, 150.0, 400000.0);
+        let new = summary(500.0, 150.0, 400000.0);
+        let result = compare(&base, &new, 0.25);
+        assert!(!result.passed());
+        assert!(result.regressions[0].contains("txns_per_sec"));
+    }
+
+    #[test]
+    fn latency_and_message_growth_fail() {
+        let base = summary(1000.0, 150.0, 400000.0);
+        let slow = summary(1000.0, 150.0, 900000.0);
+        assert!(!compare(&base, &slow, 0.25).passed());
+        let chatty = summary(1000.0, 400.0, 400000.0);
+        assert!(!compare(&base, &chatty, 0.25).passed());
+    }
+
+    #[test]
+    fn old_schema_baseline_reseeds_instead_of_failing() {
+        // Pre-batching summaries have no batch_size field and measured a
+        // synthetic workload; comparing bytes across that schema change
+        // would report a huge bogus regression and deadlock CI (the
+        // artifact only refreshes once the gate passes).
+        let old = Summary::parse(
+            "{\n  \"protocol\": \"fbft\",\n  \"n\": 4,\n  \"agreement\": true,\n  \"bytes\": 23529\n}\n",
+        );
+        let new = summary(1152.0, 156.0, 400000.0);
+        let result = compare(&old, &new, 0.25);
+        assert!(result.passed(), "{:?}", result.regressions);
+        assert!(result.notes[0].contains("scenario changed"));
+    }
+
+    #[test]
+    fn scenario_change_skips_comparison() {
+        let base = summary(1000.0, 150.0, 400000.0);
+        let mut new = summary(1.0, 9999.0, 9999999.0);
+        new.fields.insert("n".to_string(), FieldValue::Number(7.0));
+        let result = compare(&base, &new, 0.25);
+        assert!(result.passed(), "different scenario must not fail the gate");
+        assert!(result.notes[0].contains("scenario changed"));
+    }
+
+    #[test]
+    fn broken_invariants_fail_even_against_no_baseline_numbers() {
+        let base = Summary::default();
+        let new = Summary::parse("{\n  \"agreement\": false\n}\n");
+        let result = compare(&base, &new, 0.25);
+        assert!(!result.passed());
+        assert!(result.regressions[0].contains("agreement"));
+    }
+}

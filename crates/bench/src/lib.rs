@@ -17,6 +17,8 @@
 
 #![deny(missing_docs)]
 
+pub mod gate;
+
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 

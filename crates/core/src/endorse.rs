@@ -14,7 +14,8 @@ use std::collections::HashMap;
 
 use sft_crypto::HashValue;
 use sft_types::{
-    EndorseInfo, EndorseMode, Round, RoundIntervalSet, SignerSet, StrongCommitUpdate, StrongVote,
+    EndorseInfo, EndorseMode, ReplicaId, Round, RoundIntervalSet, SignerSet, StrongCommitUpdate,
+    StrongVote,
 };
 
 use crate::{Block, BlockStore, ProtocolConfig};
@@ -122,6 +123,61 @@ pub struct EndorsementTracker {
     /// Highest strength level already reported per block, so level
     /// increases are emitted exactly once.
     reported_level: HashMap<HashValue, u64>,
+    /// Per-voter endorsement frontier: the last block each voter's recorded
+    /// vote named, plus the info it carried. When a later vote extends the
+    /// frontier and its info admits no sub-frontier round the frontier vote
+    /// excluded, the ancestor walk stops at the frontier instead of
+    /// re-walking to genesis — the amortization that keeps per-vote work
+    /// proportional to chain *growth*, not chain *length*.
+    frontiers: HashMap<ReplicaId, VoterFrontier>,
+    /// Total ancestors visited across all walks — the cost metric the
+    /// frontier cutoff exists to shrink (observable via
+    /// [`walk_steps`](Self::walk_steps); the equivalence property suite
+    /// asserts it stays below the naive full walk's).
+    walk_steps: u64,
+}
+
+/// The most recent vote recorded for one voter: walk-cutoff state.
+#[derive(Clone, Debug)]
+struct VoterFrontier {
+    block_id: HashValue,
+    round: Round,
+    info: EndorseInfo,
+}
+
+/// True if every round `<= ceiling` admitted by `new` is also admitted by
+/// `old` — the condition under which a walk may stop at the old vote's
+/// block: anything the new vote could endorse below it, the old vote
+/// already did.
+///
+/// Honest histories always satisfy this (markers only grow; §3.4 exclusion
+/// windows below an extended block are stable), so the fallback full walk
+/// only runs for chain switches and forged infos.
+fn admits_subset_below(new: &EndorseInfo, old: &EndorseInfo, ceiling: Round) -> bool {
+    if ceiling == Round::ZERO {
+        return true; // no endorsable round exists at or below genesis
+    }
+    let restrict = |info: &EndorseInfo| -> RoundIntervalSet {
+        match info {
+            EndorseInfo::None => RoundIntervalSet::new(),
+            EndorseInfo::Marker(m) => RoundIntervalSet::from_marker(*m, ceiling),
+            EndorseInfo::Intervals(set) => {
+                let mut s = set.clone();
+                s.clamp(Round::new(1), ceiling);
+                s
+            }
+        }
+    };
+    match (new, old) {
+        // A vote that endorses no ancestors is vacuously covered.
+        (EndorseInfo::None, _) => true,
+        // Marker vs marker: admitted-below sets are suffixes (m, ceiling];
+        // subset iff the new marker is at least the old one.
+        (EndorseInfo::Marker(new_m), EndorseInfo::Marker(old_m)) => {
+            *new_m >= *old_m || *new_m >= ceiling
+        }
+        _ => restrict(new).is_subset_of(&restrict(old)),
+    }
 }
 
 impl EndorsementTracker {
@@ -131,6 +187,8 @@ impl EndorsementTracker {
             config,
             endorsers: HashMap::new(),
             reported_level: HashMap::new(),
+            frontiers: HashMap::new(),
+            walk_steps: 0,
         }
     }
 
@@ -138,6 +196,14 @@ impl EndorsementTracker {
     /// block directly, plus each strict ancestor admitted by the vote's
     /// [`EndorseInfo`]. Returns the ids of blocks
     /// whose endorser set grew.
+    ///
+    /// Incremental: the walk stops early at the voter's previous voted
+    /// block (its *frontier*) whenever the new info cannot endorse any
+    /// sub-frontier round the previous vote refused — everything below is
+    /// then already credited, so a voter following one growing chain costs
+    /// O(blocks since its last vote) instead of O(chain length). Votes that
+    /// jump chains or carry widened (forged) infos fall back to the full
+    /// walk and stay exactly equivalent to it.
     ///
     /// Callers must have verified the vote's signature (the
     /// [`VoteTracker`](crate::VoteTracker) has) — the endorsement walk
@@ -159,6 +225,20 @@ impl EndorsementTracker {
         {
             grown.push(voted_id);
         }
+        // The frontier cutoff: sound only if the new info admits no round
+        // at or below the frontier that the frontier vote's info refused.
+        let stop_at = self.frontiers.get(&vote.author()).and_then(|frontier| {
+            admits_subset_below(vote.endorse(), &frontier.info, frontier.round)
+                .then_some(frontier.block_id)
+        });
+        self.frontiers.insert(
+            vote.author(),
+            VoterFrontier {
+                block_id: voted_id,
+                round: vote.round(),
+                info: vote.endorse().clone(),
+            },
+        );
         // Walk ancestors while their rounds can still be endorsed; rounds
         // strictly decrease toward genesis, so the info's minimum endorsed
         // round is a sound early cutoff.
@@ -169,16 +249,18 @@ impl EndorsementTracker {
             if ancestor.round() < min_round || ancestor.is_genesis() {
                 break;
             }
-            if !vote.endorse().endorses_ancestor_round(ancestor.round()) {
-                continue;
-            }
-            if self
-                .endorsers
-                .entry(ancestor.id())
-                .or_insert_with(|| SignerSet::new(n))
-                .insert(vote.author())
+            self.walk_steps += 1;
+            if vote.endorse().endorses_ancestor_round(ancestor.round())
+                && self
+                    .endorsers
+                    .entry(ancestor.id())
+                    .or_insert_with(|| SignerSet::new(n))
+                    .insert(vote.author())
             {
                 grown.push(ancestor.id());
+            }
+            if Some(ancestor.id()) == stop_at {
+                break; // everything below was credited by the frontier vote
             }
         }
         grown
@@ -187,6 +269,14 @@ impl EndorsementTracker {
     /// Number of distinct replicas endorsing `block_id`.
     pub fn endorsers(&self, block_id: HashValue) -> usize {
         self.endorsers.get(&block_id).map_or(0, SignerSet::len)
+    }
+
+    /// Total ancestors visited by [`record_vote`](Self::record_vote) walks
+    /// since construction — the work the frontier cutoff amortizes. A
+    /// voter repeatedly extending one chain contributes O(new blocks), not
+    /// O(chain length), per vote.
+    pub fn walk_steps(&self) -> u64 {
+        self.walk_steps
     }
 
     /// The commit strength `x` currently conferred on `block_id` by its

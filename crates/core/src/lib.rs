@@ -41,10 +41,12 @@ pub mod block;
 pub mod config;
 pub mod endorse;
 pub mod ledger;
+pub mod mempool;
 pub mod qc;
 
 pub use block::{Ancestors, Block, BlockStore, BlockStoreError};
 pub use config::ProtocolConfig;
 pub use endorse::{honest_endorse_info, EndorsementTracker};
 pub use ledger::CommitLedger;
+pub use mempool::{Mempool, PayloadSource};
 pub use qc::{QuorumCertificate, VoteOutcome, VoteTracker};

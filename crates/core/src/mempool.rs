@@ -1,0 +1,244 @@
+//! The deterministic [`Mempool`] leaders drain into block payloads.
+//!
+//! The paper's workload model (§4) assumes "sufficiently many transactions
+//! are generated and submitted by the clients so that any leader always has
+//! enough"; this module supplies the replica-side half of that: a FIFO pool
+//! of client transactions with id-level deduplication, batch draining under
+//! the [`BatchConfig`] caps, and lazy removal of transactions observed in
+//! other leaders' blocks (so successive leaders do not re-propose what the
+//! chain already carries). Everything is deterministic — iteration order is
+//! submission order — so two replicas fed the same client stream drain
+//! byte-identical batches.
+//!
+//! The [`PayloadSource`] enum is the small strategy knob the replicas
+//! thread through their propose paths: drain real batches from the mempool,
+//! or describe a synthetic batch (the latency experiments' mode, where only
+//! the payload *size* matters).
+
+use std::collections::{HashSet, VecDeque};
+
+use sft_crypto::HashValue;
+use sft_types::{BatchConfig, Payload, Round, Transaction};
+
+/// Where a proposing replica gets its block payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadSource {
+    /// Describe a `txn_count × txn_bytes` batch without materializing it
+    /// (the latency experiments' workload; tagged by round so blocks stay
+    /// distinct).
+    Synthetic {
+        /// Transactions per described batch.
+        txn_count: u32,
+        /// Bytes per described transaction.
+        txn_bytes: u32,
+    },
+    /// Drain the replica's [`Mempool`] into real
+    /// [`Payload::Transactions`] batches under these caps.
+    Mempool(BatchConfig),
+}
+
+impl PayloadSource {
+    /// The payload for a block proposed in `round`, draining `pool` in the
+    /// mempool mode. An empty pool yields an empty payload — leaders keep
+    /// proposing (empty blocks keep rounds and commit pipelines ticking).
+    pub fn next_payload(&self, pool: &mut Mempool, round: Round) -> Payload {
+        match self {
+            PayloadSource::Synthetic {
+                txn_count,
+                txn_bytes,
+            } => Payload::synthetic(*txn_count, *txn_bytes, round.as_u64()),
+            PayloadSource::Mempool(batch) => pool.next_payload(*batch),
+        }
+    }
+}
+
+/// A deterministic FIFO transaction pool with id-level deduplication.
+///
+/// # Examples
+///
+/// ```
+/// use sft_core::Mempool;
+/// use sft_types::{BatchConfig, Transaction};
+///
+/// let mut pool = Mempool::new();
+/// for seq in 0..10 {
+///     assert!(pool.submit(Transaction::new(1, seq, vec![0; 16])));
+/// }
+/// assert_eq!(pool.len(), 10);
+/// let payload = pool.next_payload(BatchConfig::with_max_txns(4));
+/// assert_eq!(payload.txn_count(), 4);
+/// assert_eq!(pool.len(), 6);
+/// // Drained transactions are never re-admitted.
+/// assert!(!pool.submit(Transaction::new(1, 0, vec![0; 16])));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Mempool {
+    /// Submission-ordered queue. May contain transactions already removed
+    /// via [`mark_included`](Self::mark_included); those are skipped lazily
+    /// on drain, so removal is O(1) per transaction.
+    queue: VecDeque<Transaction>,
+    /// Ids currently queued and not yet drained or marked included.
+    pending: HashSet<HashValue>,
+    /// Ids ever drained or observed in a stored block — the dedup horizon.
+    seen: HashSet<HashValue>,
+}
+
+impl Mempool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of transactions available for the next batches.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no transactions are available.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Accepts `txn` unless its id was already submitted, drained, or
+    /// observed in a block. Returns whether the transaction was admitted.
+    pub fn submit(&mut self, txn: Transaction) -> bool {
+        let id = txn.id();
+        if self.seen.contains(&id) || !self.pending.insert(id) {
+            return false;
+        }
+        self.queue.push_back(txn);
+        true
+    }
+
+    /// Removes the ids of `txns` from the pool without draining them —
+    /// called when a *stored* block carries them, so this replica's next
+    /// leadership slot does not re-propose transactions the chain already
+    /// holds. Ids never submitted are still recorded as seen (late client
+    /// submissions of included transactions are rejected).
+    pub fn mark_included<'a>(&mut self, txns: impl IntoIterator<Item = &'a Transaction>) {
+        for txn in txns {
+            let id = txn.id();
+            self.pending.remove(&id);
+            self.seen.insert(id);
+        }
+    }
+
+    /// Drains the next batch under the [`BatchConfig`] caps: submission
+    /// order, at most `max_txns` transactions, stopping before a
+    /// transaction would push the encoded payload past `max_bytes` (the
+    /// first transaction always fits, so progress is guaranteed).
+    pub fn next_batch(&mut self, batch: BatchConfig) -> Vec<Transaction> {
+        let mut drained = Vec::new();
+        let mut bytes: u64 = 0;
+        while drained.len() < batch.max_txns as usize {
+            let Some(txn) = self.queue.front() else {
+                break;
+            };
+            // Lazily drop entries removed by `mark_included`.
+            if !self.pending.contains(&txn.id()) {
+                self.queue.pop_front();
+                continue;
+            }
+            let txn_bytes = sft_types::Encode::encoded_len(txn) as u64;
+            if !drained.is_empty() && bytes + txn_bytes > batch.max_bytes {
+                break;
+            }
+            bytes += txn_bytes;
+            let txn = self.queue.pop_front().expect("front checked");
+            let id = txn.id();
+            self.pending.remove(&id);
+            self.seen.insert(id);
+            drained.push(txn);
+        }
+        drained
+    }
+
+    /// Drains the next batch into a [`Payload::Transactions`].
+    pub fn next_payload(&mut self, batch: BatchConfig) -> Payload {
+        Payload::Transactions(self.next_batch(batch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(seq: u64, bytes: usize) -> Transaction {
+        Transaction::new(7, seq, vec![0xab; bytes])
+    }
+
+    #[test]
+    fn fifo_order_and_dedup() {
+        let mut pool = Mempool::new();
+        for seq in 0..5 {
+            assert!(pool.submit(txn(seq, 8)));
+            assert!(!pool.submit(txn(seq, 8)), "duplicate rejected");
+        }
+        let batch = pool.next_batch(BatchConfig::with_max_txns(3));
+        let seqs: Vec<u64> = batch.iter().map(Transaction::seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "submission order preserved");
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.submit(txn(1, 8)), "drained ids never re-admitted");
+    }
+
+    #[test]
+    fn byte_cap_limits_batches_but_first_txn_always_fits() {
+        let mut pool = Mempool::new();
+        for seq in 0..4 {
+            pool.submit(txn(seq, 100));
+        }
+        let cap = BatchConfig {
+            max_txns: 10,
+            max_bytes: 150,
+        };
+        // Each txn encodes to 124 B: one fits, two exceed the cap.
+        let batch = pool.next_batch(cap);
+        assert_eq!(batch.len(), 1, "byte cap bites after the first");
+        let batch = pool.next_batch(cap);
+        assert_eq!(batch.len(), 1, "oversized head still drains alone");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn mark_included_removes_lazily_and_blocks_resubmission() {
+        let mut pool = Mempool::new();
+        for seq in 0..4 {
+            pool.submit(txn(seq, 8));
+        }
+        let in_block = [txn(0, 8), txn(2, 8)];
+        pool.mark_included(in_block.iter());
+        assert_eq!(pool.len(), 2);
+        let batch = pool.next_batch(BatchConfig::with_max_txns(10));
+        let seqs: Vec<u64> = batch.iter().map(Transaction::seq).collect();
+        assert_eq!(seqs, vec![1, 3], "included txns skipped");
+        assert!(!pool.submit(txn(0, 8)), "included ids stay rejected");
+        // Marking an id never submitted still blocks later submission.
+        pool.mark_included([txn(9, 8)].iter());
+        assert!(!pool.submit(txn(9, 8)));
+    }
+
+    #[test]
+    fn empty_pool_yields_empty_payload() {
+        let mut pool = Mempool::new();
+        let payload = pool.next_payload(BatchConfig::default());
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn payload_sources_produce_the_expected_shapes() {
+        let mut pool = Mempool::new();
+        pool.submit(txn(0, 8));
+        let synth = PayloadSource::Synthetic {
+            txn_count: 100,
+            txn_bytes: 64,
+        };
+        let p = synth.next_payload(&mut pool, Round::new(3));
+        assert_eq!(p, Payload::synthetic(100, 64, 3));
+        assert_eq!(pool.len(), 1, "synthetic mode leaves the pool alone");
+
+        let drained =
+            PayloadSource::Mempool(BatchConfig::default()).next_payload(&mut pool, Round::new(3));
+        assert_eq!(drained.txn_count(), 1);
+        assert!(pool.is_empty());
+    }
+}

@@ -10,6 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 use sft_crypto::{HashValue, Hasher, KeyRegistry};
 use sft_types::{Decode, DecodeError, Encode, ReplicaId, Round, SignerSet, StrongVote, VoteData};
@@ -28,14 +29,37 @@ use crate::{Block, ProtocolConfig};
 #[derive(Clone, PartialEq, Eq)]
 pub struct QuorumCertificate {
     data: VoteData,
-    signers: SignerSet,
+    /// Shared, not owned: the vote tracker that formed the certificate and
+    /// every proposal re-shipping it point at the same signer set, so
+    /// certification and the (frequent) QC clones on the propose path cost
+    /// a reference count, not a bitset copy.
+    signers: Arc<SignerSet>,
+    /// Computed once at construction (like a block id); every later
+    /// [`digest`](Self::digest) call — one per proposal signature check —
+    /// is a copy instead of an encode-and-hash.
+    digest: HashValue,
+}
+
+fn qc_digest(data: &VoteData, signers: &SignerSet) -> HashValue {
+    let mut bytes = Vec::with_capacity(data.encoded_len() + 16);
+    data.encode(&mut bytes);
+    signers.encode(&mut bytes);
+    Hasher::new("quorum-certificate").field(&bytes).finish()
 }
 
 impl QuorumCertificate {
     /// Assembles a certificate from parts. Callers are expected to have
-    /// verified the underlying votes (the tracker has).
-    pub fn new(data: VoteData, signers: SignerSet) -> Self {
-        Self { data, signers }
+    /// verified the underlying votes (the tracker has). Accepts an owned
+    /// signer set or an already-shared `Arc` (the tracker passes the latter
+    /// so no copy happens when a quorum forms).
+    pub fn new(data: VoteData, signers: impl Into<Arc<SignerSet>>) -> Self {
+        let signers = signers.into();
+        let digest = qc_digest(&data, &signers);
+        Self {
+            data,
+            signers,
+            digest,
+        }
     }
 
     /// The well-known certificate for the genesis block of an `n`-replica
@@ -43,10 +67,7 @@ impl QuorumCertificate {
     /// its QC carries no votes — structural validation special-cases it.
     pub fn genesis(n: usize) -> Self {
         let genesis = Block::genesis();
-        Self {
-            data: genesis.vote_data(),
-            signers: SignerSet::new(n),
-        }
+        Self::new(genesis.vote_data(), SignerSet::new(n))
     }
 
     /// The certified vote data.
@@ -70,11 +91,10 @@ impl QuorumCertificate {
     }
 
     /// Digest of the certificate (mixed into proposal signing preimages so
-    /// a leader's signature covers the QC it proposes on).
+    /// a leader's signature covers the QC it proposes on). Precomputed at
+    /// construction, so re-verifying a re-delivered QC never re-hashes it.
     pub fn digest(&self) -> HashValue {
-        Hasher::new("quorum-certificate")
-            .field(&self.to_bytes())
-            .finish()
+        self.digest
     }
 
     /// Structural validity against a protocol configuration: the genesis
@@ -96,10 +116,9 @@ impl Encode for QuorumCertificate {
 
 impl Decode for QuorumCertificate {
     fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
-        Ok(Self {
-            data: VoteData::decode(buf)?,
-            signers: SignerSet::decode(buf)?,
-        })
+        let data = VoteData::decode(buf)?;
+        let signers = SignerSet::decode(buf)?;
+        Ok(Self::new(data, signers))
     }
 }
 
@@ -156,8 +175,11 @@ pub enum VoteOutcome {
 pub struct VoteTracker {
     config: ProtocolConfig,
     registry: KeyRegistry,
-    /// Votes aggregated per block id.
-    by_block: HashMap<HashValue, (VoteData, SignerSet)>,
+    /// Votes aggregated per block id. The signer set is behind an `Arc` so
+    /// certification hands the set to the [`QuorumCertificate`] by sharing;
+    /// `Arc::make_mut` keeps later inserts copy-free until (at most once) a
+    /// vote arrives after certification.
+    by_block: HashMap<HashValue, (VoteData, Arc<SignerSet>)>,
     /// Blocks that already produced a certificate (emit-once).
     certified: HashSet<HashValue>,
     /// First block each replica voted for in each round, for equivocation
@@ -205,14 +227,14 @@ impl VoteTracker {
         let (_, signers) = self
             .by_block
             .entry(block_id)
-            .or_insert_with(|| (*vote.data(), SignerSet::new(n)));
-        if !signers.insert(author) {
+            .or_insert_with(|| (*vote.data(), Arc::new(SignerSet::new(n))));
+        if !Arc::make_mut(signers).insert(author) {
             return VoteOutcome::Duplicate;
         }
         let count = signers.len();
         if count >= self.config.quorum() && self.certified.insert(block_id) {
             let (data, signers) = &self.by_block[&block_id];
-            return VoteOutcome::Certified(QuorumCertificate::new(*data, signers.clone()));
+            return VoteOutcome::Certified(QuorumCertificate::new(*data, Arc::clone(signers)));
         }
         VoteOutcome::Counted(count)
     }

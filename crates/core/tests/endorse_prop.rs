@@ -1,0 +1,332 @@
+//! Equivalence property suite for the incremental endorsement walk.
+//!
+//! [`EndorsementTracker::record_vote`] amortizes the §3.2/§3.4 ancestor
+//! walk with a per-voter frontier cutoff. The cutoff is an optimization,
+//! not a semantics change, so this suite pits the tracker against a naive
+//! reference that re-walks the *entire* ancestor chain on every vote and
+//! asserts — over seeded-PRNG randomized vote/fork sequences, for
+//! f ∈ {1, 2}, in every endorse mode including §3.4 intervals, with honest
+//! histories, chain jumps, duplicates, and forged infos — that the two
+//! report identical grown-block sequences, identical endorser counts for
+//! every block, and identical level updates. A final check confirms the
+//! cutoff actually fires: on honest single-chain histories the tracker
+//! visits strictly fewer ancestors than the reference.
+
+use std::collections::{BTreeSet, HashMap};
+
+use sft_core::{honest_endorse_info, Block, BlockStore, EndorsementTracker, ProtocolConfig};
+use sft_crypto::{HashValue, KeyRegistry, SplitMix64};
+use sft_types::{
+    EndorseInfo, EndorseMode, Payload, ReplicaId, Round, RoundIntervalSet, StrongCommitUpdate,
+    StrongVote,
+};
+
+/// The specification-level tracker: no frontier, no early cutoff — every
+/// vote walks the full ancestor chain and applies
+/// [`EndorseInfo::endorses_ancestor_round`] per ancestor. Deliberately
+/// simple enough to be obviously correct.
+struct NaiveTracker {
+    config: ProtocolConfig,
+    endorsers: HashMap<HashValue, BTreeSet<ReplicaId>>,
+    reported_level: HashMap<HashValue, u64>,
+    walk_steps: u64,
+}
+
+impl NaiveTracker {
+    fn new(config: ProtocolConfig) -> Self {
+        Self {
+            config,
+            endorsers: HashMap::new(),
+            reported_level: HashMap::new(),
+            walk_steps: 0,
+        }
+    }
+
+    fn record_vote(&mut self, vote: &StrongVote, store: &BlockStore) -> Vec<HashValue> {
+        let mut grown = Vec::new();
+        let voted_id = vote.data().block_id();
+        if !store.contains(voted_id) {
+            return grown;
+        }
+        if self
+            .endorsers
+            .entry(voted_id)
+            .or_default()
+            .insert(vote.author())
+        {
+            grown.push(voted_id);
+        }
+        for ancestor in store.ancestors(voted_id) {
+            if ancestor.is_genesis() {
+                break;
+            }
+            self.walk_steps += 1;
+            if vote.endorse().endorses_ancestor_round(ancestor.round())
+                && self
+                    .endorsers
+                    .entry(ancestor.id())
+                    .or_default()
+                    .insert(vote.author())
+            {
+                grown.push(ancestor.id());
+            }
+        }
+        grown
+    }
+
+    fn endorsers(&self, block_id: HashValue) -> usize {
+        self.endorsers.get(&block_id).map_or(0, BTreeSet::len)
+    }
+
+    fn take_level_update(
+        &mut self,
+        block_id: HashValue,
+        store: &BlockStore,
+    ) -> Option<StrongCommitUpdate> {
+        let level = self.config.strength_of(self.endorsers(block_id))?;
+        let block = store.get(block_id)?;
+        if self
+            .reported_level
+            .get(&block_id)
+            .is_some_and(|r| *r >= level)
+        {
+            return None;
+        }
+        self.reported_level.insert(block_id, level);
+        Some(StrongCommitUpdate::new(
+            block_id,
+            block.round(),
+            block.height(),
+            level,
+        ))
+    }
+}
+
+/// One randomized scenario: a growing block tree (forks included) and a
+/// stream of votes — honest infos computed from each voter's real history,
+/// plus occasional forged markers/intervals and duplicate re-deliveries.
+struct Scenario {
+    rng: SplitMix64,
+    store: BlockStore,
+    /// Every non-genesis block, in creation order (vote/fork targets).
+    blocks: Vec<Block>,
+    /// Per-replica honest voting history, as the replicas would keep it.
+    voted: Vec<Vec<(Round, HashValue)>>,
+    next_round: u64,
+    registry: KeyRegistry,
+    mode: EndorseMode,
+    forge_percent: u64,
+}
+
+impl Scenario {
+    fn new(seed: u64, n: usize, mode: EndorseMode, forge_percent: u64) -> Self {
+        let mut scenario = Self {
+            rng: SplitMix64::new(seed),
+            store: BlockStore::new(),
+            blocks: Vec::new(),
+            voted: vec![Vec::new(); n],
+            next_round: 1,
+            registry: KeyRegistry::deterministic(n),
+            mode,
+            forge_percent,
+        };
+        scenario.grow_block(); // at least one block to vote on
+        scenario
+    }
+
+    /// Extends a random existing block (biased toward recent tips, so
+    /// chains grow long but forks still appear) with a fresh block.
+    fn grow_block(&mut self) {
+        let parent = if self.blocks.is_empty() || self.rng.next_below(100) < 70 {
+            self.blocks.last().cloned()
+        } else {
+            let idx = self.rng.next_below(self.blocks.len() as u64) as usize;
+            Some(self.blocks[idx].clone())
+        }
+        .unwrap_or_else(|| self.store.genesis().clone());
+        let round = Round::new(self.next_round);
+        self.next_round += 1;
+        let proposer = ReplicaId::new(self.rng.next_below(self.voted.len() as u64) as u16);
+        let block = Block::new(&parent, round, proposer, Payload::empty());
+        self.store.insert(block.clone()).expect("parent stored");
+        self.blocks.push(block);
+    }
+
+    /// A random replica votes for a random block: honestly (info computed
+    /// from its real history, which it then extends) or, with
+    /// `forge_percent` probability, with a forged info that may widen or
+    /// narrow what its history admits.
+    fn next_vote(&mut self) -> StrongVote {
+        let voter = self.rng.next_below(self.voted.len() as u64) as usize;
+        // Bias toward recent blocks so voters mostly track the tip (the
+        // fast path) while still sometimes jumping deep into history.
+        let len = self.blocks.len() as u64;
+        let idx = if self.rng.next_below(100) < 60 {
+            len - 1 - self.rng.next_below(len.min(3))
+        } else {
+            self.rng.next_below(len)
+        } as usize;
+        let block = self.blocks[idx].clone();
+        let info = if self.rng.next_below(100) < self.forge_percent {
+            self.forged_info(block.round())
+        } else {
+            let info = honest_endorse_info(self.mode, &self.store, &self.voted[voter], &block);
+            self.voted[voter].push((block.round(), block.id()));
+            info
+        };
+        StrongVote::new(
+            block.vote_data(),
+            info,
+            &self.registry.key_pair(voter as u64).expect("key exists"),
+        )
+    }
+
+    /// A Byzantine info: a random marker (often 0 — the "clean history"
+    /// lie), a random interval soup, or nothing.
+    fn forged_info(&mut self, vote_round: Round) -> EndorseInfo {
+        match self.rng.next_below(3) {
+            0 => EndorseInfo::Marker(Round::new(self.rng.next_below(vote_round.as_u64() + 1))),
+            1 => {
+                let mut set = RoundIntervalSet::new();
+                for _ in 0..=self.rng.next_below(3) {
+                    let lo = 1 + self.rng.next_below(vote_round.as_u64().max(1));
+                    let hi = lo + self.rng.next_below(4);
+                    set.insert(Round::new(lo), Round::new(hi.min(vote_round.as_u64())));
+                }
+                EndorseInfo::Intervals(set)
+            }
+            _ => EndorseInfo::None,
+        }
+    }
+}
+
+/// Runs one scenario for `steps` events, checking after every vote that
+/// the incremental tracker and the naive reference agree on grown blocks,
+/// endorser counts, and level updates. Returns (incremental, naive) walk
+/// step totals.
+fn check_equivalence(mut scenario: Scenario, steps: usize) -> (u64, u64) {
+    let config = ProtocolConfig::for_replicas(scenario.voted.len());
+    let mut fast = EndorsementTracker::new(config);
+    let mut naive = NaiveTracker::new(config);
+    let mut last_vote: Option<StrongVote> = None;
+    for step in 0..steps {
+        // ~1 in 4 events grows the tree; ~1 in 12 re-delivers a duplicate.
+        if scenario.rng.next_below(4) == 0 {
+            scenario.grow_block();
+            continue;
+        }
+        let vote = match (&last_vote, scenario.rng.next_below(12)) {
+            (Some(prev), 0) => prev.clone(),
+            _ => scenario.next_vote(),
+        };
+        last_vote = Some(vote.clone());
+
+        let grown_fast = fast.record_vote(&vote, &scenario.store);
+        let grown_naive = naive.record_vote(&vote, &scenario.store);
+        assert_eq!(
+            grown_fast,
+            grown_naive,
+            "step {step}: grown blocks diverge for vote by {:?} on round {}",
+            vote.author(),
+            vote.round()
+        );
+        for block in &scenario.blocks {
+            assert_eq!(
+                fast.endorsers(block.id()),
+                naive.endorsers(block.id()),
+                "step {step}: endorser count diverges on block r={}",
+                block.round()
+            );
+            assert_eq!(
+                fast.take_level_update(block.id(), &scenario.store),
+                naive.take_level_update(block.id(), &scenario.store),
+                "step {step}: level update diverges on block r={}",
+                block.round()
+            );
+        }
+    }
+    (fast.walk_steps(), naive.walk_steps)
+}
+
+/// The full randomized matrix: f ∈ {1, 2} (n = 4, 7) × every endorse mode
+/// × honest-only and 30%-forged vote streams × many seeds.
+#[test]
+fn incremental_walk_matches_naive_reference() {
+    let modes = [
+        EndorseMode::Vanilla,
+        EndorseMode::Marker,
+        EndorseMode::Interval,
+    ];
+    for n in [4usize, 7] {
+        for mode in modes {
+            for forge_percent in [0u64, 30] {
+                for seed in 0..12u64 {
+                    let scenario = Scenario::new(
+                        seed * 1009 + n as u64 * 31 + forge_percent,
+                        n,
+                        mode,
+                        forge_percent,
+                    );
+                    check_equivalence(scenario, 160);
+                }
+            }
+        }
+    }
+}
+
+/// A deep single-chain history with interval endorsements — the exact
+/// workload the frontier cutoff targets: every replica votes for every
+/// block of one growing chain. Equivalence must hold *and* the incremental
+/// tracker must visit O(chain) total ancestors where the naive reference
+/// visits O(chain²).
+#[test]
+fn frontier_cutoff_fires_on_honest_chains() {
+    const CHAIN: u64 = 120;
+    for n in [4usize, 7] {
+        let config = ProtocolConfig::for_replicas(n);
+        let registry = KeyRegistry::deterministic(n);
+        let mut store = BlockStore::new();
+        let mut fast = EndorsementTracker::new(config);
+        let mut naive = NaiveTracker::new(config);
+        let mut voted: Vec<Vec<(Round, HashValue)>> = vec![Vec::new(); n];
+        let mut tip = store.genesis().clone();
+        for round in 1..=CHAIN {
+            let block = Block::new(&tip, Round::new(round), ReplicaId::new(0), Payload::empty());
+            store.insert(block.clone()).expect("tip stored");
+            for (voter, history) in voted.iter_mut().enumerate() {
+                let info = honest_endorse_info(EndorseMode::Interval, &store, history, &block);
+                history.push((block.round(), block.id()));
+                let vote = StrongVote::new(
+                    block.vote_data(),
+                    info,
+                    &registry.key_pair(voter as u64).expect("key exists"),
+                );
+                assert_eq!(
+                    fast.record_vote(&vote, &store),
+                    naive.record_vote(&vote, &store),
+                    "round {round}: grown blocks diverge"
+                );
+            }
+            tip = block;
+        }
+        let (fast_steps, naive_steps) = (fast.walk_steps(), naive.walk_steps);
+        assert!(
+            naive_steps > CHAIN * CHAIN / 4,
+            "n={n}: naive reference should be quadratic, walked {naive_steps}"
+        );
+        assert!(
+            fast_steps <= n as u64 * 2 * CHAIN,
+            "n={n}: frontier cutoff too weak: {fast_steps} incremental vs {naive_steps} naive walk steps"
+        );
+    }
+}
+
+/// Forged infos force the full-walk fallback; the trackers must still
+/// agree vote for vote (the cutoff may only fire when provably sound).
+#[test]
+fn forged_infos_fall_back_without_divergence() {
+    for seed in 0..8u64 {
+        let scenario = Scenario::new(7000 + seed, 4, EndorseMode::Interval, 100);
+        check_equivalence(scenario, 120);
+    }
+}

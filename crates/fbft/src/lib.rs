@@ -23,6 +23,8 @@
 //! | Paper concept | Here |
 //! |---|---|
 //! | round leader, proposal on the highest QC (§2, Fig 2) | [`FbftReplica::try_propose`], [`FbftProposal`] |
+//! | pipelined (chained) proposals: the fresh QC rides the next proposal | [`FbftReplica::try_propose_chained`], [`StepOutcome::next_proposal`] |
+//! | batched payloads drained from a client pool (§4 workload) | [`sft_core::Mempool`], [`sft_core::PayloadSource`] |
 //! | voting rule (locked round, one vote per round) | [`FbftReplica::on_proposal`], [`TwoChainState::safe_to_vote`] |
 //! | certification at `2f + 1` votes | [`FbftReplica::on_vote`] via [`sft_core::VoteTracker`] |
 //! | 2-chain commit (consecutive certified rounds) | [`TwoChainState::on_qc`] (standard commit, strength `f`) |
@@ -47,5 +49,5 @@ pub mod two_chain;
 
 pub use message::{FbftMessage, FbftProposal};
 pub use pacemaker::{Pacemaker, RoundEntry};
-pub use replica::{FbftReplica, ProposalOutcome};
+pub use replica::{FbftReplica, StepOutcome};
 pub use two_chain::TwoChainState;

@@ -4,28 +4,35 @@ use std::collections::HashSet;
 use std::fmt;
 
 use sft_core::{
-    honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, ProtocolConfig,
-    QuorumCertificate, VoteOutcome, VoteTracker,
+    honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, Mempool,
+    PayloadSource, ProtocolConfig, QuorumCertificate, VoteOutcome, VoteTracker,
 };
 use sft_crypto::{HashValue, KeyPair, KeyRegistry};
 use sft_types::{
     EndorseMode, Payload, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate, StrongVote,
-    TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome,
+    TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome, Transaction,
 };
 
 use crate::message::FbftProposal;
 use crate::pacemaker::Pacemaker;
 use crate::two_chain::TwoChainState;
 
-/// What processing one proposal produced: this replica's vote (to
-/// broadcast), plus any commit-log entries the proposal's embedded QC
-/// triggered.
+/// What processing one event (proposal, vote, or timeout message) produced:
+/// this replica's vote to broadcast, any commit-log entries, and — when the
+/// event advanced the replica into a round it leads and a
+/// [`PayloadSource`] is configured — the chained next proposal, carrying
+/// the certificate that just formed. Chaining the proposal off the event
+/// that creates the certificate is what pipelines rounds: the QC never
+/// waits for an external poll before riding the next proposal.
 #[derive(Clone, Debug, Default)]
-pub struct ProposalOutcome {
+pub struct StepOutcome {
     /// The strong-vote to broadcast, if the voting rule fired.
     pub vote: Option<StrongVote>,
-    /// Commit-log entries produced while processing the proposal.
+    /// Commit-log entries produced while processing the event.
     pub updates: Vec<StrongCommitUpdate>,
+    /// The pipelined proposal for the round this event moved the replica
+    /// into, if it leads that round. Must be broadcast like any proposal.
+    pub next_proposal: Option<FbftProposal>,
 }
 
 /// A single SFT-DiemBFT replica: pacemaker-driven rounds, QC/TC
@@ -120,6 +127,16 @@ pub struct FbftReplica {
     proposed_rounds: HashSet<Round>,
     ledger: CommitLedger,
     commit_log: Vec<StrongCommitUpdate>,
+    /// Where chained proposals get their payloads; `None` disables
+    /// self-chaining (callers drive [`try_propose`](Self::try_propose)
+    /// explicitly, as the unit tests do).
+    payload_source: Option<PayloadSource>,
+    /// Client transactions awaiting inclusion (drained by the mempool
+    /// payload source; pruned when other leaders' blocks carry them).
+    mempool: Mempool,
+    /// Digests of certificates already absorbed — re-deliveries (a QC rides
+    /// every proposal that extends it) skip the pacemaker/commit walk.
+    processed_qcs: HashSet<HashValue>,
 }
 
 impl FbftReplica {
@@ -163,7 +180,29 @@ impl FbftReplica {
             proposed_rounds: HashSet::new(),
             ledger: CommitLedger::new(),
             commit_log: Vec::new(),
+            payload_source: None,
+            mempool: Mempool::new(),
+            processed_qcs: HashSet::new(),
         }
+    }
+
+    /// Configures where chained proposals get their payloads and enables
+    /// pipelined self-proposing: every event that moves this replica into a
+    /// round it leads returns the next proposal in its [`StepOutcome`].
+    pub fn with_payload_source(mut self, source: PayloadSource) -> Self {
+        self.payload_source = Some(source);
+        self
+    }
+
+    /// Submits a client transaction to this replica's mempool. Returns
+    /// whether it was admitted (not a duplicate, not already on-chain).
+    pub fn submit_transaction(&mut self, txn: Transaction) -> bool {
+        self.mempool.submit(txn)
+    }
+
+    /// The replica's transaction pool.
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
     }
 
     /// This replica's id.
@@ -245,10 +284,10 @@ impl FbftReplica {
     /// transport) and fed back via [`on_proposal`](Self::on_proposal) like
     /// any other replica's.
     pub fn try_propose(&mut self, payload: Payload) -> Option<FbftProposal> {
-        let round = self.pacemaker.current_round();
-        if Self::leader(self.config, round) != self.id || self.proposed_rounds.contains(&round) {
+        if !self.may_propose() {
             return None;
         }
+        let round = self.pacemaker.current_round();
         let parent = self.store.get(self.high_qc.block_id())?.clone();
         let block = Block::new(&parent, round, self.id, payload);
         self.store
@@ -263,14 +302,48 @@ impl FbftReplica {
         ))
     }
 
+    /// True if this replica leads its current round and has not proposed in
+    /// it yet.
+    pub fn may_propose(&self) -> bool {
+        let round = self.pacemaker.current_round();
+        Self::leader(self.config, round) == self.id && !self.proposed_rounds.contains(&round)
+    }
+
+    /// The pipelined propose path: if a [`PayloadSource`] is configured and
+    /// this replica leads its current round, drains the next payload and
+    /// proposes on the high-QC. Called internally after every
+    /// round-advancing event; drivers call it once at startup to bootstrap
+    /// round 1.
+    pub fn try_propose_chained(&mut self) -> Option<FbftProposal> {
+        let source = self.payload_source?;
+        // Every failure mode of `try_propose` must be ruled out *before*
+        // draining the mempool — a drained batch is marked seen, so handing
+        // it to a propose call that then fails would lose the transactions
+        // for good. The high-QC block can genuinely be missing: votes are
+        // broadcast, so a replica can certify (and adopt as high-QC) a
+        // block it never received, e.g. the other half of an equivocation
+        // split.
+        if !self.may_propose() || !self.store.contains(self.high_qc.block_id()) {
+            return None;
+        }
+        let payload = source.next_payload(&mut self.mempool, self.pacemaker.current_round());
+        self.try_propose(payload)
+    }
+
     /// Handles a round proposal. Verifies the leader signature and the
     /// structural justification, absorbs the embedded certificates (which
     /// may advance the round and commit — stragglers catch up here), and
     /// applies the voting rule: first proposal of the current round whose
     /// parent satisfies the 2-chain lock. The returned vote, if any, must
-    /// be broadcast to all replicas.
-    pub fn on_proposal(&mut self, proposal: &FbftProposal, now: SimTime) -> ProposalOutcome {
-        let mut out = ProposalOutcome::default();
+    /// be broadcast to all replicas; a returned chained proposal likewise.
+    pub fn on_proposal(&mut self, proposal: &FbftProposal, now: SimTime) -> StepOutcome {
+        let mut out = self.absorb_proposal(proposal, now);
+        out.next_proposal = self.try_propose_chained();
+        out
+    }
+
+    fn absorb_proposal(&mut self, proposal: &FbftProposal, now: SimTime) -> StepOutcome {
+        let mut out = StepOutcome::default();
         if !proposal.verify(self.votes.registry()) || !proposal.is_justified(&self.config) {
             return out;
         }
@@ -281,7 +354,7 @@ impl FbftReplica {
         // Absorb the embedded certificates before judging the round: a
         // replica that missed the QC or TC formation learns it from the
         // proposal itself.
-        out.updates = self.process_qc(&proposal.qc().clone(), now);
+        out.updates = self.process_qc(proposal.qc(), now);
         self.commit_log.extend(out.updates.iter().copied());
         if let Some(tc) = proposal.tc() {
             if self.pacemaker.on_tc_round(tc.round(), now).is_some() {
@@ -292,6 +365,10 @@ impl FbftReplica {
         // and certificates may arrive later. Orphans are dropped.
         if self.store.insert(block.clone()).is_err() {
             return out;
+        }
+        // The chain now carries these transactions: stop offering them.
+        if let Payload::Transactions(txns) = block.payload() {
+            self.mempool.mark_included(txns.iter());
         }
         let round = block.round();
         if round != self.pacemaker.current_round() || self.voted_rounds.contains(&round) {
@@ -311,55 +388,60 @@ impl FbftReplica {
 
     /// Handles a broadcast strong-vote (including this replica's own).
     /// Counts it toward certification, records its endorsements, and — when
-    /// it completes a QC — advances the round and applies the 2-chain
-    /// commit rule. Returns the commit-log entries this vote produced.
-    pub fn on_vote(&mut self, vote: &StrongVote, now: SimTime) -> Vec<StrongCommitUpdate> {
+    /// it completes a QC — advances the round, applies the 2-chain commit
+    /// rule, and (if this replica leads the new round) chains the next
+    /// proposal with the fresh QC riding it.
+    pub fn on_vote(&mut self, vote: &StrongVote, now: SimTime) -> StepOutcome {
+        let mut out = self.absorb_vote(vote, now);
+        out.next_proposal = self.try_propose_chained();
+        out
+    }
+
+    fn absorb_vote(&mut self, vote: &StrongVote, now: SimTime) -> StepOutcome {
+        let mut out = StepOutcome::default();
         let outcome = self.votes.add_vote(vote);
         let certified = match outcome {
             VoteOutcome::BadSignature | VoteOutcome::Equivocation | VoteOutcome::Duplicate => {
-                return Vec::new();
+                return out;
             }
             VoteOutcome::Certified(qc) => Some(qc),
             VoteOutcome::Counted(_) => None,
         };
         let grown = self.endorsements.record_vote(vote, &self.store);
 
-        let mut updates = Vec::new();
         if let Some(qc) = certified {
-            updates.extend(self.process_qc(&qc, now));
+            out.updates.extend(self.process_qc(&qc, now));
         }
         // Endorsements may have raised the strength of blocks committed
         // earlier: report each increase once.
         for block_id in grown {
             if self.ledger.contains(block_id) {
                 if let Some(update) = self.endorsements.take_level_update(block_id, &self.store) {
-                    updates.push(update);
+                    out.updates.push(update);
                 }
             }
         }
-        self.commit_log.extend(updates.iter().copied());
-        updates
+        self.commit_log.extend(out.updates.iter().copied());
+        out
     }
 
     /// Handles a broadcast timeout message (including this replica's own).
-    /// Aggregates it; at `2f + 1` the round's TC forms and the pacemaker
-    /// advances. Returns `true` if this message moved the replica to a new
-    /// round (the driver should then poll [`try_propose`](Self::try_propose)).
-    pub fn on_timeout_msg(&mut self, msg: &TimeoutMsg, now: SimTime) -> bool {
+    /// Aggregates it; at `2f + 1` the round's TC forms, the pacemaker
+    /// advances, and — if this replica leads the new round — the chained
+    /// proposal ships the TC.
+    pub fn on_timeout_msg(&mut self, msg: &TimeoutMsg, now: SimTime) -> StepOutcome {
+        let mut out = StepOutcome::default();
         if msg.round() < self.pacemaker.current_round() {
-            return false; // stale: a certificate for that round is useless
+            return out; // stale: a certificate for that round is useless
         }
-        match self.timeouts.add(msg) {
-            TimeoutOutcome::Certified(tc) => {
-                let advanced = self.pacemaker.on_tc_round(tc.round(), now).is_some();
-                if advanced {
-                    self.last_tc = Some(tc);
-                    self.timeouts.prune_below(self.pacemaker.current_round());
-                }
-                advanced
+        if let TimeoutOutcome::Certified(tc) = self.timeouts.add(msg) {
+            if self.pacemaker.on_tc_round(tc.round(), now).is_some() {
+                self.last_tc = Some(tc);
+                self.timeouts.prune_below(self.pacemaker.current_round());
+                out.next_proposal = self.try_propose_chained();
             }
-            _ => false,
         }
+        out
     }
 
     /// Advances the replica's clock. If the current round's deadline has
@@ -377,8 +459,22 @@ impl FbftReplica {
     /// newly committed blocks. Returns the resulting commit-log entries;
     /// the caller appends them to the log (exactly once).
     fn process_qc(&mut self, qc: &QuorumCertificate, now: SimTime) -> Vec<StrongCommitUpdate> {
+        // A QC rides every proposal extending it, so each is re-delivered
+        // round after round; all of processing below is idempotent per
+        // certificate, so a digest already absorbed is skipped outright.
+        if self.processed_qcs.contains(&qc.digest()) {
+            return Vec::new();
+        }
         if !qc.is_well_formed(&self.config) {
             return Vec::new();
+        }
+        // Only cache the skip once the certified block is locally known:
+        // with the block absent the commit walk below finds nothing, and a
+        // replica that learns the block later (catch-up via a descendant
+        // proposal, or a future block-sync path) must re-run it on the
+        // next re-delivery or it would never finalize the chain.
+        if self.store.contains(qc.data().block_id()) {
+            self.processed_qcs.insert(qc.digest());
         }
         if qc.round() > self.high_qc.round() {
             self.high_qc = qc.clone();
@@ -651,5 +747,49 @@ mod tests {
                 *prev = update.level();
             }
         }
+    }
+
+    #[test]
+    fn chained_propose_on_unknown_high_qc_keeps_the_mempool_intact() {
+        use sft_core::PayloadSource;
+        use sft_types::BatchConfig;
+        // Replica 2 will lead round 2 but never receives the round-1
+        // proposal (e.g. it sits in the losing half of an equivocation
+        // split). Votes are broadcast, so it still certifies the unknown
+        // block and adopts it as high-QC — and must then decline to chain
+        // a proposal *without* draining (and losing) a mempool batch.
+        let mut replicas = system(4);
+        let now = SimTime::ZERO;
+        let r2 = replicas
+            .remove(2)
+            .with_payload_source(PayloadSource::Mempool(BatchConfig::with_max_txns(8)));
+        replicas.insert(2, r2);
+        for seq in 0..8 {
+            assert!(replicas[2].submit_transaction(Transaction::new(5, seq, vec![0; 8])));
+        }
+        let proposal = replicas[1].try_propose(Payload::empty()).expect("leader");
+        let votes: Vec<_> = [0usize, 1, 3]
+            .into_iter()
+            .filter_map(|i| replicas[i].on_proposal(&proposal, now).vote)
+            .collect();
+        assert_eq!(votes.len(), 3, "a full quorum votes");
+        let before = replicas[2].mempool().len();
+        for vote in &votes {
+            let out = replicas[2].on_vote(vote, now);
+            assert!(
+                out.next_proposal.is_none(),
+                "cannot propose on an unknown high-QC parent"
+            );
+        }
+        assert_eq!(
+            replicas[2].current_round(),
+            Round::new(2),
+            "the QC still advanced the round"
+        );
+        assert_eq!(
+            replicas[2].mempool().len(),
+            before,
+            "no batch was drained into the failed propose"
+        );
     }
 }

@@ -29,13 +29,14 @@
 //! assert!(net.deliver_due(SimTime::from_millis(99)).is_empty());
 //! let delivered = net.deliver_due(SimTime::from_millis(100));
 //! assert_eq!(delivered.len(), 1);
-//! assert_eq!(delivered[0].payload, vec![1, 2, 3]);
+//! assert_eq!(&delivered[0].payload[..], &[1, 2, 3][..]);
 //! ```
 
 #![deny(missing_docs)]
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 use sft_types::{ReplicaId, SimDuration, SimTime};
 
@@ -46,8 +47,11 @@ pub struct Envelope {
     pub from: ReplicaId,
     /// Receiving replica.
     pub to: ReplicaId,
-    /// Encoded message bytes.
-    pub payload: Vec<u8>,
+    /// Encoded message bytes. Shared, not owned: a broadcast encodes its
+    /// message once and every recipient's envelope points at the same
+    /// buffer, so fan-out costs reference counts instead of `n − 1` copies
+    /// (byte *accounting* still charges every recipient).
+    pub payload: Arc<[u8]>,
     /// Instant the message becomes deliverable.
     pub deliver_at: SimTime,
     /// Send-order sequence number (the delivery tiebreaker).
@@ -114,7 +118,9 @@ impl SimNetwork {
     }
 
     /// Queues `payload` from `from` to `to`, due one delay from now.
-    pub fn send(&mut self, from: ReplicaId, to: ReplicaId, payload: Vec<u8>) {
+    /// Accepts owned bytes or an already-shared buffer.
+    pub fn send(&mut self, from: ReplicaId, to: ReplicaId, payload: impl Into<Arc<[u8]>>) {
+        let payload = payload.into();
         self.stats.messages += 1;
         self.stats.bytes += payload.len() as u64;
         let envelope = Envelope {
@@ -128,14 +134,17 @@ impl SimNetwork {
         self.queue.push_back(envelope);
     }
 
-    /// Sends a copy of `payload` from `from` to every replica in
-    /// `0..n` except the sender (a replica hands its own messages to
-    /// itself directly, without paying the network delay).
-    pub fn broadcast(&mut self, from: ReplicaId, n: usize, payload: &[u8]) {
+    /// Sends `payload` from `from` to every replica in `0..n` except the
+    /// sender (a replica hands its own messages to itself directly, without
+    /// paying the network delay). The buffer is encoded/owned once and
+    /// shared across recipients; per-recipient byte accounting is
+    /// unchanged.
+    pub fn broadcast(&mut self, from: ReplicaId, n: usize, payload: impl Into<Arc<[u8]>>) {
+        let payload: Arc<[u8]> = payload.into();
         for to in 0..n as u16 {
             let to = ReplicaId::new(to);
             if to != from {
-                self.send(from, to, payload.to_vec());
+                self.send(from, to, Arc::clone(&payload));
             }
         }
     }
@@ -207,9 +216,9 @@ mod tests {
         net.send(r(0), r(1), vec![2]); // due at 130
         let due = net.deliver_due(SimTime::from_millis(100));
         assert_eq!(due.len(), 1);
-        assert_eq!(due[0].payload, vec![1]);
+        assert_eq!(&due[0].payload[..], &[1][..]);
         let due = net.deliver_due(SimTime::from_millis(130));
-        assert_eq!(due[0].payload, vec![2]);
+        assert_eq!(&due[0].payload[..], &[2][..]);
     }
 
     #[test]
@@ -226,7 +235,7 @@ mod tests {
     #[test]
     fn broadcast_skips_sender_and_counts_bytes() {
         let mut net = SimNetwork::new(SimDuration::from_millis(1));
-        net.broadcast(r(2), 4, &[0xaa, 0xbb]);
+        net.broadcast(r(2), 4, &[0xaa, 0xbb][..]);
         let due = net.deliver_due(SimTime::from_millis(1));
         let recipients: Vec<u16> = due.iter().map(|e| e.to.as_u16()).collect();
         assert_eq!(recipients, vec![0, 1, 3]);
@@ -236,6 +245,19 @@ mod tests {
                 messages: 3,
                 bytes: 6
             }
+        );
+    }
+
+    #[test]
+    fn broadcast_shares_one_buffer_across_recipients() {
+        let mut net = SimNetwork::new(SimDuration::from_millis(1));
+        net.broadcast(r(0), 4, vec![1, 2, 3]);
+        let due = net.deliver_due(SimTime::from_millis(1));
+        assert_eq!(due.len(), 3);
+        assert!(
+            due.windows(2)
+                .all(|w| Arc::ptr_eq(&w[0].payload, &w[1].payload)),
+            "recipients alias the same encoded buffer"
         );
     }
 

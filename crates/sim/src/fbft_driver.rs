@@ -8,12 +8,21 @@
 //! draining every consequence at that instant (self-delivered messages are
 //! free, like a replica hearing itself), and repeating until every honest
 //! replica has moved past the target round.
+//!
+//! Proposals are *pipelined*: the replica that forms a certificate (QC via
+//! [`FbftReplica::on_vote`], TC via [`FbftReplica::on_timeout_msg`], or a
+//! straggler catching up in [`FbftReplica::on_proposal`]) returns the
+//! chained next-round proposal in the same [`StepOutcome`], with the fresh
+//! certificate riding it. The driver only dispatches what the replicas
+//! chain — there is no per-instant propose poll — and each broadcast
+//! message is encoded once, all recipients sharing the buffer.
 
 use std::collections::{HashSet, VecDeque};
+use std::sync::Arc;
 
 use sft_core::{Block, ProtocolConfig};
 use sft_crypto::{HashValue, KeyPair, KeyRegistry};
-use sft_fbft::{FbftMessage, FbftProposal, FbftReplica};
+use sft_fbft::{FbftMessage, FbftProposal, FbftReplica, StepOutcome};
 use sft_network::SimNetwork;
 use sft_types::{
     Decode, Encode, EndorseInfo, Payload, ReplicaId, Round, SimTime, StrongCommitUpdate, StrongVote,
@@ -46,7 +55,10 @@ pub struct FbftSimulation {
 }
 
 impl FbftSimulation {
-    /// Builds replicas, keys, and the network for `config`.
+    /// Builds replicas, keys, and the network for `config`. In batched mode
+    /// every replica's mempool is pre-fed the same deterministic client
+    /// transaction stream (the paper's "sufficiently many transactions"
+    /// assumption, §4).
     ///
     /// # Panics
     ///
@@ -55,19 +67,34 @@ impl FbftSimulation {
         assert_eq!(config.behaviors.len(), config.n, "one behavior per replica");
         let protocol = ProtocolConfig::for_replicas(config.n);
         let registry = KeyRegistry::deterministic(config.n);
+        let source = config.payload_source();
+        let workload = config.client_workload();
         let nodes = (0..config.n as u16)
-            .map(|id| Node {
-                behavior: config.behaviors[id as usize],
-                replica: FbftReplica::new(
+            .map(|id| {
+                let behavior = config.behaviors[id as usize];
+                let mut replica = FbftReplica::new(
                     id,
                     protocol,
                     registry.clone(),
                     config.endorse_mode,
                     config.base_timeout,
                     SimTime::ZERO,
-                ),
-                key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
-                forged_votes: HashSet::new(),
+                );
+                // A stalling leader's whole deviation is "never propose":
+                // leaving it source-less disables its chaining path while
+                // every other part of the protocol runs normally.
+                if behavior != Behavior::StallLeader {
+                    replica = replica.with_payload_source(source);
+                }
+                for txn in &workload {
+                    replica.submit_transaction(txn.clone());
+                }
+                Node {
+                    behavior,
+                    replica,
+                    key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
+                    forged_votes: HashSet::new(),
+                }
             })
             .collect();
         Self {
@@ -93,12 +120,12 @@ impl FbftSimulation {
     /// event can ever fire again) and reports.
     pub fn run(mut self) -> SimReport {
         let target = Round::new(self.config.epochs);
-        self.step_instant(SimTime::ZERO);
+        self.step_instant(SimTime::ZERO, true);
         while self.honest_min_round() <= target {
             let Some(next) = self.next_event_time() else {
                 break;
             };
-            self.step_instant(next);
+            self.step_instant(next, false);
         }
         self.report()
     }
@@ -138,9 +165,12 @@ impl FbftSimulation {
     }
 
     /// Processes everything that happens at instant `now`: due deliveries,
-    /// due timeouts, and new proposals — iterating until the instant
-    /// produces nothing further (self-deliveries cascade within it).
-    fn step_instant(&mut self, now: SimTime) {
+    /// due timeouts, and every proposal the replicas chain off them —
+    /// iterating until the instant produces nothing further
+    /// (self-deliveries cascade within it). `bootstrap` additionally lets
+    /// the round-1 leader open the very first round (the only proposal no
+    /// event precedes).
+    fn step_instant(&mut self, now: SimTime, bootstrap: bool) {
         let mut inbox: Inbox = self
             .net
             .deliver_due(now)
@@ -150,22 +180,28 @@ impl FbftSimulation {
                 (e.to, msg)
             })
             .collect();
+        if bootstrap {
+            for i in 0..self.config.n {
+                if let Some(proposal) = self.nodes[i].replica.try_propose_chained() {
+                    self.dispatch_proposal(i, proposal, &mut inbox);
+                }
+            }
+        }
         loop {
             while let Some((to, msg)) = inbox.pop_front() {
                 self.handle(to, msg, now, &mut inbox);
             }
-            let fired = self.fire_due_timeouts(now, &mut inbox);
-            let proposed = self.pump_proposals(now, &mut inbox);
-            if inbox.is_empty() && !fired && !proposed {
+            if !self.fire_due_timeouts(now, &mut inbox) && inbox.is_empty() {
                 break;
             }
         }
     }
 
-    /// Broadcasts `msg` from `from` over the network and loops it back to
-    /// the sender immediately.
+    /// Broadcasts `msg` from `from` over the network — encoding it exactly
+    /// once; recipients share the buffer — and loops it back to the sender
+    /// immediately.
     fn broadcast(&mut self, from: ReplicaId, msg: FbftMessage, inbox: &mut Inbox) {
-        self.net.broadcast(from, self.config.n, &msg.to_bytes());
+        self.net.broadcast(from, self.config.n, msg.to_bytes());
         inbox.push_back((from, msg));
     }
 
@@ -185,39 +221,25 @@ impl FbftSimulation {
         fired
     }
 
-    /// Lets every node that leads its current round (and wants to) propose.
-    fn pump_proposals(&mut self, now: SimTime, inbox: &mut Inbox) -> bool {
-        let _ = now;
-        let mut proposed = false;
-        for i in 0..self.config.n {
-            match self.nodes[i].behavior {
-                // Silent never acts; StallLeader's whole deviation is here.
-                Behavior::Silent | Behavior::StallLeader => continue,
-                Behavior::Honest | Behavior::WithholdVote => {
-                    let round = self.nodes[i].replica.current_round();
-                    let payload = self.payload_for(round);
-                    if let Some(proposal) = self.nodes[i].replica.try_propose(payload) {
-                        proposed = true;
-                        let from = proposal.block().proposer();
-                        self.broadcast(from, FbftMessage::Proposal(proposal), inbox);
-                    }
-                }
-                Behavior::Equivocate => {
-                    let round = self.nodes[i].replica.current_round();
-                    let payload = self.payload_for(round);
-                    if let Some(honest) = self.nodes[i].replica.try_propose(payload) {
-                        proposed = true;
-                        self.send_equivocating_pair(i, honest, inbox);
-                    }
-                }
+    /// Sends a proposal chained by node `i` according to its behavior:
+    /// honest-ish nodes broadcast it, an equivocator twins it. (Silent
+    /// nodes never chain — they process no events — and stalling leaders
+    /// have no payload source, so they never produce one.)
+    fn dispatch_proposal(&mut self, i: usize, proposal: FbftProposal, inbox: &mut Inbox) {
+        match self.nodes[i].behavior {
+            Behavior::Silent | Behavior::StallLeader => {}
+            Behavior::Honest | Behavior::WithholdVote => {
+                let from = proposal.block().proposer();
+                self.broadcast(from, FbftMessage::Proposal(proposal), inbox);
             }
+            Behavior::Equivocate => self.send_equivocating_pair(i, proposal, inbox),
         }
-        proposed
     }
 
     /// Split-brain delivery of an equivocating leader's twin proposals:
     /// low ids see A, high ids see B, and the equivocator itself sees both
-    /// (so it casts the conflicting votes honest trackers will flag).
+    /// (so it casts the conflicting votes honest trackers will flag). Each
+    /// twin is encoded once; its recipients share the buffer.
     fn send_equivocating_pair(&mut self, i: usize, honest: FbftProposal, inbox: &mut Inbox) {
         let n = self.config.n;
         let node = &self.nodes[i];
@@ -237,34 +259,29 @@ impl FbftSimulation {
             &node.key_pair,
         );
         let from = node.replica.id();
+        let halves = [FbftMessage::Proposal(honest), FbftMessage::Proposal(twin)];
+        let bytes: [Arc<[u8]>; 2] = [halves[0].to_bytes().into(), halves[1].to_bytes().into()];
         for to in 0..n as u16 {
             let target = ReplicaId::new(to);
-            let msg = if (to as usize) < n / 2 {
-                FbftMessage::Proposal(honest.clone())
-            } else {
-                FbftMessage::Proposal(twin.clone())
-            };
+            let half = usize::from(to as usize >= n / 2);
             if target == from {
-                inbox.push_back((target, msg));
+                inbox.push_back((target, halves[half].clone()));
             } else {
-                self.net.send(from, target, msg.to_bytes());
+                self.net.send(from, target, Arc::clone(&bytes[half]));
             }
         }
         // The equivocator also sees the twin its own half did NOT receive.
-        let other_half = if (from.as_usize()) < n / 2 {
-            twin
-        } else {
-            honest
-        };
-        inbox.push_back((from, FbftMessage::Proposal(other_half)));
+        let other = usize::from(from.as_usize() < n / 2);
+        inbox.push_back((from, halves[other].clone()));
     }
 
-    fn payload_for(&self, round: Round) -> Payload {
-        Payload::synthetic(
-            self.config.txns_per_block,
-            self.config.txn_bytes,
-            round.as_u64(),
-        )
+    /// Records `out`'s commit-log entries on node `i`'s timeline and
+    /// dispatches any proposal it chained.
+    fn absorb_outcome(&mut self, i: usize, out: StepOutcome, now: SimTime, inbox: &mut Inbox) {
+        self.timelines[i].extend(out.updates.into_iter().map(|u| (now, u)));
+        if let Some(proposal) = out.next_proposal {
+            self.dispatch_proposal(i, proposal, inbox);
+        }
     }
 
     /// Processes one delivered message for node `to` according to its
@@ -275,48 +292,49 @@ impl FbftSimulation {
             return;
         }
         match msg {
-            FbftMessage::Proposal(proposal) => match self.nodes[i].behavior {
-                Behavior::Silent => unreachable!("filtered above"),
-                Behavior::Honest | Behavior::StallLeader => {
-                    let outcome = self.nodes[i].replica.on_proposal(&proposal, now);
-                    self.timelines[i].extend(outcome.updates.into_iter().map(|u| (now, u)));
-                    if let Some(vote) = outcome.vote {
-                        self.broadcast(to, FbftMessage::Vote(vote), inbox);
+            FbftMessage::Proposal(proposal) => {
+                let mut out = self.nodes[i].replica.on_proposal(&proposal, now);
+                let vote = out.vote.take();
+                match self.nodes[i].behavior {
+                    Behavior::Silent => unreachable!("filtered above"),
+                    Behavior::Honest | Behavior::StallLeader => {
+                        if let Some(vote) = vote {
+                            self.broadcast(to, FbftMessage::Vote(vote), inbox);
+                        }
+                    }
+                    // Never votes; the proposal (and its certificates) was
+                    // still absorbed above.
+                    Behavior::WithholdVote => {}
+                    Behavior::Equivocate => {
+                        // Vote for everything, once per block, with a forged
+                        // clean-history marker; the honest vote is discarded.
+                        let block_id = proposal.block().id();
+                        if self.nodes[i].forged_votes.insert(block_id) {
+                            let forged = StrongVote::new(
+                                proposal.block().vote_data(),
+                                EndorseInfo::Marker(Round::ZERO),
+                                &self.nodes[i].key_pair,
+                            );
+                            self.broadcast(to, FbftMessage::Vote(forged), inbox);
+                        }
                     }
                 }
-                Behavior::WithholdVote => {
-                    let outcome = self.nodes[i].replica.on_proposal(&proposal, now);
-                    self.timelines[i].extend(outcome.updates.into_iter().map(|u| (now, u)));
-                }
-                Behavior::Equivocate => {
-                    // Vote for everything, once per block, with a forged
-                    // clean-history marker; the honest vote is discarded.
-                    let outcome = self.nodes[i].replica.on_proposal(&proposal, now);
-                    self.timelines[i].extend(outcome.updates.into_iter().map(|u| (now, u)));
-                    let block_id = proposal.block().id();
-                    if self.nodes[i].forged_votes.insert(block_id) {
-                        let forged = StrongVote::new(
-                            proposal.block().vote_data(),
-                            EndorseInfo::Marker(Round::ZERO),
-                            &self.nodes[i].key_pair,
-                        );
-                        self.broadcast(to, FbftMessage::Vote(forged), inbox);
-                    }
-                }
-            },
+                self.absorb_outcome(i, out, now, inbox);
+            }
             FbftMessage::Vote(vote) => {
-                let updates = self.nodes[i].replica.on_vote(&vote, now);
-                self.timelines[i].extend(updates.into_iter().map(|u| (now, u)));
+                let out = self.nodes[i].replica.on_vote(&vote, now);
+                self.absorb_outcome(i, out, now, inbox);
             }
             FbftMessage::Timeout(timeout) => {
-                let _ = self.nodes[i].replica.on_timeout_msg(&timeout, now);
+                let out = self.nodes[i].replica.on_timeout_msg(&timeout, now);
+                self.absorb_outcome(i, out, now, inbox);
             }
         }
     }
 
     /// Snapshot of the current run state as a report.
     pub fn report(&self) -> SimReport {
-        let chains = self
+        let chains: Vec<Vec<HashValue>> = self
             .nodes
             .iter()
             .map(|node| node.replica.committed_chain().to_vec())
@@ -337,11 +355,17 @@ impl FbftSimulation {
             .map(|node| node.replica.observed_equivocators().len())
             .max()
             .unwrap_or(0);
+        let txns_committed = crate::max_committed_txns(
+            self.nodes
+                .iter()
+                .map(|node| (node.replica.committed_chain(), node.replica.store())),
+        );
         SimReport {
             chains,
             commit_logs,
             timelines: self.timelines.clone(),
             net: self.net.stats(),
+            txns_committed,
             elapsed: self.net.now(),
             safety_violations,
             equivocators_detected,

@@ -53,12 +53,32 @@
 pub mod fbft_driver;
 pub mod streamlet_driver;
 
+use sft_core::{BlockStore, PayloadSource};
 use sft_crypto::HashValue;
 use sft_network::NetworkStats;
-use sft_types::{EndorseMode, SimDuration, SimTime, StrongCommitUpdate};
+use sft_types::{BatchConfig, EndorseMode, SimDuration, SimTime, StrongCommitUpdate, Transaction};
 
 pub use fbft_driver::FbftSimulation;
 pub use streamlet_driver::Simulation;
+
+/// The throughput numerator both drivers report: the transaction count of
+/// the longest committed chain across replicas, each chain's blocks
+/// resolved against that replica's own store. One definition, shared, so
+/// the cross-protocol comparison can never diverge between drivers.
+pub(crate) fn max_committed_txns<'a>(
+    nodes: impl Iterator<Item = (&'a [HashValue], &'a BlockStore)>,
+) -> u64 {
+    nodes
+        .map(|(chain, store)| {
+            chain
+                .iter()
+                .filter_map(|id| store.get(*id))
+                .map(|block| block.payload().txn_count() as u64)
+                .sum()
+        })
+        .max()
+        .unwrap_or(0)
+}
 
 /// Per-replica fault model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -112,6 +132,14 @@ pub struct SimConfig {
     pub txns_per_block: u32,
     /// Bytes per transaction (the paper uses ~450).
     pub txn_bytes: u32,
+    /// Transactions per batch leaders drain from their mempools. `0` (the
+    /// default) keeps the synthetic-descriptor workload: blocks *describe*
+    /// `txns_per_block × txn_bytes` batches without materializing them.
+    /// `> 0` switches to the batched client workload: every replica's
+    /// mempool is fed the same deterministic client transaction stream
+    /// (`txn_bytes` each) and leaders drain real
+    /// [`Payload::Transactions`](sft_types::Payload) batches of this size.
+    pub batch_size: u32,
 }
 
 impl SimConfig {
@@ -129,6 +157,7 @@ impl SimConfig {
             base_timeout: delay * 4,
             txns_per_block: 1000,
             txn_bytes: 450,
+            batch_size: 0,
         }
     }
 
@@ -179,6 +208,54 @@ impl SimConfig {
         self
     }
 
+    /// Switches to the batched client workload: leaders drain real
+    /// transaction batches of `batch_size` from their mempools (see
+    /// [`SimConfig::batch_size`]). `0` restores the synthetic descriptor
+    /// workload.
+    pub fn with_batch_size(mut self, batch_size: u32) -> Self {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// The payload source replicas propose from under this configuration.
+    pub(crate) fn payload_source(&self) -> PayloadSource {
+        if self.batch_size > 0 {
+            PayloadSource::Mempool(BatchConfig {
+                max_txns: self.batch_size,
+                // The sweep knob is the count; leave bytes uncapped so
+                // `batch_size` is authoritative.
+                max_bytes: u64::MAX,
+            })
+        } else {
+            PayloadSource::Synthetic {
+                txn_count: self.txns_per_block,
+                txn_bytes: self.txn_bytes,
+            }
+        }
+    }
+
+    /// The deterministic client transaction stream fed to every replica's
+    /// mempool in batched mode: enough full batches for every round the run
+    /// can reach, identical on every replica (clients broadcast their
+    /// transactions), empty in synthetic mode.
+    pub(crate) fn client_workload(&self) -> Vec<Transaction> {
+        if self.batch_size == 0 {
+            return Vec::new();
+        }
+        // One batch per round target, with slack for timeout-skipped rounds.
+        let total = (self.epochs + 4) * u64::from(self.batch_size);
+        let clients = 16u64;
+        (0..total)
+            .map(|i| {
+                Transaction::new(
+                    i % clients,
+                    i / clients,
+                    vec![0xc5; self.txn_bytes as usize],
+                )
+            })
+            .collect()
+    }
+
     /// Runs the simulation to completion under the configured protocol.
     pub fn run(self) -> SimReport {
         match self.protocol {
@@ -202,6 +279,10 @@ pub struct SimReport {
     pub timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
     /// Aggregate network traffic.
     pub net: NetworkStats,
+    /// Transactions carried by the longest committed chain (batched mode
+    /// counts drained client transactions; synthetic mode counts described
+    /// ones) — the numerator of the throughput metric.
+    pub txns_committed: u64,
     /// Virtual time at the end of the run.
     pub elapsed: SimTime,
     /// Replicas whose commit rule observed conflicting finalized chains.
@@ -235,6 +316,16 @@ impl SimReport {
             .map(StrongCommitUpdate::level)
             .max()
             .unwrap_or(0)
+    }
+
+    /// Committed transactions per *virtual* second — the throughput number
+    /// the batching/pipelining work is measured by. Zero if no time passed.
+    pub fn txns_per_sec(&self) -> f64 {
+        let micros = self.elapsed.as_micros();
+        if micros == 0 {
+            return 0.0;
+        }
+        self.txns_committed as f64 * 1e6 / micros as f64
     }
 
     /// The virtual instant of the first commit-log entry on replica

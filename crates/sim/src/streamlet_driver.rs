@@ -1,6 +1,13 @@
 //! The lock-step SFT-Streamlet driver: epochs of two message delays
 //! (propose at `T`, vote at `T + δ`, count at `T + 2δ`), matching the
 //! synchrony assumption of Appendix D where epochs are externally clocked.
+//!
+//! Leaders draw payloads from their replica's configured payload source —
+//! batched client transactions from the mempool, or the synthetic workload
+//! descriptor — and every broadcast message is encoded exactly once, with
+//! all recipients sharing the buffer.
+
+use std::sync::Arc;
 
 use sft_core::{Block, ProtocolConfig};
 use sft_crypto::HashValue;
@@ -33,7 +40,9 @@ pub struct Simulation {
 }
 
 impl Simulation {
-    /// Builds replicas, keys, and the network for `config`.
+    /// Builds replicas, keys, and the network for `config`. In batched mode
+    /// every replica's mempool is pre-fed the same deterministic client
+    /// transaction stream.
     ///
     /// # Panics
     ///
@@ -42,12 +51,28 @@ impl Simulation {
         assert_eq!(config.behaviors.len(), config.n, "one behavior per replica");
         let protocol = ProtocolConfig::for_replicas(config.n);
         let registry = sft_crypto::KeyRegistry::deterministic(config.n);
+        let source = config.payload_source();
+        let workload = config.client_workload();
         let nodes = (0..config.n as u16)
-            .map(|id| Node {
-                behavior: config.behaviors[id as usize],
-                replica: Replica::new(id, protocol, registry.clone(), config.endorse_mode),
-                key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
-                equivocation_votes: Vec::new(),
+            .map(|id| {
+                let behavior = config.behaviors[id as usize];
+                let mut replica = Replica::new(id, protocol, registry.clone(), config.endorse_mode);
+                // A stalling leader's whole deviation is "never propose":
+                // leaving it source-less keeps its mempool untouched
+                // (begin_epoch_sourced still advances its epoch) — same
+                // approach as the fbft driver.
+                if behavior != Behavior::StallLeader {
+                    replica = replica.with_payload_source(source);
+                }
+                for txn in &workload {
+                    replica.submit_transaction(txn.clone());
+                }
+                Node {
+                    behavior,
+                    replica,
+                    key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
+                    equivocation_votes: Vec::new(),
+                }
             })
             .collect();
         Self {
@@ -76,11 +101,6 @@ impl Simulation {
     /// votes and evaluate commits at `T + 2δ`.
     pub fn run_epoch(&mut self, epoch: Round) {
         let n = self.config.n;
-        let payload = Payload::synthetic(
-            self.config.txns_per_block,
-            self.config.txn_bytes,
-            epoch.as_u64(),
-        );
 
         // Phase 1 — propose. Self-routed messages skip the network (a
         // replica hears itself immediately), everything else pays δ.
@@ -93,45 +113,45 @@ impl Simulation {
                 Behavior::StallLeader => {
                     // Advances its epoch like everyone else, but its own
                     // proposal (if leading) is never sent anywhere.
-                    let _ = node.replica.begin_epoch(epoch, payload.clone());
+                    let _ = node.replica.begin_epoch_sourced(epoch);
                     Vec::new()
                 }
                 Behavior::Honest | Behavior::WithholdVote => node
                     .replica
-                    .begin_epoch(epoch, payload.clone())
+                    .begin_epoch_sourced(epoch)
                     .into_iter()
                     .collect(),
-                Behavior::Equivocate => equivocating_proposals(node, epoch, &payload),
+                Behavior::Equivocate => equivocating_proposals(node, epoch),
             };
             match proposals.as_slice() {
                 [] => {}
                 [proposal] => {
                     let msg = Message::Proposal(proposal.clone());
                     self.net
-                        .broadcast(proposal.block().proposer(), n, &msg.to_bytes());
+                        .broadcast(proposal.block().proposer(), n, msg.to_bytes());
                     self_inbox.push((proposal.block().proposer(), msg));
                 }
                 [a, b] => {
                     // Split-brain delivery: low ids see A, high ids see B.
+                    // Each twin is encoded once; recipients share the buffer.
                     let from = a.block().proposer();
+                    let halves = [Message::Proposal(a.clone()), Message::Proposal(b.clone())];
+                    let bytes: [Arc<[u8]>; 2] =
+                        [halves[0].to_bytes().into(), halves[1].to_bytes().into()];
                     for to in 0..n as u16 {
                         let target = ReplicaId::new(to);
-                        let msg = if (to as usize) < n / 2 {
-                            Message::Proposal(a.clone())
-                        } else {
-                            Message::Proposal(b.clone())
-                        };
+                        let half = usize::from(to as usize >= n / 2);
                         if target == from {
-                            self_inbox.push((target, msg));
+                            self_inbox.push((target, halves[half].clone()));
                         } else {
-                            self.net.send(from, target, msg.to_bytes());
+                            self.net.send(from, target, Arc::clone(&bytes[half]));
                         }
                     }
                     // The equivocator also sees the twin its own half did
                     // NOT receive, so it casts the conflicting votes honest
                     // trackers will flag regardless of which half it sits in.
-                    let twin = if (from.as_usize()) < n / 2 { b } else { a };
-                    self_inbox.push((from, Message::Proposal(twin.clone())));
+                    let other = usize::from(from.as_usize() < n / 2);
+                    self_inbox.push((from, halves[other].clone()));
                 }
                 _ => unreachable!("at most two proposals per epoch"),
             }
@@ -153,7 +173,7 @@ impl Simulation {
             let node = &mut self.nodes[to.as_usize()];
             for vote in node.handle_proposal(&proposal) {
                 let msg = Message::Vote(vote.clone());
-                self.net.broadcast(to, n, &msg.to_bytes());
+                self.net.broadcast(to, n, msg.to_bytes());
                 vote_inbox.push((to, msg));
             }
         }
@@ -200,11 +220,17 @@ impl Simulation {
             .map(|node| node.replica.observed_equivocators().len())
             .max()
             .unwrap_or(0);
+        let txns_committed = crate::max_committed_txns(
+            self.nodes
+                .iter()
+                .map(|node| (node.replica.committed_chain(), node.replica.store())),
+        );
         SimReport {
             chains,
             commit_logs,
             timelines: self.timelines.clone(),
             net: self.net.stats(),
+            txns_committed,
             elapsed: self.net.now(),
             safety_violations,
             equivocators_detected,
@@ -219,8 +245,8 @@ impl Simulation {
 
 /// As the epoch leader, produce one honest proposal plus one conflicting
 /// sibling with a different payload tag. Non-leaders produce nothing.
-fn equivocating_proposals(node: &mut Node, epoch: Round, payload: &Payload) -> Vec<Proposal> {
-    let Some(honest) = node.replica.begin_epoch(epoch, payload.clone()) else {
+fn equivocating_proposals(node: &mut Node, epoch: Round) -> Vec<Proposal> {
+    let Some(honest) = node.replica.begin_epoch_sourced(epoch) else {
         return Vec::new();
     };
     let parent = node

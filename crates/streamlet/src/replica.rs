@@ -4,11 +4,13 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use sft_core::{
-    honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, ProtocolConfig,
-    VoteOutcome, VoteTracker,
+    honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, Mempool,
+    PayloadSource, ProtocolConfig, VoteOutcome, VoteTracker,
 };
 use sft_crypto::{HashValue, KeyPair, KeyRegistry};
-use sft_types::{EndorseMode, Payload, ReplicaId, Round, StrongCommitUpdate, StrongVote};
+use sft_types::{
+    EndorseMode, Payload, ReplicaId, Round, StrongCommitUpdate, StrongVote, Transaction,
+};
 
 use crate::message::Proposal;
 
@@ -89,6 +91,12 @@ pub struct Replica {
     voted_blocks: Vec<(Round, HashValue)>,
     ledger: CommitLedger,
     commit_log: Vec<StrongCommitUpdate>,
+    /// Where [`begin_epoch_sourced`](Self::begin_epoch_sourced) gets its
+    /// payloads; `None` means callers always supply payloads explicitly.
+    payload_source: Option<PayloadSource>,
+    /// Client transactions awaiting inclusion (drained by the mempool
+    /// payload source; pruned when other leaders' blocks carry them).
+    mempool: Mempool,
 }
 
 impl Replica {
@@ -124,7 +132,28 @@ impl Replica {
             voted_blocks: Vec::new(),
             ledger: CommitLedger::new(),
             commit_log: Vec::new(),
+            payload_source: None,
+            mempool: Mempool::new(),
         }
+    }
+
+    /// Configures where [`begin_epoch_sourced`](Self::begin_epoch_sourced)
+    /// gets its payloads (a synthetic descriptor or this replica's
+    /// mempool).
+    pub fn with_payload_source(mut self, source: PayloadSource) -> Self {
+        self.payload_source = Some(source);
+        self
+    }
+
+    /// Submits a client transaction to this replica's mempool. Returns
+    /// whether it was admitted (not a duplicate, not already on-chain).
+    pub fn submit_transaction(&mut self, txn: Transaction) -> bool {
+        self.mempool.submit(txn)
+    }
+
+    /// The replica's transaction pool.
+    pub fn mempool(&self) -> &Mempool {
+        &self.mempool
     }
 
     /// This replica's id.
@@ -193,19 +222,44 @@ impl Replica {
     /// proposal extending the tip of a longest notarized chain, carrying
     /// `payload`. Non-leaders (and stale epochs) return `None`.
     pub fn begin_epoch(&mut self, epoch: Round, payload: Payload) -> Option<Proposal> {
-        if epoch <= self.epoch {
+        if !self.enter_epoch(epoch) {
             return None;
+        }
+        Some(self.propose(epoch, payload))
+    }
+
+    /// Advances to `epoch`; if this replica leads it, drains the next
+    /// payload from its configured [`PayloadSource`] (a batch from the
+    /// mempool, or a synthetic descriptor) and proposes it. Returns `None`
+    /// for non-leaders, stale epochs, or when no source is configured —
+    /// but the epoch advances in every non-stale case, so a source-less
+    /// replica still follows the clock (and votes) like everyone else.
+    pub fn begin_epoch_sourced(&mut self, epoch: Round) -> Option<Proposal> {
+        if !self.enter_epoch(epoch) {
+            return None;
+        }
+        let source = self.payload_source?;
+        let payload = source.next_payload(&mut self.mempool, epoch);
+        Some(self.propose(epoch, payload))
+    }
+
+    /// Moves to `epoch` (stale epochs are refused) and reports whether this
+    /// replica leads it.
+    fn enter_epoch(&mut self, epoch: Round) -> bool {
+        if epoch <= self.epoch {
+            return false;
         }
         self.epoch = epoch;
-        if Self::leader(self.config, epoch) != self.id {
-            return None;
-        }
+        Self::leader(self.config, epoch) == self.id
+    }
+
+    fn propose(&mut self, epoch: Round, payload: Payload) -> Proposal {
         let tip = self.tip().clone();
         let block = Block::new(&tip, epoch, self.id, payload);
         self.store
             .insert(block.clone())
             .expect("tip is in the store");
-        Some(Proposal::new(block, &self.key_pair))
+        Proposal::new(block, &self.key_pair)
     }
 
     /// Handles a proposal. Returns this replica's strong-vote if the
@@ -225,6 +279,10 @@ impl Replica {
         // may arrive later. Orphans (unknown parent) are dropped.
         if self.store.insert(block.clone()).is_err() {
             return None;
+        }
+        // The chain now carries these transactions: stop offering them.
+        if let Payload::Transactions(txns) = block.payload() {
+            self.mempool.mark_included(txns.iter());
         }
         if block.round() != self.epoch || self.voted_epochs.contains(&block.round()) {
             return None;
@@ -400,5 +458,42 @@ impl fmt::Debug for Replica {
             self.notarized.len(),
             self.ledger.chain().len()
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_types::BatchConfig;
+
+    fn replica(id: u16) -> Replica {
+        let config = ProtocolConfig::for_replicas(4);
+        let registry = KeyRegistry::deterministic(4);
+        Replica::new(id, config, registry, EndorseMode::Marker)
+    }
+
+    #[test]
+    fn sourced_epoch_advances_even_without_a_payload_source() {
+        // A source-less replica returns no proposal but must still follow
+        // the epoch clock, or it would reject (and never vote on) every
+        // current-epoch proposal from the real leader.
+        let mut r = replica(1);
+        assert!(r.begin_epoch_sourced(Round::new(1)).is_none());
+        assert_eq!(r.epoch(), Round::new(1));
+    }
+
+    #[test]
+    fn sourced_epoch_drains_batches_for_the_leader() {
+        let leader = Replica::leader(ProtocolConfig::for_replicas(4), Round::new(1));
+        let mut r = replica(leader.as_u16())
+            .with_payload_source(PayloadSource::Mempool(BatchConfig::with_max_txns(4)));
+        for seq in 0..6 {
+            assert!(r.submit_transaction(Transaction::new(9, seq, vec![0; 4])));
+        }
+        let proposal = r
+            .begin_epoch_sourced(Round::new(1))
+            .expect("leader proposes");
+        assert_eq!(proposal.block().payload().txn_count(), 4);
+        assert_eq!(r.mempool().len(), 2, "only one batch drained");
     }
 }

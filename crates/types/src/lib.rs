@@ -54,5 +54,5 @@ pub use time::{SimDuration, SimTime};
 pub use timeout::{
     timeout_signing_digest, TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome,
 };
-pub use transaction::{Payload, Transaction};
+pub use transaction::{BatchConfig, Payload, Transaction};
 pub use vote::{vote_signing_digest, EndorseInfo, EndorseMode, StrongVote, VoteData};

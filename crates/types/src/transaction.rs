@@ -124,6 +124,49 @@ impl Decode for Transaction {
     }
 }
 
+/// Limits on the transaction batch a leader drains from its mempool into
+/// one proposal — the knobs FeBFT-style batching exposes: a count cap and a
+/// byte cap, whichever bites first.
+///
+/// # Examples
+///
+/// ```
+/// use sft_types::BatchConfig;
+///
+/// let batch = BatchConfig::with_max_txns(256);
+/// assert_eq!(batch.max_txns, 256);
+/// assert!(batch.max_bytes > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Maximum transactions per proposed block.
+    pub max_txns: u32,
+    /// Maximum encoded payload bytes per proposed block.
+    pub max_bytes: u64,
+}
+
+impl Default for BatchConfig {
+    /// The paper's workload shape: ~1000 transactions of ~450 B each per
+    /// block, so the byte cap sits just above 450 KB.
+    fn default() -> Self {
+        Self {
+            max_txns: 1000,
+            max_bytes: 512 * 1024,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// A batch limited by transaction count only (byte cap stays at the
+    /// default).
+    pub fn with_max_txns(max_txns: u32) -> Self {
+        Self {
+            max_txns,
+            ..Self::default()
+        }
+    }
+}
+
 /// The transaction batch carried by a block.
 ///
 /// # Examples
