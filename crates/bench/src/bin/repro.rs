@@ -2,10 +2,13 @@
 //! one (or both) protocols and prints what they did.
 //!
 //! ```text
-//! cargo run -p sft-bench --bin repro [-- n epochs [byzantine] [flags]]
+//! cargo run -p sft-bench --bin repro [-- n epochs [scenario] [flags]]
 //!   n          replica count           (default 4)
 //!   epochs     epochs/rounds to run    (default 10)
-//!   byzantine  equivocate | withhold | silent | stall — behavior of replica n-1
+//!   scenario   equivocate | withhold | silent | stall — behavior of replica n-1
+//!              partition — replica n-1 cut off until mid-run while replica 0
+//!                          equivocates; recovery via block-sync is asserted
+//!              lossy     — 15% seeded message loss until GST at mid-run
 //!
 //! flags:
 //!   --protocol streamlet | fbft | both   which protocol(s) to run (default streamlet)
@@ -32,10 +35,25 @@ use std::process::ExitCode;
 use sft_core::ProtocolConfig;
 use sft_sim::{Behavior, Protocol, SimConfig, SimReport};
 
+/// What the optional third positional argument selects: a Byzantine
+/// behavior for replica `n − 1`, or a partial-synchrony fault schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+enum Scenario {
+    #[default]
+    Honest,
+    Byzantine(Behavior),
+    /// Replica n−1 partitioned until mid-run while replica 0 equivocates;
+    /// the catch-up acceptance criterion (recovery via block-sync) is
+    /// asserted on top of the usual invariants.
+    Partition,
+    /// 15% seeded message loss until GST at mid-run, all replicas honest.
+    Lossy,
+}
+
 struct Args {
     n: usize,
     epochs: u64,
-    byzantine: Option<Behavior>,
+    scenario: Scenario,
     protocols: Vec<Protocol>,
     batch_size: u32,
     sweep: Vec<usize>,
@@ -54,7 +72,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         n: 4,
         epochs: 10,
-        byzantine: None,
+        scenario: Scenario::Honest,
         protocols: vec![Protocol::Streamlet],
         batch_size: 256,
         sweep: Vec::new(),
@@ -102,17 +120,20 @@ fn parse_args() -> Result<Args, String> {
                             .map_err(|_| format!("bad epoch count {value:?}"))?;
                     }
                     2 => {
-                        args.byzantine = Some(match value {
-                            "equivocate" => Behavior::Equivocate,
-                            "withhold" => Behavior::WithholdVote,
-                            "silent" => Behavior::Silent,
-                            "stall" => Behavior::StallLeader,
+                        args.scenario = match value {
+                            "equivocate" => Scenario::Byzantine(Behavior::Equivocate),
+                            "withhold" => Scenario::Byzantine(Behavior::WithholdVote),
+                            "silent" => Scenario::Byzantine(Behavior::Silent),
+                            "stall" => Scenario::Byzantine(Behavior::StallLeader),
+                            "partition" => Scenario::Partition,
+                            "lossy" => Scenario::Lossy,
                             other => {
                                 return Err(format!(
-                                    "unknown behavior {other:?}; use equivocate | withhold | silent | stall"
+                                    "unknown scenario {other:?}; use equivocate | withhold | \
+                                     silent | stall | partition | lossy"
                                 ))
                             }
-                        });
+                        };
                     }
                     _ => return Err(format!("unexpected argument {value:?}")),
                 }
@@ -135,31 +156,48 @@ fn protocol_name(protocol: Protocol) -> &'static str {
     }
 }
 
-fn behavior_name(behavior: Option<Behavior>) -> &'static str {
-    match behavior {
-        None => "honest",
-        Some(Behavior::Honest) => "honest",
-        Some(Behavior::Equivocate) => "equivocate",
-        Some(Behavior::WithholdVote) => "withhold",
-        Some(Behavior::Silent) => "silent",
-        Some(Behavior::StallLeader) => "stall",
+fn scenario_name(scenario: Scenario) -> &'static str {
+    match scenario {
+        Scenario::Honest | Scenario::Byzantine(Behavior::Honest) => "honest",
+        Scenario::Byzantine(Behavior::Equivocate) => "equivocate",
+        Scenario::Byzantine(Behavior::WithholdVote) => "withhold",
+        Scenario::Byzantine(Behavior::Silent) => "silent",
+        Scenario::Byzantine(Behavior::StallLeader) => "stall",
+        Scenario::Partition => "partition",
+        Scenario::Lossy => "lossy",
     }
 }
+
+/// Seed for the lossy scenario's drop stream — fixed so CI runs are
+/// reproducible; the test suite sweeps seeds.
+const LOSSY_SEED: u64 = 7;
 
 /// One simulated scenario, ready to run.
 fn configure(args: &Args, protocol: Protocol, n: usize, batch_size: u32) -> SimConfig {
     let mut config = SimConfig::new(n, args.epochs)
         .with_protocol(protocol)
         .with_batch_size(batch_size);
-    if let Some(behavior) = args.byzantine {
-        config = config.with_behavior((n - 1) as u16, behavior);
+    match args.scenario {
+        Scenario::Honest => {}
+        Scenario::Byzantine(behavior) => {
+            config = config.with_behavior((n - 1) as u16, behavior);
+        }
+        Scenario::Partition => {
+            config = config
+                .with_behavior(0, Behavior::Equivocate)
+                .with_partitioned_straggler();
+        }
+        Scenario::Lossy => {
+            config = config.with_lossy_links(LOSSY_SEED, 0.15);
+        }
     }
     config
 }
 
 /// Sanity-checks every run, batched or not: agreement, liveness, and
-/// monotone commit strength.
-fn validate(report: &SimReport) -> Result<(), String> {
+/// monotone commit strength — plus, for the partition scenario, the
+/// block-sync acceptance criterion (the straggler actually recovered).
+fn validate(report: &SimReport, scenario: Scenario) -> Result<(), String> {
     if !report.agreement() || report.safety_violations > 0 {
         return Err(format!(
             "replicas disagree (violations: {})",
@@ -171,6 +209,14 @@ fn validate(report: &SimReport) -> Result<(), String> {
     }
     if !report.commit_strength_monotone() {
         return Err("commit strength regressed".to_string());
+    }
+    if scenario == Scenario::Partition {
+        if report.sync_blocks_fetched == 0 {
+            return Err("partition scenario fetched no blocks via sync".to_string());
+        }
+        if report.recovered_replicas == 0 {
+            return Err("partitioned replica did not recover the committed prefix".to_string());
+        }
     }
     Ok(())
 }
@@ -194,7 +240,7 @@ fn summary_json(
     field("n", args.n.to_string());
     field("f", cfg.f().to_string());
     field("epochs", args.epochs.to_string());
-    field("behavior", format!("\"{}\"", behavior_name(args.byzantine)));
+    field("behavior", format!("\"{}\"", scenario_name(args.scenario)));
     field("batch_size", args.batch_size.to_string());
     field("committed_blocks", report.max_committed().to_string());
     field("txns_committed", report.txns_committed.to_string());
@@ -232,6 +278,13 @@ fn summary_json(
     field("elapsed_us", report.elapsed.as_micros().to_string());
     field("messages", report.net.messages.to_string());
     field("bytes", report.net.bytes.to_string());
+    field("dropped", report.net.dropped.to_string());
+    field("sync_requests", report.sync_requests.to_string());
+    field(
+        "sync_blocks_fetched",
+        report.sync_blocks_fetched.to_string(),
+    );
+    field("recovered_replicas", report.recovered_replicas.to_string());
     // The larger-n sweep: throughput scaling at the configured batch size.
     let entries: Vec<String> = sweep
         .iter()
@@ -276,12 +329,18 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
             args.batch_size.to_string()
         },
     );
-    if let Some(behavior) = args.byzantine {
-        println!("replica {} is {:?}", args.n - 1, behavior);
+    match args.scenario {
+        Scenario::Honest => {}
+        Scenario::Byzantine(behavior) => println!("replica {} is {:?}", args.n - 1, behavior),
+        Scenario::Partition => println!(
+            "replica {} partitioned until mid-run; replica 0 equivocates",
+            args.n - 1
+        ),
+        Scenario::Lossy => println!("15% message loss (seed {LOSSY_SEED}) until GST at mid-run"),
     }
 
     let report = config.run();
-    validate(&report)?;
+    validate(&report, args.scenario)?;
 
     println!(
         "\ncommitted chain (replica 0): {} blocks, {} txns ({:.1} txns/s virtual)",
@@ -312,13 +371,19 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     if report.equivocators_detected > 0 {
         println!("equivocators detected: {}", report.equivocators_detected);
     }
+    if report.net.dropped > 0 || report.sync_requests > 0 {
+        println!(
+            "faults: {} messages dropped; sync fetched {} blocks over {} requests, {} replica(s) recovered",
+            report.net.dropped, report.sync_blocks_fetched, report.sync_requests, report.recovered_replicas
+        );
+    }
 
     // The batching bar: against an unbatched (batch-size 1) baseline at
     // equal simulated time, batched+pipelined runs must commit at least
     // twice the transactions. Skipped in synthetic-workload mode.
     let baseline = if args.batch_size >= 2 {
         let baseline = configure(args, protocol, args.n, 1).run();
-        validate(&baseline)?;
+        validate(&baseline, args.scenario)?;
         let speedup = report.txns_committed as f64 / baseline.txns_committed.max(1) as f64;
         println!(
             "batching: {} txns vs {} unbatched at equal simulated time ({speedup:.1}x)",
@@ -339,7 +404,7 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     let mut sweep: Vec<(usize, SimReport)> = vec![(args.n, report.clone())];
     for &n in args.sweep.iter().skip(1) {
         let r = configure(args, protocol, n, args.batch_size).run();
-        validate(&r)?;
+        validate(&r, args.scenario)?;
         println!(
             "sweep n={n}: {} committed, {} txns ({:.1} txns/s), {} msgs, elapsed {}",
             r.max_committed(),
@@ -357,7 +422,15 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     );
 
     if let Some(dir) = &args.json_dir {
-        let path = format!("{dir}/BENCH_{}.json", protocol_name(protocol));
+        // Honest runs keep the historical file name; fault scenarios get
+        // their own, so one artifact can carry the lossless baseline and
+        // the catch-up-cost trajectory side by side and the gate compares
+        // like with like (the file name pins the scenario, and the
+        // in-file identity fields double-check it).
+        let path = match scenario_name(args.scenario) {
+            "honest" => format!("{dir}/BENCH_{}.json", protocol_name(protocol)),
+            scenario => format!("{dir}/BENCH_{}_{scenario}.json", protocol_name(protocol)),
+        };
         let json = summary_json(args, protocol, cfg, &report, baseline.as_ref(), &sweep);
         std::fs::write(&path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("wrote {path}");

@@ -106,7 +106,9 @@ pub struct Metric {
 }
 
 /// The metrics the gate holds every run to: commit latency, throughput,
-/// and message/byte complexity.
+/// message/byte complexity, and the block-sync catch-up cost (request and
+/// fetch counts should only shrink for a fixed scenario; recovered
+/// replicas should never drop).
 pub const GATED_METRICS: &[Metric] = &[
     Metric {
         field: "first_commit_us",
@@ -123,6 +125,18 @@ pub const GATED_METRICS: &[Metric] = &[
     Metric {
         field: "bytes",
         better: Better::Lower,
+    },
+    Metric {
+        field: "sync_requests",
+        better: Better::Lower,
+    },
+    Metric {
+        field: "sync_blocks_fetched",
+        better: Better::Lower,
+    },
+    Metric {
+        field: "recovered_replicas",
+        better: Better::Higher,
     },
 ];
 
@@ -229,6 +243,33 @@ mod tests {
         let s = Summary::parse("{\n  \"baseline_txns_per_sec\": null\n}\n");
         assert_eq!(s.get("baseline_txns_per_sec"), Some(&FieldValue::Null));
         assert_eq!(s.number("baseline_txns_per_sec"), None);
+    }
+
+    #[test]
+    fn sync_metrics_are_gated_and_zero_baselines_are_safe() {
+        // Lossless scenarios report all-zero sync metrics; zero against
+        // zero must pass in both improvement directions.
+        let base = Summary::parse(
+            "{\n  \"protocol\": \"fbft\",\n  \"sync_requests\": 0,\n  \"sync_blocks_fetched\": 0,\n  \"recovered_replicas\": 0\n}\n",
+        );
+        assert!(compare(&base, &base.clone(), 0.05).passed());
+        // Catch-up suddenly costing requests where it cost none is flagged.
+        let worse = Summary::parse(
+            "{\n  \"protocol\": \"fbft\",\n  \"sync_requests\": 12,\n  \"sync_blocks_fetched\": 0,\n  \"recovered_replicas\": 0\n}\n",
+        );
+        let result = compare(&base, &worse, 0.05);
+        assert!(!result.passed());
+        assert!(result.regressions[0].contains("sync_requests"));
+        // A replica that used to recover no longer recovering is flagged.
+        let recovering = Summary::parse(
+            "{\n  \"protocol\": \"fbft\",\n  \"sync_requests\": 2, \n  \"sync_blocks_fetched\": 5,\n  \"recovered_replicas\": 1\n}\n",
+        );
+        let broken = Summary::parse(
+            "{\n  \"protocol\": \"fbft\",\n  \"sync_requests\": 2, \n  \"sync_blocks_fetched\": 5,\n  \"recovered_replicas\": 0\n}\n",
+        );
+        let result = compare(&recovering, &broken, 0.05);
+        assert!(!result.passed());
+        assert!(result.regressions[0].contains("recovered_replicas"));
     }
 
     #[test]

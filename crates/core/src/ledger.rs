@@ -113,6 +113,33 @@ impl CommitLedger {
         }
         suffix
     }
+
+    /// Re-attempts deferred finalizations: targets a commit rule declared
+    /// while the local chain still had holes (blocks being block-synced).
+    /// Each target either finalizes now — its newly committed ids are
+    /// returned, oldest first — or stays in `deferred` for the next
+    /// attempt. Both protocol replicas call this after every sync
+    /// admission.
+    pub fn finalize_deferred(
+        &mut self,
+        store: &BlockStore,
+        deferred: &mut Vec<HashValue>,
+    ) -> Vec<HashValue> {
+        let targets = std::mem::take(deferred);
+        let mut committed = Vec::new();
+        for target in targets {
+            if self.contains(target) {
+                continue;
+            }
+            let newly = self.finalize_through(store, target);
+            if newly.is_empty() {
+                deferred.push(target);
+                continue;
+            }
+            committed.extend(newly);
+        }
+        committed
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,10 @@
 //!   commit with the strength `x` of Definition 1 and emit
 //!   [`StrongCommitUpdate`](sft_types::StrongCommitUpdate) entries for the
 //!   §5 commit log.
+//! - [`SyncManager`] / [`BlockResponse`] — the block-sync / catch-up
+//!   subprotocol: detect certified-but-unknown blocks, fetch them in
+//!   bounded verified segments, and admit nothing the certificate chain
+//!   does not vouch for.
 //!
 //! The split mirrors the paper's own layering: *certification* (may this
 //! block extend the chain?) is classic BFT and lives in [`VoteTracker`];
@@ -43,6 +47,7 @@ pub mod endorse;
 pub mod ledger;
 pub mod mempool;
 pub mod qc;
+pub mod sync;
 
 pub use block::{Ancestors, Block, BlockStore, BlockStoreError};
 pub use config::ProtocolConfig;
@@ -50,3 +55,4 @@ pub use endorse::{honest_endorse_info, EndorsementTracker};
 pub use ledger::CommitLedger;
 pub use mempool::{Mempool, PayloadSource};
 pub use qc::{QuorumCertificate, VoteOutcome, VoteTracker};
+pub use sync::{BlockResponse, SyncConfig, SyncManager, SyncStats};

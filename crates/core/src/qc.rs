@@ -244,6 +244,19 @@ impl VoteTracker {
         self.by_block.get(&block_id).map_or(0, |(_, s)| s.len())
     }
 
+    /// The block of `round` with the most verified votes here (ties broken
+    /// by id, so the answer is deterministic). Votes are broadcast, so even
+    /// a replica that never saw round `round`'s proposal usually knows the
+    /// id of the block its peers certified — the lookup the catch-up path
+    /// uses when a timeout message reveals a QC round this replica missed.
+    pub fn leading_block_at(&self, round: Round) -> Option<HashValue> {
+        self.by_block
+            .iter()
+            .filter(|(_, (data, _))| data.block_round() == round)
+            .max_by_key(|(id, (_, signers))| (signers.len(), **id))
+            .map(|(id, _)| *id)
+    }
+
     /// True if `block_id` has reached the classic quorum.
     pub fn is_certified(&self, block_id: HashValue) -> bool {
         self.certified.contains(&block_id)

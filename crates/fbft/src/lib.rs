@@ -51,3 +51,7 @@ pub use message::{FbftMessage, FbftProposal};
 pub use pacemaker::{Pacemaker, RoundEntry};
 pub use replica::{FbftReplica, StepOutcome};
 pub use two_chain::TwoChainState;
+// The catch-up subprotocol is shared machinery; re-export the pieces a
+// driver needs so it can speak the sync messages without importing core.
+pub use sft_core::{BlockResponse, SyncManager, SyncStats};
+pub use sft_types::BlockRequest;

@@ -8,10 +8,10 @@
 
 use std::fmt;
 
-use sft_core::{Block, ProtocolConfig, QuorumCertificate};
+use sft_core::{Block, BlockResponse, ProtocolConfig, QuorumCertificate};
 use sft_crypto::{HashValue, Hasher, KeyPair, KeyRegistry, Signature};
 use sft_types::codec::{Decode, DecodeError, Encode};
-use sft_types::{StrongVote, TimeoutCertificate, TimeoutMsg};
+use sft_types::{BlockRequest, StrongVote, TimeoutCertificate, TimeoutMsg};
 
 /// A leader's signed proposal for a round: the new block, the QC for its
 /// parent, and — on the timeout path — the TC justifying the round skip.
@@ -172,8 +172,8 @@ impl Decode for FbftProposal {
 }
 
 /// Everything an SFT-DiemBFT replica sends: proposals from round leaders,
-/// strong-votes broadcast by every voter, and timeout messages on the
-/// recovery path.
+/// strong-votes broadcast by every voter, timeout messages on the recovery
+/// path, and the point-to-point block-sync exchange.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FbftMessage {
     /// A leader's round proposal.
@@ -182,6 +182,10 @@ pub enum FbftMessage {
     Vote(StrongVote),
     /// A replica's round-timeout declaration.
     Timeout(TimeoutMsg),
+    /// A catch-up fetch for a certified-but-unknown block.
+    SyncRequest(BlockRequest),
+    /// The certified chain segment answering a [`FbftMessage::SyncRequest`].
+    SyncResponse(BlockResponse),
 }
 
 impl Encode for FbftMessage {
@@ -199,6 +203,14 @@ impl Encode for FbftMessage {
                 buf.push(2);
                 t.encode(buf);
             }
+            FbftMessage::SyncRequest(r) => {
+                buf.push(3);
+                r.encode(buf);
+            }
+            FbftMessage::SyncResponse(r) => {
+                buf.push(4);
+                r.encode(buf);
+            }
         }
     }
 }
@@ -209,6 +221,8 @@ impl Decode for FbftMessage {
             0 => Ok(FbftMessage::Proposal(FbftProposal::decode(buf)?)),
             1 => Ok(FbftMessage::Vote(StrongVote::decode(buf)?)),
             2 => Ok(FbftMessage::Timeout(TimeoutMsg::decode(buf)?)),
+            3 => Ok(FbftMessage::SyncRequest(BlockRequest::decode(buf)?)),
+            4 => Ok(FbftMessage::SyncResponse(BlockResponse::decode(buf)?)),
             t => Err(DecodeError::InvalidTag(t)),
         }
     }
@@ -365,10 +379,14 @@ mod tests {
             &registry.key_pair(0).unwrap(),
         );
         let timeout = TimeoutMsg::new(Round::new(2), Round::new(1), &registry.key_pair(3).unwrap());
+        let request = BlockRequest::new(ReplicaId::new(2), b1.id(), 16);
+        let response = BlockResponse::new(quorum_qc(&b1), vec![b1.clone()]);
         for msg in [
             FbftMessage::Proposal(proposal),
             FbftMessage::Vote(vote),
             FbftMessage::Timeout(timeout),
+            FbftMessage::SyncRequest(request),
+            FbftMessage::SyncResponse(response),
         ] {
             let back = FbftMessage::from_bytes(&msg.to_bytes()).unwrap();
             assert_eq!(back, msg);

@@ -4,8 +4,12 @@
 //! round `r + 1` when it obtains either a quorum certificate for a block of
 //! round `r` (the happy path) or a timeout certificate closing round `r`
 //! (the recovery path). If neither arrives before the round's deadline the
-//! replica broadcasts a timeout message — once per round — and keeps
-//! participating until a certificate moves it forward. This is the
+//! replica broadcasts a timeout message and re-arms the timer: under a
+//! lossy network a one-shot broadcast can strand the whole system one
+//! timeout message short of a TC forever, so the message is re-broadcast
+//! every timeout span until a certificate moves the round forward (the
+//! retransmission discipline DiemBFT itself prescribes; duplicates are
+//! idempotent at the aggregator). This is the
 //! synchronizer pattern of the DiemBFT lineage (cf. Abraham et al.,
 //! *Efficient Synchronous Byzantine Consensus*): round advancement is
 //! driven purely by certificates, so all honest replicas move through the
@@ -59,9 +63,10 @@ pub struct Pacemaker {
     /// exponential back-off so repeated timeouts leave more and more slack
     /// for a slow network to catch up.
     consecutive_timeouts: u32,
-    /// True once the local timeout for the current round has fired (the
-    /// timeout message is broadcast at most once per round).
-    timeout_fired: bool,
+    /// The instant the round timer next fires. Re-armed one timeout span
+    /// ahead after every firing, so a round that stays open keeps
+    /// re-broadcasting its timeout message.
+    next_fire: SimTime,
 }
 
 /// Cap on the back-off exponent: timeouts grow at most `2^6 = 64×` the
@@ -89,7 +94,7 @@ impl Pacemaker {
             entered_at: now,
             entry: RoundEntry::Genesis,
             consecutive_timeouts: 0,
-            timeout_fired: false,
+            next_fire: now + base_timeout,
         }
     }
 
@@ -115,14 +120,12 @@ impl Pacemaker {
         Self::leader_for(self.n, round)
     }
 
-    /// The instant the current round times out, or `None` once the local
-    /// timeout has already fired (it fires at most once per round).
-    pub fn deadline(&self) -> Option<SimTime> {
-        if self.timeout_fired {
-            None
-        } else {
-            Some(self.entered_at + self.current_timeout())
-        }
+    /// The instant the round timer next fires: the round's deadline, or —
+    /// after it fired — the next retransmission of the timeout message.
+    /// The timer is always armed (re-armed on every firing and on every
+    /// round entry), so there is no "no deadline" state.
+    pub fn deadline(&self) -> SimTime {
+        self.next_fire
     }
 
     /// The current round's timeout span: `base × 2^consecutive_timeouts`,
@@ -155,15 +158,17 @@ impl Pacemaker {
         Some(self.round)
     }
 
-    /// Advances the clock. Returns `Some(round)` exactly once per round,
-    /// the first time `now` reaches the deadline — the signal to broadcast
-    /// a [`TimeoutMsg`](sft_types::TimeoutMsg) for that round.
+    /// Advances the clock. Returns `Some(round)` each time `now` reaches
+    /// the (re-armed) timer — the signal to broadcast a
+    /// [`TimeoutMsg`](sft_types::TimeoutMsg) for the round. The timer
+    /// re-arms one timeout span ahead, so a round no certificate closes
+    /// keeps re-broadcasting: under message loss the retransmission is
+    /// what eventually lands `2f + 1` timeouts on every replica.
     pub fn on_tick(&mut self, now: SimTime) -> Option<Round> {
-        let deadline = self.deadline()?;
-        if now < deadline {
+        if now < self.next_fire {
             return None;
         }
-        self.timeout_fired = true;
+        self.next_fire = now + self.current_timeout();
         Some(self.round)
     }
 
@@ -171,7 +176,7 @@ impl Pacemaker {
         self.round = round;
         self.entry = entry;
         self.entered_at = now;
-        self.timeout_fired = false;
+        self.next_fire = now + self.current_timeout();
     }
 }
 
@@ -179,12 +184,12 @@ impl fmt::Debug for Pacemaker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Pacemaker(r={} {:?} entered={} timeout={}{})",
+            "Pacemaker(r={} {:?} entered={} timeout={} fires@{})",
             self.round,
             self.entry,
             self.entered_at,
             self.current_timeout(),
-            if self.timeout_fired { " fired" } else { "" }
+            self.next_fire
         )
     }
 }
@@ -202,7 +207,7 @@ mod tests {
         let pm = pm();
         assert_eq!(pm.current_round(), Round::new(1));
         assert_eq!(pm.entry(), RoundEntry::Genesis);
-        assert_eq!(pm.deadline(), Some(SimTime::from_millis(400)));
+        assert_eq!(pm.deadline(), SimTime::from_millis(400));
     }
 
     #[test]
@@ -220,7 +225,7 @@ mod tests {
         let t = SimTime::from_millis(200);
         assert_eq!(pm.on_qc_round(Round::new(1), t), Some(Round::new(2)));
         assert_eq!(pm.entry(), RoundEntry::Qc);
-        assert_eq!(pm.deadline(), Some(SimTime::from_millis(600)));
+        assert_eq!(pm.deadline(), SimTime::from_millis(600));
     }
 
     #[test]
@@ -235,15 +240,23 @@ mod tests {
     }
 
     #[test]
-    fn timeout_fires_exactly_once_per_round() {
+    fn timeout_fires_then_rearms_for_retransmission() {
         let mut pm = pm();
         assert_eq!(pm.on_tick(SimTime::from_millis(399)), None);
         assert_eq!(pm.on_tick(SimTime::from_millis(400)), Some(Round::new(1)));
-        assert_eq!(pm.deadline(), None, "no deadline after firing");
-        assert_eq!(pm.on_tick(SimTime::from_millis(800)), None, "once only");
-        // Advancing re-arms the timer.
-        pm.on_tc_round(Round::new(1), SimTime::from_millis(500));
-        assert!(pm.deadline().is_some());
+        // Re-armed one timeout span ahead, not dead: the timeout message
+        // is retransmitted until a certificate closes the round.
+        assert_eq!(pm.deadline(), SimTime::from_millis(800));
+        assert_eq!(pm.on_tick(SimTime::from_millis(500)), None, "not yet");
+        assert_eq!(pm.on_tick(SimTime::from_millis(800)), Some(Round::new(1)));
+        // Advancing resets the timer for the new round.
+        pm.on_tc_round(Round::new(1), SimTime::from_millis(900));
+        assert_eq!(pm.current_round(), Round::new(2));
+        assert_eq!(
+            pm.deadline(),
+            SimTime::from_millis(900) + SimDuration::from_millis(800),
+            "TC entry doubles the back-off"
+        );
     }
 
     #[test]

@@ -5,13 +5,16 @@ use std::fmt;
 
 use sft_core::{
     honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, Mempool,
-    PayloadSource, ProtocolConfig, QuorumCertificate, VoteOutcome, VoteTracker,
+    PayloadSource, ProtocolConfig, QuorumCertificate, SyncManager, SyncStats, VoteOutcome,
+    VoteTracker,
 };
 use sft_crypto::{HashValue, KeyPair, KeyRegistry};
 use sft_types::{
-    EndorseMode, Payload, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate, StrongVote,
-    TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome, Transaction,
+    BlockRequest, EndorseMode, Payload, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate,
+    StrongVote, TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome, Transaction,
 };
+
+pub use sft_core::BlockResponse;
 
 use crate::message::FbftProposal;
 use crate::pacemaker::Pacemaker;
@@ -33,6 +36,9 @@ pub struct StepOutcome {
     /// The pipelined proposal for the round this event moved the replica
     /// into, if it leads that round. Must be broadcast like any proposal.
     pub next_proposal: Option<FbftProposal>,
+    /// Block-sync fetches now due (new targets and expired retries), to be
+    /// sent point-to-point to the named peer.
+    pub sync_requests: Vec<(ReplicaId, BlockRequest)>,
 }
 
 /// A single SFT-DiemBFT replica: pacemaker-driven rounds, QC/TC
@@ -137,6 +143,12 @@ pub struct FbftReplica {
     /// Digests of certificates already absorbed — re-deliveries (a QC rides
     /// every proposal that extends it) skip the pacemaker/commit walk.
     processed_qcs: HashSet<HashValue>,
+    /// Block-sync state: certified-but-unknown targets, in-flight fetches,
+    /// and the orphan pool (§ "Block sync" in the README).
+    sync: SyncManager,
+    /// Blocks the 2-chain rule declared committed while their chain was
+    /// still incomplete locally; retried after every sync admission.
+    deferred_commits: Vec<HashValue>,
 }
 
 impl FbftReplica {
@@ -183,6 +195,14 @@ impl FbftReplica {
             payload_source: None,
             mempool: Mempool::new(),
             processed_qcs: HashSet::new(),
+            sync: {
+                let mut sync = SyncManager::new(config, ReplicaId::new(id));
+                // Re-ask a different peer after two exchanges' worth of
+                // silence at this replica's own timeout scale.
+                sync.set_retry_after(base_timeout);
+                sync
+            },
+            deferred_commits: Vec::new(),
         }
     }
 
@@ -241,9 +261,10 @@ impl FbftReplica {
         &self.store
     }
 
-    /// The next instant this replica's round timer fires, or `None` once
-    /// the current round's timeout has already been broadcast.
-    pub fn next_deadline(&self) -> Option<SimTime> {
+    /// The next instant this replica's round timer fires (the round
+    /// deadline, or the next timeout retransmission once it has fired —
+    /// the timer is always armed).
+    pub fn next_deadline(&self) -> SimTime {
         self.pacemaker.deadline()
     }
 
@@ -339,6 +360,7 @@ impl FbftReplica {
     pub fn on_proposal(&mut self, proposal: &FbftProposal, now: SimTime) -> StepOutcome {
         let mut out = self.absorb_proposal(proposal, now);
         out.next_proposal = self.try_propose_chained();
+        out.sync_requests = self.sync.take_requests(now);
         out
     }
 
@@ -362,9 +384,18 @@ impl FbftReplica {
             }
         }
         // Record the block regardless of the voting decision — descendants
-        // and certificates may arrive later. Orphans are dropped.
-        if self.store.insert(block.clone()).is_err() {
-            return out;
+        // and certificates may arrive later. Orphans (parent not yet
+        // delivered — e.g. this replica is catching up after a partition)
+        // are pooled with the sync manager, which is already fetching the
+        // parent: the proposal's own QC certifies it and was absorbed just
+        // above.
+        match self.store.insert(block.clone()) {
+            Ok(_) => self.sync.note_stored(block.id()),
+            Err(sft_core::BlockStoreError::UnknownParent) => {
+                self.sync.note_orphan_block(block.clone(), &self.store);
+                return out;
+            }
+            Err(_) => return out,
         }
         // The chain now carries these transactions: stop offering them.
         if let Payload::Transactions(txns) = block.payload() {
@@ -394,6 +425,7 @@ impl FbftReplica {
     pub fn on_vote(&mut self, vote: &StrongVote, now: SimTime) -> StepOutcome {
         let mut out = self.absorb_vote(vote, now);
         out.next_proposal = self.try_propose_chained();
+        out.sync_requests = self.sync.take_requests(now);
         out
     }
 
@@ -431,27 +463,117 @@ impl FbftReplica {
     /// proposal ships the TC.
     pub fn on_timeout_msg(&mut self, msg: &TimeoutMsg, now: SimTime) -> StepOutcome {
         let mut out = StepOutcome::default();
-        if msg.round() < self.pacemaker.current_round() {
-            return out; // stale: a certificate for that round is useless
-        }
-        if let TimeoutOutcome::Certified(tc) = self.timeouts.add(msg) {
-            if self.pacemaker.on_tc_round(tc.round(), now).is_some() {
-                self.last_tc = Some(tc);
+        // Piggybacked catch-up (DiemBFT's SyncInfo in minimal form). A TC
+        // is self-certifying, so a replica stranded in an earlier round
+        // because the certificate that closed it was lost jumps forward on
+        // the copy riding this retransmission.
+        if let Some(tc) = msg.justification() {
+            if tc.signers().len() >= self.config.quorum()
+                && self.pacemaker.on_tc_round(tc.round(), now).is_some()
+            {
+                self.last_tc = Some(tc.clone());
                 self.timeouts.prune_below(self.pacemaker.current_round());
-                out.next_proposal = self.try_propose_chained();
             }
         }
+        // A sender whose high-QC round is ahead of ours holds a
+        // certificate we never formed (its votes were lost): fetch the
+        // certified block — votes are broadcast, so the leading candidate
+        // in our own tracker names it — and the certificate comes with it.
+        if msg.high_qc_round() > self.high_qc.round() {
+            if let Some(id) = self.votes.leading_block_at(msg.high_qc_round()) {
+                self.sync.note_want(id);
+            }
+        }
+        // Stale timeouts (for rounds this replica already left) still die
+        // here; everything above was catch-up, not aggregation.
+        if msg.round() >= self.pacemaker.current_round() {
+            if let TimeoutOutcome::Certified(tc) = self.timeouts.add(msg) {
+                if self.pacemaker.on_tc_round(tc.round(), now).is_some() {
+                    self.last_tc = Some(tc);
+                    self.timeouts.prune_below(self.pacemaker.current_round());
+                }
+            }
+        }
+        // One chain attempt for whatever round the message landed us in
+        // (catch-up jump or freshly formed TC alike).
+        out.next_proposal = self.try_propose_chained();
+        out.sync_requests = self.sync.take_requests(now);
         out
     }
 
-    /// Advances the replica's clock. If the current round's deadline has
-    /// passed, returns the timeout message to broadcast — exactly once per
-    /// round. The caller must also feed the message back via
+    /// Serves a peer's block-sync request from the local store, if this
+    /// replica holds both the block and a certificate for it. The response
+    /// goes back point-to-point to the requester.
+    pub fn on_sync_request(&mut self, request: &BlockRequest) -> Option<BlockResponse> {
+        self.sync.serve(request, &self.store)
+    }
+
+    /// Handles a block-sync response: verifies it against the certificate
+    /// chain, admits what attaches, re-runs certificate processing for the
+    /// recovered blocks (the commits they enable land now), and — if the
+    /// recovery made this replica the ready leader — chains a proposal.
+    pub fn on_sync_response(&mut self, response: &BlockResponse, now: SimTime) -> StepOutcome {
+        let mut out = StepOutcome::default();
+        let admitted = self.sync.on_response(response, &mut self.store);
+        // A certificate-only response (the block was already held, only its
+        // QC was missing — the certificate-want path) admits nothing, but
+        // the certificate itself must still run its course below.
+        let mut touched = admitted;
+        let target = response.target();
+        if !touched.contains(&target) && self.store.contains(target) {
+            touched.push(target);
+        }
+        for id in &touched {
+            if let Some(Payload::Transactions(txns)) =
+                self.store.get(*id).map(Block::payload).cloned()
+            {
+                self.mempool.mark_included(txns.iter());
+            }
+            // The certificate that flagged the block missing can now run
+            // its full course: round advancement and the 2-chain walk.
+            // (`process_qc` deliberately did not cache the digest while the
+            // block was absent.)
+            if let Some(qc) = self.sync.certificate_for(*id).cloned() {
+                out.updates.extend(self.process_qc(&qc, now));
+            }
+        }
+        for id in self
+            .ledger
+            .finalize_deferred(&self.store, &mut self.deferred_commits)
+        {
+            if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
+                out.updates.push(update);
+            }
+        }
+        self.commit_log.extend(out.updates.iter().copied());
+        out.next_proposal = self.try_propose_chained();
+        out.sync_requests = self.sync.take_requests(now);
+        out
+    }
+
+    /// Block-sync counters (requests sent, blocks recovered, …).
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync.stats()
+    }
+
+    /// True while this replica is still chasing missing blocks.
+    pub fn is_syncing(&self) -> bool {
+        self.sync.is_syncing()
+    }
+
+    /// Advances the replica's clock. If the current round's (re-armed)
+    /// timer has passed, returns the timeout message to broadcast — and
+    /// again one timeout span later if the round is still open, so lost
+    /// timeout messages are retransmitted until the TC can form. The
+    /// caller must also feed the message back via
     /// [`on_timeout_msg`](Self::on_timeout_msg) (a replica counts its own
-    /// timeout).
+    /// timeout; duplicates are idempotent).
     pub fn on_tick(&mut self, now: SimTime) -> Option<TimeoutMsg> {
         let round = self.pacemaker.on_tick(now)?;
-        Some(TimeoutMsg::new(round, self.high_qc.round(), &self.key_pair))
+        Some(
+            TimeoutMsg::new(round, self.high_qc.round(), &self.key_pair)
+                .with_justification(self.last_tc.clone()),
+        )
     }
 
     /// Absorbs a quorum certificate: raises the high-QC, advances the
@@ -468,11 +590,15 @@ impl FbftReplica {
         if !qc.is_well_formed(&self.config) {
             return Vec::new();
         }
+        // Sync bookkeeping: record the certificate (it may be served to
+        // lagging peers later) and, if the certified block is unknown,
+        // flag it as a fetch target.
+        self.sync.note_certificate(qc, &self.store);
         // Only cache the skip once the certified block is locally known:
         // with the block absent the commit walk below finds nothing, and a
         // replica that learns the block later (catch-up via a descendant
-        // proposal, or a future block-sync path) must re-run it on the
-        // next re-delivery or it would never finalize the chain.
+        // proposal or a block-sync response) must re-run it on the next
+        // delivery or it would never finalize the chain.
         if self.store.contains(qc.data().block_id()) {
             self.processed_qcs.insert(qc.digest());
         }
@@ -486,7 +612,18 @@ impl FbftReplica {
         }
         let mut updates = Vec::new();
         if let Some((committed_id, _)) = self.two_chain.on_qc(qc.data()) {
-            for id in self.ledger.finalize_through(&self.store, committed_id) {
+            let committed = self.ledger.finalize_through(&self.store, committed_id);
+            if committed.is_empty() && !self.ledger.contains(committed_id) {
+                // The 2-chain rule fired but the local chain has holes (the
+                // committed block or an ancestor is still being fetched):
+                // the 2-chain state is already past this round and will
+                // never re-commit it, so remember the target and finalize
+                // once sync fills the gap.
+                if !self.deferred_commits.contains(&committed_id) {
+                    self.deferred_commits.push(committed_id);
+                }
+            }
+            for id in committed {
                 if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
                     updates.push(update);
                 }
@@ -653,7 +790,7 @@ mod tests {
         let now = SimTime::ZERO;
         let p1 = run_round(&mut replicas, now); // round 1 certifies
                                                 // Round 2 leader stalls: time out.
-        let t = replicas[0].next_deadline().unwrap();
+        let t = replicas[0].next_deadline();
         let msgs: Vec<_> = replicas.iter_mut().filter_map(|r| r.on_tick(t)).collect();
         for msg in &msgs {
             for r in replicas.iter_mut() {

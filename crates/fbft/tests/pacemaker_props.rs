@@ -37,25 +37,21 @@ fn alphabet() -> Vec<Event> {
 
 /// Reference model: the round is one past the highest certificate applied
 /// while it was still fresh — equivalently, `1 + max(certified rounds)`
-/// clamped to be monotone; the timeout fires at most once per round.
+/// clamped to be monotone; the timer fires whenever time reaches it and
+/// re-arms one timeout span ahead (the retransmission discipline).
 struct Model {
     round: u64,
-    fired: bool,
 }
 
 impl Model {
     fn new() -> Self {
-        Self {
-            round: 1,
-            fired: false,
-        }
+        Self { round: 1 }
     }
 
     /// Applies a certificate for `r`; returns true if the round advanced.
     fn certificate(&mut self, r: u64) -> bool {
         if r + 1 > self.round {
             self.round = r + 1;
-            self.fired = false;
             true
         } else {
             false
@@ -84,8 +80,8 @@ fn check_sequence(seq: &[Event]) {
                 if let Some(new_round) = advanced {
                     assert_eq!(new_round.as_u64(), r + 1, "{}", ctx());
                     assert!(
-                        pm.deadline().is_some(),
-                        "advancing re-arms the timer: {}",
+                        pm.deadline() > now,
+                        "advancing re-arms the timer ahead of now: {}",
                         ctx()
                     );
                     assert_eq!(
@@ -101,7 +97,7 @@ fn check_sequence(seq: &[Event]) {
                 let expected = model.certificate(r);
                 assert_eq!(advanced.is_some(), expected, "{}", ctx());
                 if advanced.is_some() {
-                    assert!(pm.deadline().is_some(), "{}", ctx());
+                    assert!(pm.deadline() > now, "{}", ctx());
                     assert!(
                         pm.current_timeout() >= BASE * 2,
                         "TC entry grows the back-off: {}",
@@ -110,23 +106,23 @@ fn check_sequence(seq: &[Event]) {
                 }
             }
             Event::Tick => {
-                if let Some(deadline) = pm.deadline() {
-                    now = now.max(deadline);
-                    let fired = pm.on_tick(now);
-                    assert_eq!(
-                        fired.is_some(),
-                        !model.fired,
-                        "timeout fires exactly once per round: {}",
-                        ctx()
-                    );
-                    if let Some(round) = fired {
-                        assert_eq!(round.as_u64(), model.round, "{}", ctx());
-                    }
-                    model.fired = true;
-                    assert_eq!(pm.deadline(), None, "fired rounds have no deadline");
-                } else {
-                    assert!(pm.on_tick(now).is_none(), "{}", ctx());
-                }
+                let deadline = pm.deadline();
+                now = now.max(deadline);
+                let fired = pm.on_tick(now);
+                assert_eq!(
+                    fired.map(|r| r.as_u64()),
+                    Some(model.round),
+                    "reaching the timer instant always fires for the current round: {}",
+                    ctx()
+                );
+                // Re-armed one timeout span ahead (retransmission), so an
+                // immediate re-tick does not fire again.
+                assert_eq!(pm.deadline(), now + pm.current_timeout(), "{}", ctx());
+                assert!(
+                    pm.on_tick(now).is_none(),
+                    "re-arm is in the future: {}",
+                    ctx()
+                );
             }
         }
 
@@ -205,10 +201,8 @@ fn qc_tc_races_converge_from_every_reachable_state() {
                     pm.on_tc_round(Round::new(r), now);
                 }
                 Event::Tick => {
-                    if let Some(deadline) = pm.deadline() {
-                        now = now.max(deadline);
-                        pm.on_tick(now);
-                    }
+                    now = now.max(pm.deadline());
+                    pm.on_tick(now);
                 }
             }
         }

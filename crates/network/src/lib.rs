@@ -18,6 +18,15 @@
 //! is assigned at send time, so two messages due at the same instant are
 //! delivered in send order on every platform and every run.
 //!
+//! ## Partial synchrony
+//!
+//! A [`FaultSchedule`] turns the lossless transport into the partial-
+//! synchrony model the paper's liveness arguments assume: per-message drop
+//! probability under a seeded PRNG, an optional partition with a heal
+//! time, and a global stabilization time (GST) after which delivery is
+//! reliable again. Drop decisions are made at *send* time from the seeded
+//! stream, so a faulty run is exactly as reproducible as a lossless one.
+//!
 //! ## Example
 //!
 //! ```
@@ -38,7 +47,119 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
+use sft_crypto::rng::{RngCore, SplitMix64};
 use sft_types::{ReplicaId, SimDuration, SimTime};
+
+/// A network partition: the `isolated` replicas cannot exchange messages
+/// with the rest of the system until `heal_at`. Messages *within* either
+/// side flow normally.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Partition {
+    /// Replicas cut off from the remainder of the system.
+    pub isolated: Vec<ReplicaId>,
+    /// Instant the partition heals: messages sent at or after this time
+    /// cross the cut again.
+    pub heal_at: SimTime,
+}
+
+impl Partition {
+    /// True if a message from `from` to `to` sent at `now` crosses an
+    /// active cut.
+    fn severs(&self, from: ReplicaId, to: ReplicaId, now: SimTime) -> bool {
+        now < self.heal_at && (self.isolated.contains(&from) != self.isolated.contains(&to))
+    }
+}
+
+/// A deterministic partial-synchrony schedule for [`SimNetwork`]:
+/// probabilistic per-message loss before GST, plus an optional partition.
+///
+/// # Examples
+///
+/// ```
+/// use sft_network::FaultSchedule;
+/// use sft_types::SimTime;
+///
+/// // 10% loss until the 2-second mark, reliable after.
+/// let faults = FaultSchedule::lossy(7, 0.10, SimTime::from_millis(2000));
+/// assert_eq!(faults.gst, SimTime::from_millis(2000));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    /// Seed for the drop-decision stream (one draw per send before GST).
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a message sent before [`gst`](Self::gst)
+    /// is dropped.
+    pub drop_probability: f64,
+    /// Global stabilization time: sends at or after this instant are never
+    /// probabilistically dropped (partitions have their own heal time).
+    pub gst: SimTime,
+    /// Optional partition layered on top of the probabilistic loss.
+    pub partition: Option<Partition>,
+}
+
+impl FaultSchedule {
+    /// A purely lossy schedule: drop each pre-GST message with
+    /// `drop_probability`, no partition.
+    pub fn lossy(seed: u64, drop_probability: f64, gst: SimTime) -> Self {
+        Self {
+            seed,
+            drop_probability,
+            gst,
+            partition: None,
+        }
+    }
+
+    /// A clean partition isolating `isolated` until `heal_at`; no
+    /// probabilistic loss.
+    pub fn partition(isolated: Vec<ReplicaId>, heal_at: SimTime) -> Self {
+        Self {
+            seed: 0,
+            drop_probability: 0.0,
+            gst: SimTime::ZERO,
+            partition: Some(Partition { isolated, heal_at }),
+        }
+    }
+
+    /// Layers a partition onto this schedule.
+    pub fn with_partition(mut self, isolated: Vec<ReplicaId>, heal_at: SimTime) -> Self {
+        self.partition = Some(Partition { isolated, heal_at });
+        self
+    }
+}
+
+/// Live drop-decision state derived from a [`FaultSchedule`].
+#[derive(Clone, Debug)]
+struct FaultState {
+    schedule: FaultSchedule,
+    rng: SplitMix64,
+}
+
+impl FaultState {
+    fn new(schedule: FaultSchedule) -> Self {
+        let rng = SplitMix64::new(schedule.seed);
+        Self { schedule, rng }
+    }
+
+    /// Decides the fate of one send. Consumes exactly one PRNG draw per
+    /// pre-GST send (partition cuts included), so the decision stream —
+    /// and with it the whole run — is a pure function of the schedule and
+    /// the send order.
+    fn drops(&mut self, from: ReplicaId, to: ReplicaId, now: SimTime) -> bool {
+        let severed = self
+            .schedule
+            .partition
+            .as_ref()
+            .is_some_and(|p| p.severs(from, to, now));
+        let lossy = now < self.schedule.gst && self.schedule.drop_probability > 0.0;
+        let unlucky = lossy && {
+            // One draw per candidate send keeps the stream aligned even
+            // when the partition already sealed the message's fate.
+            let draw = self.rng.next_u64() as f64 / (u64::MAX as f64);
+            draw < self.schedule.drop_probability
+        };
+        severed || unlucky
+    }
+}
 
 /// One queued or delivered message.
 #[derive(Clone, PartialEq, Eq)]
@@ -76,10 +197,14 @@ impl fmt::Debug for Envelope {
 /// experiments chart.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetworkStats {
-    /// Total messages accepted for delivery.
+    /// Total messages sent (wire cost is paid whether or not the fault
+    /// schedule later drops the message).
     pub messages: u64,
-    /// Total payload bytes accepted for delivery.
+    /// Total payload bytes sent.
     pub bytes: u64,
+    /// Messages the fault schedule dropped (partition cuts and lossy-link
+    /// losses); always zero on a lossless network.
+    pub dropped: u64,
 }
 
 /// A deterministic store-and-forward network with a uniform one-way delay.
@@ -93,10 +218,11 @@ pub struct SimNetwork {
     queue: VecDeque<Envelope>,
     next_seq: u64,
     stats: NetworkStats,
+    faults: Option<FaultState>,
 }
 
 impl SimNetwork {
-    /// Creates a network with one-way delay δ.
+    /// Creates a lossless network with one-way delay δ.
     pub fn new(delay: SimDuration) -> Self {
         Self {
             delay,
@@ -104,7 +230,14 @@ impl SimNetwork {
             queue: VecDeque::new(),
             next_seq: 0,
             stats: NetworkStats::default(),
+            faults: None,
         }
+    }
+
+    /// Applies a partial-synchrony fault schedule to this network.
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(FaultState::new(schedule));
+        self
     }
 
     /// The configured one-way delay.
@@ -118,11 +251,18 @@ impl SimNetwork {
     }
 
     /// Queues `payload` from `from` to `to`, due one delay from now.
-    /// Accepts owned bytes or an already-shared buffer.
+    /// Accepts owned bytes or an already-shared buffer. Under a
+    /// [`FaultSchedule`] the message may be dropped at send time (the wire
+    /// cost is still accounted; `stats.dropped` counts the loss).
     pub fn send(&mut self, from: ReplicaId, to: ReplicaId, payload: impl Into<Arc<[u8]>>) {
         let payload = payload.into();
         self.stats.messages += 1;
         self.stats.bytes += payload.len() as u64;
+        let now = self.now;
+        if self.faults.as_mut().is_some_and(|f| f.drops(from, to, now)) {
+            self.stats.dropped += 1;
+            return;
+        }
         let envelope = Envelope {
             from,
             to,
@@ -243,7 +383,8 @@ mod tests {
             net.stats(),
             NetworkStats {
                 messages: 3,
-                bytes: 6
+                bytes: 6,
+                dropped: 0
             }
         );
     }
@@ -284,5 +425,59 @@ mod tests {
         let mut net = SimNetwork::new(SimDuration::ZERO);
         net.send(r(0), r(1), vec![1]);
         assert_eq!(net.deliver_due(net.now()).len(), 1);
+    }
+
+    #[test]
+    fn partition_drops_cross_cut_messages_until_heal() {
+        let heal = SimTime::from_millis(500);
+        let mut net = SimNetwork::new(SimDuration::from_millis(100))
+            .with_faults(FaultSchedule::partition(vec![r(3)], heal));
+        // Before heal: cross-cut messages vanish, same-side ones flow.
+        net.send(r(0), r(3), vec![1]);
+        net.send(r(3), r(0), vec![2]);
+        net.send(r(0), r(1), vec![3]);
+        let due = net.deliver_due(SimTime::from_millis(100));
+        assert_eq!(due.len(), 1);
+        assert_eq!(&due[0].payload[..], &[3][..]);
+        assert_eq!(net.stats().dropped, 2);
+        assert_eq!(net.stats().messages, 3, "wire cost still accounted");
+        // At/after heal: the cut is gone.
+        net.deliver_due(heal);
+        net.send(r(0), r(3), vec![4]);
+        assert_eq!(net.deliver_due(SimTime::from_millis(600)).len(), 1);
+        assert_eq!(net.stats().dropped, 2);
+    }
+
+    #[test]
+    fn lossy_schedule_drops_some_messages_before_gst_and_none_after() {
+        let gst = SimTime::from_millis(1000);
+        let mut net = SimNetwork::new(SimDuration::from_millis(1))
+            .with_faults(FaultSchedule::lossy(42, 0.5, gst));
+        for i in 0..100u16 {
+            net.send(r(0), r(1), vec![i as u8]);
+        }
+        let dropped_before = net.stats().dropped;
+        assert!(
+            (20..=80).contains(&dropped_before),
+            "~half of 100 sends drop at p=0.5, got {dropped_before}"
+        );
+        net.deliver_due(gst);
+        for i in 0..100u16 {
+            net.send(r(0), r(1), vec![i as u8]);
+        }
+        assert_eq!(net.stats().dropped, dropped_before, "no loss after GST");
+    }
+
+    #[test]
+    fn fault_schedules_are_deterministic() {
+        let run = || {
+            let mut net = SimNetwork::new(SimDuration::from_millis(1))
+                .with_faults(FaultSchedule::lossy(7, 0.3, SimTime::from_millis(10_000)));
+            for i in 0..200u16 {
+                net.send(r(i % 4), r((i + 1) % 4), vec![i as u8]);
+            }
+            net.stats()
+        };
+        assert_eq!(run(), run());
     }
 }

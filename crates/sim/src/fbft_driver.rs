@@ -97,8 +97,12 @@ impl FbftSimulation {
                 }
             })
             .collect();
+        let mut net = SimNetwork::new(config.delay);
+        if let Some(faults) = &config.faults {
+            net = net.with_faults(faults.clone());
+        }
         Self {
-            net: SimNetwork::new(config.delay),
+            net,
             timelines: vec![Vec::new(); config.n],
             config,
             protocol,
@@ -116,18 +120,39 @@ impl FbftSimulation {
         &self.nodes[id as usize].replica
     }
 
-    /// Runs until every honest replica passes round `config.epochs` (or no
-    /// event can ever fire again) and reports.
+    /// Runs until every honest replica passes round `config.epochs` *and*
+    /// no honest replica is still block-syncing (or no event can ever fire
+    /// again, or the time horizon trips) and reports. The sync condition
+    /// is what lets a partitioned replica finish catching up: the majority
+    /// keeps pipelining rounds, so events keep flowing until the straggler
+    /// has fetched the chain and joined them past the target.
     pub fn run(mut self) -> SimReport {
         let target = Round::new(self.config.epochs);
+        // Purely a runaway guard (Byzantine scenarios under heavy loss
+        // could otherwise sync forever against the endless pipelined
+        // event stream): generous enough that no legitimate schedule —
+        // back-off rounds included — comes near it.
+        let horizon = SimTime::ZERO + self.config.base_timeout * (64 * (self.config.epochs + 8));
         self.step_instant(SimTime::ZERO, true);
-        while self.honest_min_round() <= target {
+        while self.honest_min_round() <= target || self.honest_sync_active() {
             let Some(next) = self.next_event_time() else {
                 break;
             };
+            if next > horizon {
+                break;
+            }
             self.step_instant(next, false);
         }
         self.report()
+    }
+
+    /// True while some honest replica still has missing blocks, in-flight
+    /// fetches, or pooled orphans.
+    fn honest_sync_active(&self) -> bool {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.behavior, Behavior::Honest | Behavior::StallLeader))
+            .any(|n| n.replica.is_syncing())
     }
 
     /// The smallest current round among honest replicas (the run's
@@ -156,7 +181,7 @@ impl FbftSimulation {
             .nodes
             .iter()
             .filter(|n| n.behavior != Behavior::Silent)
-            .filter_map(|n| n.replica.next_deadline())
+            .map(|n| n.replica.next_deadline())
             .min();
         match (delivery, deadline) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -275,10 +300,16 @@ impl FbftSimulation {
         inbox.push_back((from, halves[other].clone()));
     }
 
-    /// Records `out`'s commit-log entries on node `i`'s timeline and
-    /// dispatches any proposal it chained.
+    /// Records `out`'s commit-log entries on node `i`'s timeline,
+    /// dispatches any proposal it chained, and sends its block-sync
+    /// requests point-to-point over the network.
     fn absorb_outcome(&mut self, i: usize, out: StepOutcome, now: SimTime, inbox: &mut Inbox) {
         self.timelines[i].extend(out.updates.into_iter().map(|u| (now, u)));
+        let from = self.nodes[i].replica.id();
+        for (peer, request) in out.sync_requests {
+            self.net
+                .send(from, peer, FbftMessage::SyncRequest(request).to_bytes());
+        }
         if let Some(proposal) = out.next_proposal {
             self.dispatch_proposal(i, proposal, inbox);
         }
@@ -329,6 +360,22 @@ impl FbftSimulation {
                 let out = self.nodes[i].replica.on_timeout_msg(&timeout, now);
                 self.absorb_outcome(i, out, now, inbox);
             }
+            FbftMessage::SyncRequest(request) => {
+                // Serving is read-only and deviation-free for every live
+                // behavior; a forged response could not be admitted anyway
+                // (the requester verifies against the certificate chain).
+                if let Some(response) = self.nodes[i].replica.on_sync_request(&request) {
+                    self.net.send(
+                        to,
+                        request.requester(),
+                        FbftMessage::SyncResponse(response).to_bytes(),
+                    );
+                }
+            }
+            FbftMessage::SyncResponse(response) => {
+                let out = self.nodes[i].replica.on_sync_response(&response, now);
+                self.absorb_outcome(i, out, now, inbox);
+            }
         }
     }
 
@@ -360,6 +407,11 @@ impl FbftSimulation {
                 .iter()
                 .map(|node| (node.replica.committed_chain(), node.replica.store())),
         );
+        let (sync_requests, sync_blocks_fetched, recovered_replicas) = crate::sync_report_fields(
+            self.nodes
+                .iter()
+                .map(|node| (node.replica.sync_stats(), node.replica.committed_chain())),
+        );
         SimReport {
             chains,
             commit_logs,
@@ -369,6 +421,9 @@ impl FbftSimulation {
             elapsed: self.net.now(),
             safety_violations,
             equivocators_detected,
+            sync_requests,
+            sync_blocks_fetched,
+            recovered_replicas,
         }
     }
 }

@@ -53,12 +53,15 @@
 pub mod fbft_driver;
 pub mod streamlet_driver;
 
-use sft_core::{BlockStore, PayloadSource};
+use sft_core::{BlockStore, PayloadSource, SyncStats};
 use sft_crypto::HashValue;
 use sft_network::NetworkStats;
-use sft_types::{BatchConfig, EndorseMode, SimDuration, SimTime, StrongCommitUpdate, Transaction};
+use sft_types::{
+    BatchConfig, EndorseMode, ReplicaId, SimDuration, SimTime, StrongCommitUpdate, Transaction,
+};
 
 pub use fbft_driver::FbftSimulation;
+pub use sft_network::{FaultSchedule, Partition};
 pub use streamlet_driver::Simulation;
 
 /// The throughput numerator both drivers report: the transaction count of
@@ -140,6 +143,10 @@ pub struct SimConfig {
     /// (`txn_bytes` each) and leaders drain real
     /// [`Payload::Transactions`](sft_types::Payload) batches of this size.
     pub batch_size: u32,
+    /// Partial-synchrony fault schedule for the network (seeded message
+    /// loss before GST, optional partition with a heal time). `None` keeps
+    /// the lossless synchronous transport.
+    pub faults: Option<FaultSchedule>,
 }
 
 impl SimConfig {
@@ -158,6 +165,7 @@ impl SimConfig {
             txns_per_block: 1000,
             txn_bytes: 450,
             batch_size: 0,
+            faults: None,
         }
     }
 
@@ -215,6 +223,31 @@ impl SimConfig {
     pub fn with_batch_size(mut self, batch_size: u32) -> Self {
         self.batch_size = batch_size;
         self
+    }
+
+    /// Applies a partial-synchrony fault schedule to the network.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The lossy-link preset: drop each message with probability
+    /// `drop_probability` until GST at half the nominal run length
+    /// (`epochs × δ`), reliable delivery after — the scenario every
+    /// Byzantine behavior is re-run under in CI.
+    pub fn with_lossy_links(self, seed: u64, drop_probability: f64) -> Self {
+        let gst = SimTime::ZERO + self.delay * self.epochs;
+        self.with_faults(FaultSchedule::lossy(seed, drop_probability, gst))
+    }
+
+    /// The partition preset: replica `n − 1` is cut off from everyone else
+    /// until half the nominal run length (`epochs × δ`), then the cut
+    /// heals — the scenario the block-sync acceptance criterion measures
+    /// (the isolated replica must recover the committed prefix).
+    pub fn with_partitioned_straggler(self) -> Self {
+        let straggler = ReplicaId::new((self.n - 1) as u16);
+        let heal_at = SimTime::ZERO + self.delay * self.epochs;
+        self.with_faults(FaultSchedule::partition(vec![straggler], heal_at))
     }
 
     /// The payload source replicas propose from under this configuration.
@@ -289,6 +322,31 @@ pub struct SimReport {
     pub safety_violations: usize,
     /// Equivocating replicas detected by at least one honest replica.
     pub equivocators_detected: usize,
+    /// Block-sync requests issued across all replicas (retries included).
+    pub sync_requests: u64,
+    /// Blocks recovered via block-sync across all replicas.
+    pub sync_blocks_fetched: u64,
+    /// Replicas that fell behind, fetched blocks via sync, and ended the
+    /// run with a non-empty committed chain — the catch-up success count.
+    pub recovered_replicas: usize,
+}
+
+/// Aggregates per-replica sync counters into the three report metrics:
+/// total requests, total blocks fetched, and the recovered-replica count.
+pub(crate) fn sync_report_fields<'a>(
+    nodes: impl Iterator<Item = (SyncStats, &'a [HashValue])>,
+) -> (u64, u64, usize) {
+    let mut requests = 0;
+    let mut fetched = 0;
+    let mut recovered = 0;
+    for (stats, chain) in nodes {
+        requests += stats.requests_sent;
+        fetched += stats.blocks_admitted;
+        if stats.blocks_admitted > 0 && !chain.is_empty() {
+            recovered += 1;
+        }
+    }
+    (requests, fetched, recovered)
 }
 
 impl SimReport {

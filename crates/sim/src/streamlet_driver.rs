@@ -56,7 +56,9 @@ impl Simulation {
         let nodes = (0..config.n as u16)
             .map(|id| {
                 let behavior = config.behaviors[id as usize];
-                let mut replica = Replica::new(id, protocol, registry.clone(), config.endorse_mode);
+                let mut replica = Replica::new(id, protocol, registry.clone(), config.endorse_mode)
+                    // Two epochs of silence before re-asking another peer.
+                    .with_sync_retry(config.delay * 4);
                 // A stalling leader's whole deviation is "never propose":
                 // leaving it source-less keeps its mempool untouched
                 // (begin_epoch_sourced still advances its epoch) — same
@@ -75,8 +77,12 @@ impl Simulation {
                 }
             })
             .collect();
+        let mut net = SimNetwork::new(config.delay);
+        if let Some(faults) = &config.faults {
+            net = net.with_faults(faults.clone());
+        }
         Self {
-            net: SimNetwork::new(config.delay),
+            net,
             timelines: vec![Vec::new(); config.n],
             config,
             protocol,
@@ -89,11 +95,13 @@ impl Simulation {
         self.protocol
     }
 
-    /// Runs all configured epochs and reports.
+    /// Runs all configured epochs, lets catch-up traffic settle, and
+    /// reports.
     pub fn run(mut self) -> SimReport {
         for epoch in 1..=self.config.epochs {
             self.run_epoch(Round::new(epoch));
         }
+        self.drain_sync();
         self.report()
     }
 
@@ -157,43 +165,140 @@ impl Simulation {
             }
         }
 
-        // Phase 2 — deliver proposals, collect votes.
+        // Phase 2 — deliver proposals (and any due sync traffic), collect
+        // votes.
         let mid = self.net.now() + self.config.delay;
         let mut vote_inbox: Vec<(ReplicaId, Message)> = Vec::new();
-        let deliveries = self_inbox
+        let deliveries: Vec<(ReplicaId, Message)> = self_inbox
             .into_iter()
             .chain(self.net.deliver_due(mid).into_iter().map(|e| {
                 let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
                 (e.to, msg)
-            }));
+            }))
+            .collect();
         for (to, msg) in deliveries {
-            let Message::Proposal(proposal) = msg else {
-                continue;
-            };
-            let node = &mut self.nodes[to.as_usize()];
-            for vote in node.handle_proposal(&proposal) {
-                let msg = Message::Vote(vote.clone());
-                self.net.broadcast(to, n, msg.to_bytes());
-                vote_inbox.push((to, msg));
-            }
+            self.dispatch(to, msg, &mut vote_inbox);
         }
+        self.poll_sync_requests();
 
-        // Phase 3 — deliver votes everywhere, evaluate the commit rules.
+        // Phase 3 — deliver votes (and any due sync traffic) everywhere,
+        // evaluate the commit rules.
         let end = mid + self.config.delay;
-        let deliveries = vote_inbox
+        let deliveries: Vec<(ReplicaId, Message)> = vote_inbox
             .into_iter()
             .chain(self.net.deliver_due(end).into_iter().map(|e| {
                 let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
                 (e.to, msg)
-            }));
+            }))
+            .collect();
+        let mut late_votes = Vec::new();
         for (to, msg) in deliveries {
-            let Message::Vote(vote) = msg else { continue };
-            let node = &mut self.nodes[to.as_usize()];
-            if node.behavior != Behavior::Silent {
-                let now = self.net.now();
-                let updates = node.replica.on_vote(&vote);
-                self.timelines[to.as_usize()].extend(updates.into_iter().map(|u| (now, u)));
+            self.dispatch(to, msg, &mut late_votes);
+        }
+        for (to, msg) in late_votes {
+            // Votes a proposal delivered this phase attracted: everyone
+            // already received the broadcast copy over the network; only
+            // the self-loop copy is outstanding.
+            let mut none = Vec::new();
+            self.dispatch(to, msg, &mut none);
+        }
+        self.poll_sync_requests();
+    }
+
+    /// Routes one delivered message to its replica according to behavior.
+    /// Votes produced in response to a proposal are broadcast immediately
+    /// and their self-loop copies appended to `vote_inbox` for same-phase
+    /// processing (a replica hears itself without paying δ).
+    fn dispatch(
+        &mut self,
+        to: ReplicaId,
+        msg: Message,
+        vote_inbox: &mut Vec<(ReplicaId, Message)>,
+    ) {
+        let i = to.as_usize();
+        if self.nodes[i].behavior == Behavior::Silent {
+            return;
+        }
+        let n = self.config.n;
+        match msg {
+            Message::Proposal(proposal) => {
+                for vote in self.nodes[i].handle_proposal(&proposal) {
+                    let msg = Message::Vote(vote);
+                    self.net.broadcast(to, n, msg.to_bytes());
+                    vote_inbox.push((to, msg));
+                }
             }
+            Message::Vote(vote) => {
+                let now = self.net.now();
+                let updates = self.nodes[i].replica.on_vote(&vote);
+                self.timelines[i].extend(updates.into_iter().map(|u| (now, u)));
+            }
+            Message::SyncRequest(request) => {
+                if let Some(response) = self.nodes[i].replica.on_sync_request(&request) {
+                    self.net.send(
+                        to,
+                        request.requester(),
+                        Message::SyncResponse(response).to_bytes(),
+                    );
+                }
+            }
+            Message::SyncResponse(response) => {
+                let now = self.net.now();
+                let updates = self.nodes[i].replica.on_sync_response(&response);
+                self.timelines[i].extend(updates.into_iter().map(|u| (now, u)));
+            }
+        }
+    }
+
+    /// Sends every replica's due block-sync requests point-to-point.
+    fn poll_sync_requests(&mut self) {
+        let now = self.net.now();
+        for i in 0..self.config.n {
+            if self.nodes[i].behavior == Behavior::Silent {
+                continue;
+            }
+            let from = self.nodes[i].replica.id();
+            for (peer, request) in self.nodes[i].replica.take_sync_requests(now) {
+                self.net
+                    .send(from, peer, Message::SyncRequest(request).to_bytes());
+            }
+        }
+    }
+
+    /// After the final epoch, keeps virtual time moving in δ steps until
+    /// in-flight messages and catch-up fetches settle (bounded) — the
+    /// window in which a replica that fell behind under loss or partition
+    /// finishes recovering the committed prefix. A lossless run breaks out
+    /// immediately, so its report is identical to the pre-sync driver's.
+    fn drain_sync(&mut self) {
+        let max_steps = 4 * self.config.epochs + 32;
+        for _ in 0..max_steps {
+            let syncing = self
+                .nodes
+                .iter()
+                .any(|n| n.behavior != Behavior::Silent && n.replica.is_syncing());
+            if self.net.pending() == 0 && !syncing {
+                break;
+            }
+            let next = self.net.now() + self.config.delay;
+            let deliveries: Vec<(ReplicaId, Message)> = self
+                .net
+                .deliver_due(next)
+                .into_iter()
+                .map(|e| {
+                    let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
+                    (e.to, msg)
+                })
+                .collect();
+            let mut votes = Vec::new();
+            for (to, msg) in deliveries {
+                self.dispatch(to, msg, &mut votes);
+            }
+            for (to, msg) in votes {
+                let mut none = Vec::new();
+                self.dispatch(to, msg, &mut none);
+            }
+            self.poll_sync_requests();
         }
     }
 
@@ -225,6 +330,11 @@ impl Simulation {
                 .iter()
                 .map(|node| (node.replica.committed_chain(), node.replica.store())),
         );
+        let (sync_requests, sync_blocks_fetched, recovered_replicas) = crate::sync_report_fields(
+            self.nodes
+                .iter()
+                .map(|node| (node.replica.sync_stats(), node.replica.committed_chain())),
+        );
         SimReport {
             chains,
             commit_logs,
@@ -234,6 +344,9 @@ impl Simulation {
             elapsed: self.net.now(),
             safety_violations,
             equivocators_detected,
+            sync_requests,
+            sync_blocks_fetched,
+            recovered_replicas,
         }
     }
 

@@ -1,0 +1,167 @@
+//! Acceptance scenarios for the block-sync / catch-up subsystem under
+//! partial synchrony: partitioned and lossy schedules, every Byzantine
+//! behavior, both protocols, f ∈ {1, 2}.
+//!
+//! The headline criterion: a replica partitioned through an equivocation
+//! split — the worst case for falling behind, since the proposals it
+//! missed include conflicting twins — recovers the full committed prefix
+//! after the partition heals, with agreement and per-block commit-strength
+//! monotonicity intact.
+
+use sft_sim::{Behavior, Protocol, SimConfig};
+
+/// The invariants every partial-synchrony run must keep: agreement, no
+/// observed safety violation, and monotone per-block commit strength.
+fn assert_sound(report: &sft_sim::SimReport) {
+    assert!(
+        report.agreement(),
+        "committed chains must be prefix-compatible"
+    );
+    assert_eq!(report.safety_violations, 0);
+    assert!(
+        report.commit_strength_monotone(),
+        "per-block strength levels only climb"
+    );
+}
+
+/// The acceptance criterion: replica n−1 is partitioned away while an
+/// equivocating leader splits the rest, the partition heals mid-run, and
+/// the straggler recovers the committed prefix via block-sync — for
+/// f ∈ {1, 2} on both protocols.
+#[test]
+fn partitioned_replica_recovers_committed_prefix_after_equivocation_split() {
+    for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+        for n in [4usize, 7] {
+            let report = SimConfig::new(n, 12)
+                .with_protocol(protocol)
+                .with_behavior(0, Behavior::Equivocate)
+                .with_partitioned_straggler()
+                .run();
+            assert_sound(&report);
+            assert!(
+                report.max_committed() >= 3,
+                "{protocol:?} n={n}: the majority side keeps committing"
+            );
+            assert!(
+                report.sync_blocks_fetched > 0,
+                "{protocol:?} n={n}: recovery must go through block-sync"
+            );
+            assert!(
+                report.recovered_replicas >= 1,
+                "{protocol:?} n={n}: the straggler counts as recovered"
+            );
+            // The full committed prefix: the straggler's chain is a prefix
+            // of the longest (agreement above) and reaches its tip modulo
+            // the commits still in flight when the run stops.
+            let straggler = &report.chains[n - 1];
+            assert!(
+                straggler.len() + 2 >= report.max_committed(),
+                "{protocol:?} n={n}: straggler recovered {} of {} commits",
+                straggler.len(),
+                report.max_committed()
+            );
+        }
+    }
+}
+
+/// Every Byzantine behavior stays sound *and live* under seeded message
+/// loss with GST mid-run, for f ∈ {1, 2} on both protocols. (Streamlet
+/// gets a longer horizon: with an empty leader slot every n epochs, its
+/// three-consecutive-epoch windows need a few post-GST epochs to
+/// re-converge forked notarized sets.)
+#[test]
+fn every_behavior_survives_lossy_links() {
+    let behaviors = [
+        None,
+        Some(Behavior::Equivocate),
+        Some(Behavior::WithholdVote),
+        Some(Behavior::Silent),
+        Some(Behavior::StallLeader),
+    ];
+    for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+        let epochs = if protocol == Protocol::Streamlet {
+            20
+        } else {
+            12
+        };
+        for n in [4usize, 7] {
+            for behavior in behaviors {
+                for seed in [1u64, 2, 3] {
+                    let mut config = SimConfig::new(n, epochs)
+                        .with_protocol(protocol)
+                        .with_lossy_links(seed, 0.15);
+                    if let Some(b) = behavior {
+                        config = config.with_behavior(0, b);
+                    }
+                    let report = config.run();
+                    assert_sound(&report);
+                    assert!(
+                        report.max_committed() > 0,
+                        "{protocol:?} n={n} {behavior:?} seed={seed}: \
+                         liveness after GST"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs under a fault schedule are exactly as deterministic as lossless
+/// ones: drops come from a seeded stream keyed to send order.
+#[test]
+fn faulty_runs_are_deterministic() {
+    for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+        let mk = || {
+            SimConfig::new(7, 10)
+                .with_protocol(protocol)
+                .with_behavior(2, Behavior::Equivocate)
+                .with_lossy_links(42, 0.2)
+                .run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.chains, b.chains);
+        assert_eq!(a.commit_logs, b.commit_logs);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.sync_requests, b.sync_requests);
+        assert_eq!(a.sync_blocks_fetched, b.sync_blocks_fetched);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+}
+
+/// Lossless runs never touch the sync path: zero requests, zero fetches,
+/// zero recovered replicas — so the perf baselines of the happy path are
+/// untouched by the subsystem's existence.
+#[test]
+fn lossless_runs_issue_no_sync_traffic() {
+    for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+        let report = SimConfig::new(4, 10).with_protocol(protocol).run();
+        assert_eq!(report.sync_requests, 0, "{protocol:?}");
+        assert_eq!(report.sync_blocks_fetched, 0, "{protocol:?}");
+        assert_eq!(report.recovered_replicas, 0, "{protocol:?}");
+        assert_eq!(report.net.dropped, 0, "{protocol:?}");
+    }
+}
+
+/// A partitioned straggler in an otherwise honest system also recovers —
+/// the plain-partition variant of the headline scenario, and the one the
+/// CI `partition` cell of the scenario matrix mirrors most directly.
+#[test]
+fn partitioned_replica_recovers_without_byzantine_help() {
+    for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+        let n = 4;
+        let report = SimConfig::new(n, 12)
+            .with_protocol(protocol)
+            .with_partitioned_straggler()
+            .run();
+        assert_sound(&report);
+        assert!(report.recovered_replicas >= 1, "{protocol:?}");
+        let straggler = &report.chains[n - 1];
+        assert!(
+            straggler.len() + 2 >= report.max_committed(),
+            "{protocol:?}: straggler at {} of {}",
+            straggler.len(),
+            report.max_committed()
+        );
+    }
+}

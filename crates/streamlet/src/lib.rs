@@ -39,4 +39,5 @@ pub mod replica;
 pub use message::{Message, Proposal};
 pub use replica::Replica;
 // Historically defined here; now shared with the round-based replica.
-pub use sft_types::EndorseMode;
+pub use sft_core::{BlockResponse, SyncManager, SyncStats};
+pub use sft_types::{BlockRequest, EndorseMode};

@@ -2,10 +2,10 @@
 
 use std::fmt;
 
-use sft_core::Block;
+use sft_core::{Block, BlockResponse};
 use sft_crypto::{Hasher, KeyPair, KeyRegistry, Signature};
 use sft_types::codec::{Decode, DecodeError, Encode};
-use sft_types::StrongVote;
+use sft_types::{BlockRequest, StrongVote};
 
 /// A leader's signed block proposal for an epoch.
 ///
@@ -85,14 +85,19 @@ impl Decode for Proposal {
     }
 }
 
-/// Everything an SFT-Streamlet replica sends: proposals from epoch leaders
-/// and strong-votes broadcast by every voter.
+/// Everything an SFT-Streamlet replica sends: proposals from epoch
+/// leaders, strong-votes broadcast by every voter, and the point-to-point
+/// block-sync exchange.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Message {
     /// A leader's block proposal.
     Proposal(Proposal),
     /// A replica's strong-vote.
     Vote(StrongVote),
+    /// A catch-up fetch for a certified-but-unknown block.
+    SyncRequest(BlockRequest),
+    /// The certified chain segment answering a [`Message::SyncRequest`].
+    SyncResponse(BlockResponse),
 }
 
 impl Encode for Message {
@@ -106,6 +111,14 @@ impl Encode for Message {
                 buf.push(1);
                 v.encode(buf);
             }
+            Message::SyncRequest(r) => {
+                buf.push(2);
+                r.encode(buf);
+            }
+            Message::SyncResponse(r) => {
+                buf.push(3);
+                r.encode(buf);
+            }
         }
     }
 }
@@ -115,6 +128,8 @@ impl Decode for Message {
         match u8::decode(buf)? {
             0 => Ok(Message::Proposal(Proposal::decode(buf)?)),
             1 => Ok(Message::Vote(StrongVote::decode(buf)?)),
+            2 => Ok(Message::SyncRequest(BlockRequest::decode(buf)?)),
+            3 => Ok(Message::SyncResponse(BlockResponse::decode(buf)?)),
             t => Err(DecodeError::InvalidTag(t)),
         }
     }

@@ -4,15 +4,18 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use sft_core::{
-    honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, Mempool,
-    PayloadSource, ProtocolConfig, VoteOutcome, VoteTracker,
+    honest_endorse_info, Block, BlockStore, BlockStoreError, CommitLedger, EndorsementTracker,
+    Mempool, PayloadSource, ProtocolConfig, SyncManager, SyncStats, VoteOutcome, VoteTracker,
 };
 use sft_crypto::{HashValue, KeyPair, KeyRegistry};
 use sft_types::{
-    EndorseMode, Payload, ReplicaId, Round, StrongCommitUpdate, StrongVote, Transaction,
+    BlockRequest, EndorseMode, Payload, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate,
+    StrongVote, Transaction,
 };
 
 use crate::message::Proposal;
+
+pub use sft_core::BlockResponse;
 
 /// A single SFT-Streamlet replica: epoch state machine, vote aggregation,
 /// the two-level commit rule, and the strong-commit log.
@@ -97,6 +100,12 @@ pub struct Replica {
     /// Client transactions awaiting inclusion (drained by the mempool
     /// payload source; pruned when other leaders' blocks carry them).
     mempool: Mempool,
+    /// Block-sync state: certified-but-unknown targets, in-flight fetches,
+    /// and the orphan pool.
+    sync: SyncManager,
+    /// Commit-rule middles declared while the local chain still had holes;
+    /// retried after every sync admission.
+    deferred_commits: Vec<HashValue>,
 }
 
 impl Replica {
@@ -134,7 +143,16 @@ impl Replica {
             commit_log: Vec::new(),
             payload_source: None,
             mempool: Mempool::new(),
+            sync: SyncManager::new(config, ReplicaId::new(id)),
+            deferred_commits: Vec::new(),
         }
+    }
+
+    /// Sets the block-sync retry timeout (how long to wait for a response
+    /// before re-asking another peer). Drivers derive it from their δ.
+    pub fn with_sync_retry(mut self, retry_after: SimDuration) -> Self {
+        self.sync.set_retry_after(retry_after);
+        self
     }
 
     /// Configures where [`begin_epoch_sourced`](Self::begin_epoch_sourced)
@@ -276,9 +294,16 @@ impl Replica {
             return None;
         }
         // Record the block regardless of the voting decision — descendants
-        // may arrive later. Orphans (unknown parent) are dropped.
-        if self.store.insert(block.clone()).is_err() {
-            return None;
+        // may arrive later. Orphans (unknown parent — e.g. this replica
+        // missed epochs behind a partition) are pooled with the sync
+        // manager, which chases the missing ancestry.
+        match self.store.insert(block.clone()) {
+            Ok(_) => self.sync.note_stored(block.id()),
+            Err(BlockStoreError::UnknownParent) => {
+                self.sync.note_orphan_block(block.clone(), &self.store);
+                return None;
+            }
+            Err(_) => return None,
         }
         // The chain now carries these transactions: stop offering them.
         if let Payload::Transactions(txns) = block.payload() {
@@ -288,6 +313,13 @@ impl Replica {
             return None;
         }
         if !self.extends_longest_notarized(block) {
+            // The leader treated the parent as notarized; if this replica
+            // never saw that quorum (its votes were lost), fetch the
+            // certificate so later proposals on this chain can win votes —
+            // the re-convergence path for notarized sets under loss.
+            if !self.notarized.contains(&block.parent_id()) {
+                self.sync.note_want(block.parent_id());
+            }
             return None;
         }
         let endorse =
@@ -307,7 +339,13 @@ impl Replica {
             VoteOutcome::BadSignature | VoteOutcome::Equivocation | VoteOutcome::Duplicate => {
                 return Vec::new();
             }
-            VoteOutcome::Certified(qc) => Some(qc.block_id()),
+            VoteOutcome::Certified(qc) => {
+                // Votes are broadcast, so a replica can certify a block it
+                // never received (a lost proposal): the sync manager
+                // records the certificate and, if needed, fetches the block.
+                self.sync.note_certificate(&qc, &self.store);
+                Some(qc.block_id())
+            }
             VoteOutcome::Counted(_) => None,
         };
         let grown = self.endorsements.record_vote(vote, &self.store);
@@ -437,9 +475,106 @@ impl Replica {
             .max_by(|a, b| (a.height(), a.round(), a.id()).cmp(&(b.height(), b.round(), b.id())))
             .map(Block::id);
         match best_middle {
-            Some(middle_id) => self.ledger.finalize_through(&self.store, middle_id),
+            Some(middle_id) => {
+                let committed = self.ledger.finalize_through(&self.store, middle_id);
+                if committed.is_empty() && !self.ledger.contains(middle_id) {
+                    // The window closed but the chain below it has holes
+                    // (ancestors still being fetched): finalize once sync
+                    // fills them, or a later window will.
+                    if !self.deferred_commits.contains(&middle_id) {
+                        self.deferred_commits.push(middle_id);
+                    }
+                }
+                committed
+            }
             None => Vec::new(),
         }
+    }
+
+    /// Block-sync fetches now due (new targets and expired retries), to be
+    /// sent point-to-point to the named peer. Drivers poll this once per
+    /// delivery phase.
+    pub fn take_sync_requests(&mut self, now: SimTime) -> Vec<(ReplicaId, BlockRequest)> {
+        self.sync.take_requests(now)
+    }
+
+    /// Serves a peer's block-sync request from the local store, if this
+    /// replica holds both the block and a certificate for it.
+    pub fn on_sync_request(&mut self, request: &BlockRequest) -> Option<BlockResponse> {
+        self.sync.serve(request, &self.store)
+    }
+
+    /// Handles a block-sync response: verifies it against the certificate
+    /// chain, admits what attaches, indexes recovered notarized blocks, and
+    /// re-runs the commit rule — the path a lagging replica's committed
+    /// prefix is rebuilt through. Returns the commit-log entries produced.
+    ///
+    /// The response's certificate is validated structurally, like every
+    /// certificate in this workspace (see the trust-model note in
+    /// [`sft_core::sync`]): treating it as proof of notarization extends
+    /// the same structural trust granted to a proposal's embedded QC to
+    /// the serving peer. Authenticated (threshold-signed) certificates
+    /// replace that assumption when real networking lands.
+    pub fn on_sync_response(&mut self, response: &BlockResponse) -> Vec<StrongCommitUpdate> {
+        let admitted = self.sync.on_response(response, &mut self.store);
+        // The response's certificate may notarize a block this replica
+        // already held (a certificate-want): process it alongside the
+        // admitted blocks so the notarized set re-converges.
+        let mut touched = admitted;
+        let target = response.target();
+        if !touched.contains(&target) && self.store.contains(target) {
+            touched.push(target);
+        }
+        let mut updates = Vec::new();
+        for id in &touched {
+            if let Some(Payload::Transactions(txns)) =
+                self.store.get(*id).map(Block::payload).cloned()
+            {
+                self.mempool.mark_included(txns.iter());
+            }
+            // A block counts as notarized here if this replica certified
+            // it itself (possibly while the block was still unknown) or a
+            // verified sync response carried its certificate. Index it and
+            // let the commit rule see the recovered windows.
+            let certified = self.notarized.contains(id) || self.sync.certificate_for(*id).is_some();
+            if certified && self.store.contains(*id) {
+                self.notarized.insert(*id);
+                if let Some(parent_id) = self.store.get(*id).map(Block::parent_id) {
+                    let children = self.notarized_children.entry(parent_id).or_default();
+                    if !children.contains(id) {
+                        children.push(*id);
+                    }
+                }
+                for committed_id in self.apply_commit_rule(*id) {
+                    if let Some(update) = self
+                        .endorsements
+                        .take_level_update(committed_id, &self.store)
+                    {
+                        updates.push(update);
+                    }
+                }
+            }
+        }
+        for id in self
+            .ledger
+            .finalize_deferred(&self.store, &mut self.deferred_commits)
+        {
+            if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
+                updates.push(update);
+            }
+        }
+        self.commit_log.extend(updates.iter().copied());
+        updates
+    }
+
+    /// Block-sync counters (requests sent, blocks recovered, …).
+    pub fn sync_stats(&self) -> SyncStats {
+        self.sync.stats()
+    }
+
+    /// True while this replica is still chasing missing blocks.
+    pub fn is_syncing(&self) -> bool {
+        self.sync.is_syncing()
     }
 
     fn votes_registry(&self) -> &KeyRegistry {

@@ -15,6 +15,7 @@
 //! | endorser accounting per block (§3.2) | [`bitset`]: [`SignerSet`] |
 //! | timeout `⟨timeout, r⟩_i`, TC (main protocol liveness) | [`timeout`]: [`TimeoutMsg`], [`TimeoutCertificate`] |
 //! | strong-commit `Log` for light clients (§5) | [`commit_log`]: [`StrongCommitUpdate`] |
+//! | block-sync fetch (catch-up subprotocol) | [`sync`]: [`BlockRequest`] |
 //! | block contents / workload of §4 | [`transaction`]: [`Transaction`], [`Payload`] |
 //! | injected delays δ of the evaluation (§4) | [`time`]: [`SimTime`], [`SimDuration`] |
 //!
@@ -40,6 +41,7 @@ pub mod codec;
 pub mod commit_log;
 pub mod ids;
 pub mod interval;
+pub mod sync;
 pub mod time;
 pub mod timeout;
 pub mod transaction;
@@ -50,6 +52,7 @@ pub use codec::{Decode, DecodeError, Encode};
 pub use commit_log::{commit_log_digest, StrongCommitUpdate};
 pub use ids::{Height, ReplicaId, Round};
 pub use interval::{RoundInterval, RoundIntervalSet};
+pub use sync::BlockRequest;
 pub use time::{SimDuration, SimTime};
 pub use timeout::{
     timeout_signing_digest, TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome,

@@ -1,0 +1,111 @@
+//! Block-sync (catch-up) request messages.
+//!
+//! A replica that learns a certificate for a block it never received —
+//! e.g. the losing half of an equivocation split, or any replica behind a
+//! partition — asks a peer for the missing chain segment with a
+//! [`BlockRequest`]. The response type lives in `sft-core` (it carries
+//! whole blocks); the request is pure identifiers and so belongs here with
+//! the rest of the wire vocabulary.
+//!
+//! Requests are point-to-point, bounded (`max_blocks`), and idempotent:
+//! re-asking for the same target is always safe, and responders never need
+//! per-requester state.
+
+use sft_crypto::HashValue;
+
+use crate::codec::{Decode, DecodeError, Encode};
+use crate::ReplicaId;
+
+/// A bounded request for the chain segment ending at `target`.
+///
+/// # Examples
+///
+/// ```
+/// use sft_crypto::HashValue;
+/// use sft_types::{BlockRequest, Decode, Encode, ReplicaId};
+///
+/// let req = BlockRequest::new(ReplicaId::new(3), HashValue::of(b"B7"), 16);
+/// let back = BlockRequest::from_bytes(&req.to_bytes()).unwrap();
+/// assert_eq!(back, req);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockRequest {
+    requester: ReplicaId,
+    target: HashValue,
+    max_blocks: u32,
+}
+
+impl BlockRequest {
+    /// Creates a request by `requester` for the segment ending at `target`,
+    /// at most `max_blocks` long.
+    pub fn new(requester: ReplicaId, target: HashValue, max_blocks: u32) -> Self {
+        Self {
+            requester,
+            target,
+            max_blocks,
+        }
+    }
+
+    /// The replica asking (responses are sent point-to-point back to it).
+    pub fn requester(&self) -> ReplicaId {
+        self.requester
+    }
+
+    /// The certified-but-unknown block the requester wants, together with
+    /// as many of its ancestors as the bound allows.
+    pub fn target(&self) -> HashValue {
+        self.target
+    }
+
+    /// Upper bound on the number of blocks the responder may return.
+    pub fn max_blocks(&self) -> u32 {
+        self.max_blocks
+    }
+}
+
+impl Encode for BlockRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.requester.encode(buf);
+        self.target.encode(buf);
+        self.max_blocks.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        2 + HashValue::LEN + 4
+    }
+}
+
+impl Decode for BlockRequest {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Self {
+            requester: ReplicaId::decode(buf)?,
+            target: HashValue::decode(buf)?,
+            max_blocks: u32::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_len() {
+        let req = BlockRequest::new(ReplicaId::new(9), HashValue::of(b"tip"), 64);
+        let bytes = req.to_bytes();
+        assert_eq!(bytes.len(), req.encoded_len());
+        assert_eq!(BlockRequest::from_bytes(&bytes).unwrap(), req);
+        assert_eq!(req.requester(), ReplicaId::new(9));
+        assert_eq!(req.target(), HashValue::of(b"tip"));
+        assert_eq!(req.max_blocks(), 64);
+    }
+
+    #[test]
+    fn truncated_request_rejected() {
+        let req = BlockRequest::new(ReplicaId::new(1), HashValue::of(b"x"), 8);
+        let bytes = req.to_bytes();
+        assert_eq!(
+            BlockRequest::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(DecodeError::UnexpectedEof)
+        );
+    }
+}

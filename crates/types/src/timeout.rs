@@ -49,6 +49,13 @@ pub struct TimeoutMsg {
     high_qc_round: Round,
     author: ReplicaId,
     signature: Signature,
+    /// The TC that justified the sender's current round, if it was entered
+    /// on the timeout path — DiemBFT's `SyncInfo` piggyback in minimal
+    /// form. Self-certifying (a TC carries its own signer quorum), so it is
+    /// deliberately *outside* the signing preimage: receivers validate it
+    /// structurally, and a replica stranded in an earlier round because the
+    /// certificate that closed it was lost jumps forward on it.
+    justification: Option<TimeoutCertificate>,
 }
 
 impl TimeoutMsg {
@@ -60,7 +67,15 @@ impl TimeoutMsg {
             high_qc_round,
             author: ReplicaId::new(key_pair.signer() as u16),
             signature: key_pair.sign(digest.as_ref()),
+            justification: None,
         }
+    }
+
+    /// Attaches the TC that justified the sender's current round (the
+    /// catch-up piggyback for replicas that missed it).
+    pub fn with_justification(mut self, tc: Option<TimeoutCertificate>) -> Self {
+        self.justification = tc;
+        self
     }
 
     /// Reassembles a message from parts (decoder and Byzantine harnesses).
@@ -75,6 +90,7 @@ impl TimeoutMsg {
             high_qc_round,
             author,
             signature,
+            justification: None,
         }
     }
 
@@ -96,6 +112,11 @@ impl TimeoutMsg {
     /// The signature over `(round, high_qc_round)`.
     pub fn signature(&self) -> &Signature {
         &self.signature
+    }
+
+    /// The piggybacked TC justifying the sender's round, if any.
+    pub fn justification(&self) -> Option<&TimeoutCertificate> {
+        self.justification.as_ref()
     }
 
     /// Verifies the signature against the PKI.
@@ -121,6 +142,7 @@ impl Encode for TimeoutMsg {
         self.high_qc_round.encode(buf);
         self.author.encode(buf);
         self.signature.encode(buf);
+        self.justification.encode(buf);
     }
 }
 
@@ -131,6 +153,7 @@ impl Decode for TimeoutMsg {
             high_qc_round: Round::decode(buf)?,
             author: ReplicaId::decode(buf)?,
             signature: Signature::decode(buf)?,
+            justification: Option::<TimeoutCertificate>::decode(buf)?,
         })
     }
 }
