@@ -12,10 +12,17 @@
 //!
 //! flags:
 //!   --protocol streamlet | fbft | both   which protocol(s) to run (default streamlet)
+//!   --transport sim | tcp                sim (default): deterministic simulator;
+//!                                        tcp: the same honest replica set over a
+//!                                        loopback TCP mesh, asserting its committed
+//!                                        prefix matches the sim run's
 //!   --batch-size B                       txns per drained mempool batch; 0 = synthetic
 //!                                        descriptor workload (default 256)
 //!   --replicas LIST                      comma-separated n sweep, e.g. 4,7,10; the
 //!                                        first entry is the headline run
+//!   --sweep-delay LIST                   comma-separated network δ sweep in ms,
+//!                                        e.g. 50,100,200, recorded in the summary's
+//!                                        sweep array
 //!   --json-dir DIR                       also write BENCH_<protocol>.json summaries
 //! ```
 //!
@@ -33,7 +40,8 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 
 use sft_core::ProtocolConfig;
-use sft_sim::{Behavior, Protocol, SimConfig, SimReport};
+use sft_sim::{run_over_tcp, Behavior, Protocol, SimConfig, SimReport, TcpPacing};
+use sft_types::SimDuration;
 
 /// What the optional third positional argument selects: a Byzantine
 /// behavior for replica `n − 1`, or a partial-synchrony fault schedule.
@@ -50,13 +58,25 @@ enum Scenario {
     Lossy,
 }
 
+/// Which transport the run goes over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+enum TransportKind {
+    /// The deterministic in-process simulator.
+    #[default]
+    Sim,
+    /// A loopback TCP mesh: same replicas, real sockets, wall-clock time.
+    Tcp,
+}
+
 struct Args {
     n: usize,
     epochs: u64,
     scenario: Scenario,
     protocols: Vec<Protocol>,
+    transport: TransportKind,
     batch_size: u32,
     sweep: Vec<usize>,
+    delay_sweep_ms: Vec<u64>,
     json_dir: Option<String>,
 }
 
@@ -74,8 +94,10 @@ fn parse_args() -> Result<Args, String> {
         epochs: 10,
         scenario: Scenario::Honest,
         protocols: vec![Protocol::Streamlet],
+        transport: TransportKind::Sim,
         batch_size: 256,
         sweep: Vec::new(),
+        delay_sweep_ms: Vec::new(),
         json_dir: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +113,29 @@ fn parse_args() -> Result<Args, String> {
                     "both" => vec![Protocol::Streamlet, Protocol::Fbft],
                     other => return Err(format!("unknown protocol {other:?}")),
                 };
+            }
+            "--transport" => {
+                let value = iter.next().ok_or("--transport needs a value")?;
+                args.transport = match value.as_str() {
+                    "sim" => TransportKind::Sim,
+                    "tcp" => TransportKind::Tcp,
+                    other => return Err(format!("unknown transport {other:?}")),
+                };
+            }
+            "--sweep-delay" => {
+                let value = iter.next().ok_or("--sweep-delay needs a value")?;
+                args.delay_sweep_ms = value
+                    .split(',')
+                    .map(|v| {
+                        v.parse()
+                            .ok()
+                            .filter(|ms| *ms > 0)
+                            .ok_or_else(|| format!("bad delay {v:?}; need positive ms"))
+                    })
+                    .collect::<Result<_, _>>()?;
+                if args.delay_sweep_ms.is_empty() {
+                    return Err("--sweep-delay needs at least one value".to_string());
+                }
             }
             "--batch-size" => {
                 let value = iter.next().ok_or("--batch-size needs a value")?;
@@ -146,6 +191,22 @@ fn parse_args() -> Result<Args, String> {
     } else {
         args.n = args.sweep[0];
     }
+    if args.transport == TransportKind::Tcp {
+        if args.scenario != Scenario::Honest {
+            return Err(
+                "--transport tcp runs the honest scenario only (fault injection is a \
+                 simulator feature)"
+                    .to_string(),
+            );
+        }
+        if args.json_dir.is_some() || args.sweep.len() > 1 || !args.delay_sweep_ms.is_empty() {
+            return Err(
+                "--transport tcp is a parity check, not a bench run: it supports none of \
+                 --json-dir / --replicas / --sweep-delay"
+                    .to_string(),
+            );
+        }
+    }
     Ok(args)
 }
 
@@ -172,11 +233,23 @@ fn scenario_name(scenario: Scenario) -> &'static str {
 /// reproducible; the test suite sweeps seeds.
 const LOSSY_SEED: u64 = 7;
 
-/// One simulated scenario, ready to run.
-fn configure(args: &Args, protocol: Protocol, n: usize, batch_size: u32) -> SimConfig {
+/// One simulated scenario, ready to run. A non-default `delay` must be
+/// applied here, *before* the scenario presets: the partition heal time
+/// and the lossy GST are derived from δ, so layering `with_delay` on an
+/// already-configured scenario would silently change its shape.
+fn configure(
+    args: &Args,
+    protocol: Protocol,
+    n: usize,
+    batch_size: u32,
+    delay: Option<SimDuration>,
+) -> SimConfig {
     let mut config = SimConfig::new(n, args.epochs)
         .with_protocol(protocol)
         .with_batch_size(batch_size);
+    if let Some(delay) = delay {
+        config = config.with_delay(delay);
+    }
     match args.scenario {
         Scenario::Honest => {}
         Scenario::Byzantine(behavior) => {
@@ -221,6 +294,13 @@ fn validate(report: &SimReport, scenario: Scenario) -> Result<(), String> {
     Ok(())
 }
 
+/// One `sweep` array entry: a run at a replica count and network delay.
+struct SweepEntry {
+    n: usize,
+    delay_us: u64,
+    report: SimReport,
+}
+
 /// Renders the run summary as a flat JSON object (plus a small `sweep`
 /// array). Written by hand — the offline dependency set has no serde, and
 /// the schema is a dozen scalar fields.
@@ -230,7 +310,7 @@ fn summary_json(
     cfg: ProtocolConfig,
     report: &SimReport,
     baseline: Option<&SimReport>,
-    sweep: &[(usize, SimReport)],
+    sweep: &[SweepEntry],
 ) -> String {
     let mut out = String::from("{\n");
     let mut field = |key: &str, value: String| {
@@ -285,12 +365,16 @@ fn summary_json(
         report.sync_blocks_fetched.to_string(),
     );
     field("recovered_replicas", report.recovered_replicas.to_string());
-    // The larger-n sweep: throughput scaling at the configured batch size.
+    // The sweep grid: throughput scaling over replica counts (at the
+    // default δ) and over network delays (at the headline n).
     let entries: Vec<String> = sweep
         .iter()
-        .map(|(n, r)| {
+        .map(|e| {
+            let r = &e.report;
             format!(
-                "    {{\"n\": {n}, \"txns_committed\": {}, \"txns_per_sec\": {:.3}, \"elapsed_us\": {}, \"messages\": {}}}",
+                "    {{\"n\": {}, \"delay_us\": {}, \"txns_committed\": {}, \"txns_per_sec\": {:.3}, \"elapsed_us\": {}, \"messages\": {}}}",
+                e.n,
+                e.delay_us,
                 r.txns_committed,
                 r.txns_per_sec(),
                 r.elapsed.as_micros(),
@@ -304,7 +388,8 @@ fn summary_json(
 
 fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     let cfg = ProtocolConfig::for_replicas(args.n);
-    let config = configure(args, protocol, args.n, args.batch_size);
+    let config = configure(args, protocol, args.n, args.batch_size, None);
+    let default_delay_us = config.delay.as_micros();
     println!(
         "running SFT-{}: n={} (f={}), {} {}, δ={}, quorum={}, 2f ceiling={}, batch={}",
         if protocol == Protocol::Fbft {
@@ -382,7 +467,7 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     // equal simulated time, batched+pipelined runs must commit at least
     // twice the transactions. Skipped in synthetic-workload mode.
     let baseline = if args.batch_size >= 2 {
-        let baseline = configure(args, protocol, args.n, 1).run();
+        let baseline = configure(args, protocol, args.n, 1, None).run();
         validate(&baseline, args.scenario)?;
         let speedup = report.txns_committed as f64 / baseline.txns_committed.max(1) as f64;
         println!(
@@ -400,10 +485,15 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
         None
     };
 
-    // Larger-n sweep at the configured batch size (headline run reused).
-    let mut sweep: Vec<(usize, SimReport)> = vec![(args.n, report.clone())];
+    // The sweep grid (headline run reused): larger replica counts at the
+    // configured batch size, then the network-δ axis at the headline n.
+    let mut sweep: Vec<SweepEntry> = vec![SweepEntry {
+        n: args.n,
+        delay_us: default_delay_us,
+        report: report.clone(),
+    }];
     for &n in args.sweep.iter().skip(1) {
-        let r = configure(args, protocol, n, args.batch_size).run();
+        let r = configure(args, protocol, n, args.batch_size, None).run();
         validate(&r, args.scenario)?;
         println!(
             "sweep n={n}: {} committed, {} txns ({:.1} txns/s), {} msgs, elapsed {}",
@@ -413,7 +503,32 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
             r.net.messages,
             r.elapsed
         );
-        sweep.push((n, r));
+        sweep.push(SweepEntry {
+            n,
+            delay_us: default_delay_us,
+            report: r,
+        });
+    }
+    for &ms in &args.delay_sweep_ms {
+        let delay = SimDuration::from_millis(ms);
+        if delay.as_micros() == default_delay_us {
+            continue; // the headline entry already covers the default δ
+        }
+        let r = configure(args, protocol, args.n, args.batch_size, Some(delay)).run();
+        validate(&r, args.scenario)?;
+        println!(
+            "sweep δ={delay}: {} committed, {} txns ({:.1} txns/s), {} msgs, elapsed {}",
+            r.max_committed(),
+            r.txns_committed,
+            r.txns_per_sec(),
+            r.net.messages,
+            r.elapsed
+        );
+        sweep.push(SweepEntry {
+            n: args.n,
+            delay_us: delay.as_micros(),
+            report: r,
+        });
     }
 
     println!(
@@ -438,6 +553,60 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs the honest scenario over a loopback TCP mesh — the same engines
+/// the simulator builds, over real sockets, via [`sft_sim::run_over_tcp`]
+/// — and asserts the committed prefix matches the deterministic sim
+/// run's. This is the acceptance check that the replica runtime is
+/// genuinely transport-agnostic.
+fn run_tcp_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
+    let config = configure(args, protocol, args.n, args.batch_size, None);
+    println!(
+        "running SFT-{} over loopback TCP: n={}, {} {}, batch={} (sim reference first)",
+        if protocol == Protocol::Fbft {
+            "DiemBFT"
+        } else {
+            "Streamlet"
+        },
+        args.n,
+        args.epochs,
+        if protocol == Protocol::Fbft {
+            "rounds"
+        } else {
+            "epochs"
+        },
+        args.batch_size,
+    );
+
+    let sim_report = config.clone().run();
+    validate(&sim_report, args.scenario)?;
+
+    let tcp_report =
+        run_over_tcp(&config, TcpPacing::default()).map_err(|e| format!("tcp mesh: {e}"))?;
+
+    if !tcp_report.agreement() || tcp_report.safety_violations > 0 {
+        return Err("tcp replicas disagree".to_string());
+    }
+    if tcp_report.max_committed() == 0 {
+        return Err("tcp run committed nothing".to_string());
+    }
+    tcp_report
+        .check_committed_prefix_of(&sim_report)
+        .map_err(|e| format!("tcp vs sim: {e}"))?;
+    println!(
+        "tcp: {} blocks / {} txns committed in {} wall ({} messages, {} bytes); \
+         sim reference: {} blocks — prefixes match on all {} replicas",
+        tcp_report.max_committed(),
+        tcp_report.txns_committed,
+        tcp_report.elapsed,
+        tcp_report.net.messages,
+        tcp_report.net.bytes,
+        sim_report.max_committed(),
+        args.n,
+    );
+    println!("OK: loopback TCP commits the sim run's prefix");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -450,7 +619,11 @@ fn main() -> ExitCode {
         if i > 0 {
             println!("\n{}\n", "=".repeat(64));
         }
-        if let Err(message) = run_protocol(&args, protocol) {
+        let outcome = match args.transport {
+            TransportKind::Sim => run_protocol(&args, protocol),
+            TransportKind::Tcp => run_tcp_protocol(&args, protocol),
+        };
+        if let Err(message) = outcome {
             eprintln!("FAIL ({}): {message}", protocol_name(protocol));
             return ExitCode::FAILURE;
         }

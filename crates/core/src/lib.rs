@@ -44,6 +44,7 @@
 pub mod block;
 pub mod config;
 pub mod endorse;
+pub mod engine;
 pub mod ledger;
 pub mod mempool;
 pub mod qc;
@@ -52,6 +53,7 @@ pub mod sync;
 pub use block::{Ancestors, Block, BlockStore, BlockStoreError};
 pub use config::ProtocolConfig;
 pub use endorse::{honest_endorse_info, EndorsementTracker};
+pub use engine::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route};
 pub use ledger::CommitLedger;
 pub use mempool::{Mempool, PayloadSource};
 pub use qc::{QuorumCertificate, VoteOutcome, VoteTracker};

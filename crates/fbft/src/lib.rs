@@ -42,11 +42,13 @@
 
 #![deny(missing_docs)]
 
+pub mod engine;
 pub mod message;
 pub mod pacemaker;
 pub mod replica;
 pub mod two_chain;
 
+pub use engine::FbftEngine;
 pub use message::{FbftMessage, FbftProposal};
 pub use pacemaker::{Pacemaker, RoundEntry};
 pub use replica::{FbftReplica, StepOutcome};

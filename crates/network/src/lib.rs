@@ -1,8 +1,13 @@
 //! # sft-network
 //!
-//! In-process message transport for the deterministic simulator: a
-//! [`SimNetwork`] that queues encoded messages with an injected one-way
-//! delay δ and delivers them in a platform-independent order.
+//! The transport layer of the SFT stack: the [`Transport`] trait every
+//! run harness drives, its two implementations — the deterministic
+//! in-process [`SimNetwork`] (via [`SimTransport`]) and the real-socket
+//! [`TcpCluster`] — and the shared wire [`Envelope`] both speak.
+//!
+//! The deterministic half: a [`SimNetwork`] queues encoded messages with
+//! an injected one-way delay δ and delivers them in a platform-independent
+//! order.
 //!
 //! The paper's evaluation (§4) runs replicas with *injected* inter-region
 //! latencies (δ = 100 ms / 200 ms) rather than bandwidth-limited links, so
@@ -43,12 +48,59 @@
 
 #![deny(missing_docs)]
 
+pub mod tcp;
+
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::Arc;
 
 use sft_crypto::rng::{RngCore, SplitMix64};
 use sft_types::{ReplicaId, SimDuration, SimTime};
+
+pub use sft_types::{Dest, Envelope, ProtocolTag};
+pub use tcp::TcpCluster;
+
+/// A network as a run harness sees it: sends tagged by source replica, a
+/// poll that waits for (or, in simulation, advances virtual time to)
+/// deliveries, and a time source. [`SimTransport`] implements it over the
+/// deterministic [`SimNetwork`]; [`TcpCluster`] implements it over real
+/// loopback sockets — the same generic run loop drives either.
+pub trait Transport {
+    /// Number of replicas this transport connects.
+    fn replica_count(&self) -> usize;
+
+    /// Sends `payload` point-to-point from `from` to `to`.
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, payload: Arc<[u8]>);
+
+    /// Sends `payload` from `from` to every other replica. The buffer is
+    /// encoded once and shared; byte accounting still charges every
+    /// recipient.
+    fn broadcast(&mut self, from: ReplicaId, payload: Arc<[u8]>);
+
+    /// Waits until at least one delivery is available or `deadline` is
+    /// reached, and returns everything deliverable at that point. The
+    /// simulator *advances virtual time* (never past `deadline`); a socket
+    /// transport blocks on its inbound queue. May return early with
+    /// deliveries that arrived before `deadline`; returns empty once
+    /// `deadline` has passed with nothing pending.
+    fn poll_deliver(&mut self, deadline: SimTime) -> Vec<Delivery>;
+
+    /// The transport's current time: virtual for the simulator, wall-clock
+    /// microseconds since construction for sockets.
+    fn now(&self) -> SimTime;
+
+    /// The earliest instant an in-flight message becomes deliverable, if
+    /// the transport can know it (the simulator can; sockets cannot and
+    /// return `None`).
+    fn next_deliver_at(&self) -> Option<SimTime>;
+
+    /// True when the transport knows of no undelivered traffic. Drain
+    /// loops use this to decide whether another poll is worth it.
+    fn is_idle(&self) -> bool;
+
+    /// Aggregate traffic counters since construction.
+    fn stats(&self) -> NetworkStats;
+}
 
 /// A network partition: the `isolated` replicas cannot exchange messages
 /// with the rest of the system until `heal_at`. Messages *within* either
@@ -161,29 +213,29 @@ impl FaultState {
     }
 }
 
-/// One queued or delivered message.
+/// One queued or delivered message, as a harness receives it.
 #[derive(Clone, PartialEq, Eq)]
-pub struct Envelope {
+pub struct Delivery {
     /// Sending replica.
     pub from: ReplicaId,
     /// Receiving replica.
     pub to: ReplicaId,
     /// Encoded message bytes. Shared, not owned: a broadcast encodes its
-    /// message once and every recipient's envelope points at the same
+    /// message once and every recipient's delivery points at the same
     /// buffer, so fan-out costs reference counts instead of `n − 1` copies
     /// (byte *accounting* still charges every recipient).
     pub payload: Arc<[u8]>,
-    /// Instant the message becomes deliverable.
+    /// Instant the message became deliverable.
     pub deliver_at: SimTime,
-    /// Send-order sequence number (the delivery tiebreaker).
+    /// Arrival-order sequence number (the delivery tiebreaker).
     pub seq: u64,
 }
 
-impl fmt::Debug for Envelope {
+impl fmt::Debug for Delivery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "Envelope(#{} {} -> {} {}B @ {})",
+            "Delivery(#{} {} -> {} {}B @ {})",
             self.seq,
             self.from,
             self.to,
@@ -215,7 +267,7 @@ pub struct SimNetwork {
     /// Pending envelopes ordered by `(deliver_at, seq)`. Sends enqueue at
     /// `now + delay` and `now` never decreases, so pushing to the back and
     /// popping from the front maintains the order with no re-sorting.
-    queue: VecDeque<Envelope>,
+    queue: VecDeque<Delivery>,
     next_seq: u64,
     stats: NetworkStats,
     faults: Option<FaultState>,
@@ -263,7 +315,7 @@ impl SimNetwork {
             self.stats.dropped += 1;
             return;
         }
-        let envelope = Envelope {
+        let envelope = Delivery {
             from,
             to,
             payload,
@@ -295,7 +347,7 @@ impl SimNetwork {
     /// # Panics
     ///
     /// Panics if `until` is before the current time (time is monotonic).
-    pub fn deliver_due(&mut self, until: SimTime) -> Vec<Envelope> {
+    pub fn deliver_due(&mut self, until: SimTime) -> Vec<Delivery> {
         assert!(
             until >= self.now,
             "time moved backwards: {until} < {}",
@@ -324,6 +376,63 @@ impl SimNetwork {
     /// Traffic counters since construction.
     pub fn stats(&self) -> NetworkStats {
         self.stats
+    }
+}
+
+/// The deterministic simulator as a [`Transport`]: a [`SimNetwork`] plus
+/// the replica count broadcasts fan out to. Polling *advances virtual
+/// time* — the network's clock is the run's clock — so a generic engine
+/// loop driving this transport reproduces the old lock-step/event-loop
+/// drivers byte for byte.
+#[derive(Clone, Debug)]
+pub struct SimTransport {
+    net: SimNetwork,
+    n: usize,
+}
+
+impl SimTransport {
+    /// Wraps `net` as the transport of an `n`-replica system.
+    pub fn new(net: SimNetwork, n: usize) -> Self {
+        Self { net, n }
+    }
+
+    /// The underlying deterministic network.
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+}
+
+impl Transport for SimTransport {
+    fn replica_count(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, payload: Arc<[u8]>) {
+        self.net.send(from, to, payload);
+    }
+
+    fn broadcast(&mut self, from: ReplicaId, payload: Arc<[u8]>) {
+        self.net.broadcast(from, self.n, payload);
+    }
+
+    fn poll_deliver(&mut self, deadline: SimTime) -> Vec<Delivery> {
+        self.net.deliver_due(deadline)
+    }
+
+    fn now(&self) -> SimTime {
+        self.net.now()
+    }
+
+    fn next_deliver_at(&self) -> Option<SimTime> {
+        self.net.next_deliver_at()
+    }
+
+    fn is_idle(&self) -> bool {
+        self.net.pending() == 0
+    }
+
+    fn stats(&self) -> NetworkStats {
+        self.net.stats()
     }
 }
 
@@ -466,6 +575,60 @@ mod tests {
             net.send(r(0), r(1), vec![i as u8]);
         }
         assert_eq!(net.stats().dropped, dropped_before, "no loss after GST");
+    }
+
+    #[test]
+    fn partition_healing_exactly_at_gst_restores_both_layers_at_once() {
+        // Heal time and GST at the same instant: a message sent one tick
+        // before is exposed to both the cut and the loss stream; a message
+        // sent exactly at the boundary is exposed to neither.
+        let boundary = SimTime::from_millis(300);
+        let mut net = SimNetwork::new(SimDuration::from_millis(1)).with_faults(
+            FaultSchedule::lossy(1, 1.0, boundary).with_partition(vec![r(3)], boundary),
+        );
+        net.deliver_due(SimTime::from_millis(299));
+        net.send(r(0), r(3), vec![1]); // severed AND unlucky: one drop
+        assert_eq!(net.stats().dropped, 1);
+        net.deliver_due(boundary);
+        net.send(r(0), r(3), vec![2]); // at the boundary: delivered
+        net.send(r(3), r(0), vec![3]);
+        assert_eq!(net.stats().dropped, 1, "no loss at or after the boundary");
+        assert_eq!(net.pending(), 2);
+    }
+
+    #[test]
+    fn partition_heal_time_equal_to_now_does_not_sever() {
+        // `severs` is strict (`now < heal_at`): a partition whose heal time
+        // has just arrived drops nothing, even though it is still present
+        // in the schedule.
+        let heal = SimTime::from_millis(100);
+        let mut net = SimNetwork::new(SimDuration::from_millis(1))
+            .with_faults(FaultSchedule::partition(vec![r(1)], heal));
+        net.deliver_due(heal);
+        net.send(r(0), r(1), vec![9]);
+        assert_eq!(net.stats().dropped, 0);
+        assert_eq!(net.pending(), 1);
+    }
+
+    #[test]
+    fn broadcast_fanout_counts_every_dropped_recipient() {
+        // A broadcast is n − 1 sends, and the drop accounting charges each
+        // severed recipient individually — the same per-recipient
+        // accounting the TCP transport (which never drops) reports as
+        // zero, so `dropped` means the same thing on both transports.
+        let heal = SimTime::from_millis(500);
+        let mut net = SimNetwork::new(SimDuration::from_millis(1))
+            .with_faults(FaultSchedule::partition(vec![r(0)], heal));
+        net.broadcast(r(0), 5, vec![7; 3]);
+        assert_eq!(net.stats().messages, 4, "wire cost for all n - 1 sends");
+        assert_eq!(net.stats().dropped, 4, "every cross-cut recipient counted");
+        net.broadcast(r(1), 5, vec![7; 3]);
+        assert_eq!(
+            net.stats().dropped,
+            5,
+            "only the severed recipient of the second broadcast drops"
+        );
+        assert_eq!(net.pending(), 3);
     }
 
     #[test]

@@ -1,64 +1,147 @@
-//! The event-driven SFT-DiemBFT driver.
+//! The SFT-DiemBFT simulation driver: builds [`FbftEngine`]s over a
+//! [`SimTransport`] and hands them to the generic
+//! [`EngineRunner`].
 //!
-//! Unlike Streamlet's externally clocked epochs, SFT-DiemBFT rounds are
-//! paced by the replicas themselves: a round ends when its QC forms or its
-//! timeout certificate closes it. The driver therefore runs a discrete
-//! event loop over two event sources — network deliveries and pacemaker
-//! deadlines — advancing virtual time to the earliest pending event,
-//! draining every consequence at that instant (self-delivered messages are
-//! free, like a replica hearing itself), and repeating until every honest
-//! replica has moved past the target round.
-//!
-//! Proposals are *pipelined*: the replica that forms a certificate (QC via
-//! [`FbftReplica::on_vote`], TC via [`FbftReplica::on_timeout_msg`], or a
-//! straggler catching up in [`FbftReplica::on_proposal`]) returns the
-//! chained next-round proposal in the same [`StepOutcome`], with the fresh
-//! certificate riding it. The driver only dispatches what the replicas
-//! chain — there is no per-instant propose poll — and each broadcast
-//! message is encoded once, all recipients sharing the buffer.
+//! SFT-DiemBFT rounds are paced by the replicas themselves — a round ends
+//! when its QC forms or its timeout certificate closes it — so the run
+//! plan is [`RunPlan::PastRound`]: events flow until every honest replica
+//! has moved past the target round and finished block-syncing (or the
+//! horizon guard trips). Proposals stay *pipelined*: the replica that
+//! forms a certificate chains the next-round proposal in the same step,
+//! and the runner only dispatches what the engines chain. What used to be
+//! this driver's hand-rolled event loop, dispatch, and report plumbing now
+//! lives in the shared runner; only construction and the DiemBFT-specific
+//! Byzantine payloads ([`FbftMischief`]) remain.
 
-use std::collections::{HashSet, VecDeque};
-use std::sync::Arc;
+use sft_core::{Block, ProtocolConfig, ReplicaEngine};
+use sft_crypto::{HashValue, KeyRegistry};
+use sft_fbft::{FbftEngine, FbftMessage, FbftProposal, FbftReplica};
+use sft_network::{SimNetwork, SimTransport};
+use sft_types::{Decode, Encode, EndorseInfo, Payload, Round, SimTime, StrongVote};
 
-use sft_core::{Block, ProtocolConfig};
-use sft_crypto::{HashValue, KeyPair, KeyRegistry};
-use sft_fbft::{FbftMessage, FbftProposal, FbftReplica, StepOutcome};
-use sft_network::SimNetwork;
-use sft_types::{
-    Decode, Encode, EndorseInfo, Payload, ReplicaId, Round, SimTime, StrongCommitUpdate, StrongVote,
-};
-
+use crate::runner::{EngineRunner, Mischief, RunPlan, RunnerConfig};
 use crate::{Behavior, SimConfig, SimReport};
 
-struct Node {
-    behavior: Behavior,
-    replica: FbftReplica,
-    key_pair: KeyPair,
-    /// Blocks this (Byzantine) node already forged a vote for.
-    forged_votes: HashSet<HashValue>,
+/// SFT-DiemBFT's protocol-specific Byzantine payloads: conflicting twin
+/// proposals (sharing the honest proposal's QC/TC justification) and
+/// forged zero-marker votes.
+pub struct FbftMischief {
+    registry: KeyRegistry,
+    /// Blocks each (Byzantine) node already forged a vote for.
+    forged: Vec<std::collections::HashSet<HashValue>>,
 }
 
-/// Messages pending immediate (same-instant) delivery: a replica's own
-/// broadcasts loop back to it without paying the network delay.
-type Inbox = VecDeque<(ReplicaId, FbftMessage)>;
+impl FbftMischief {
+    fn new(n: usize) -> Self {
+        Self {
+            registry: KeyRegistry::deterministic(n),
+            forged: vec![Default::default(); n],
+        }
+    }
+}
+
+impl Mischief<FbftEngine> for FbftMischief {
+    fn twin(
+        &mut self,
+        node: usize,
+        engine: &FbftEngine,
+        proposal_bytes: &[u8],
+    ) -> Option<(Vec<u8>, Vec<u8>)> {
+        let Ok(FbftMessage::Proposal(honest)) = FbftMessage::from_bytes(proposal_bytes) else {
+            return None;
+        };
+        let parent = engine.store().get(honest.block().parent_id())?.clone();
+        let round = honest.block().round();
+        let conflicting_payload = Payload::synthetic(1, 1, u64::MAX - round.as_u64());
+        let twin_block = Block::new(&parent, round, engine.id(), conflicting_payload);
+        let key_pair = self.registry.key_pair(node as u64).expect("key for node");
+        let twin = FbftProposal::new(
+            twin_block,
+            honest.qc().clone(),
+            honest.tc().cloned(),
+            &key_pair,
+        );
+        Some((
+            proposal_bytes.to_vec(),
+            FbftMessage::Proposal(twin).to_bytes(),
+        ))
+    }
+
+    fn forge_vote(
+        &mut self,
+        node: usize,
+        _engine: &FbftEngine,
+        incoming: &[u8],
+    ) -> Option<Vec<u8>> {
+        let Ok(FbftMessage::Proposal(proposal)) = FbftMessage::from_bytes(incoming) else {
+            return None;
+        };
+        if !self.forged[node].insert(proposal.block().id()) {
+            return None;
+        }
+        let key_pair = self.registry.key_pair(node as u64).expect("key for node");
+        let vote = StrongVote::new(
+            proposal.block().vote_data(),
+            EndorseInfo::Marker(Round::ZERO),
+            &key_pair,
+        );
+        Some(FbftMessage::Vote(vote).to_bytes())
+    }
+}
+
+/// Builds the SFT-DiemBFT engine set for `config`: one [`FbftEngine`] per
+/// replica with the configured payload source and the deterministic client
+/// workload pre-fed (the paper's "sufficiently many transactions"
+/// assumption, §4). Stalling leaders get no payload source, which disables
+/// their chaining path while every other part of the protocol runs
+/// normally.
+///
+/// Public so non-sim transports (the TCP repro path) can run the exact
+/// same replica set over real sockets; they pass their own `base_timeout`
+/// (wall-clock there, virtual here).
+pub fn build_fbft_engines(
+    config: &SimConfig,
+    base_timeout: sft_types::SimDuration,
+) -> Vec<FbftEngine> {
+    let protocol = ProtocolConfig::for_replicas(config.n);
+    let registry = KeyRegistry::deterministic(config.n);
+    let source = config.payload_source();
+    let workload = config.client_workload();
+    (0..config.n as u16)
+        .map(|id| {
+            let behavior = config.behaviors[id as usize];
+            let mut replica = FbftReplica::new(
+                id,
+                protocol,
+                registry.clone(),
+                config.endorse_mode,
+                base_timeout,
+                SimTime::ZERO,
+            );
+            if behavior != Behavior::StallLeader {
+                replica = replica.with_payload_source(source);
+            }
+            for txn in &workload {
+                replica.submit_transaction(txn.clone());
+            }
+            FbftEngine::new(replica)
+        })
+        .collect()
+}
+
+type Runner = EngineRunner<FbftEngine, SimTransport, FbftMischief>;
 
 /// The SFT-DiemBFT simulator. Most callers use
 /// [`SimConfig::run`](crate::SimConfig::run) with
 /// [`Protocol::Fbft`](crate::Protocol::Fbft); the struct is public so
 /// benchmarks can construct and run it directly.
 pub struct FbftSimulation {
-    config: SimConfig,
+    runner: Runner,
     protocol: ProtocolConfig,
-    nodes: Vec<Node>,
-    net: SimNetwork,
-    timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
 }
 
 impl FbftSimulation {
-    /// Builds replicas, keys, and the network for `config`. In batched mode
-    /// every replica's mempool is pre-fed the same deterministic client
-    /// transaction stream (the paper's "sufficiently many transactions"
-    /// assumption, §4).
+    /// Builds replicas, keys, and the network for `config`.
     ///
     /// # Panics
     ///
@@ -66,48 +149,26 @@ impl FbftSimulation {
     pub fn new(config: SimConfig) -> Self {
         assert_eq!(config.behaviors.len(), config.n, "one behavior per replica");
         let protocol = ProtocolConfig::for_replicas(config.n);
-        let registry = KeyRegistry::deterministic(config.n);
-        let source = config.payload_source();
-        let workload = config.client_workload();
-        let nodes = (0..config.n as u16)
-            .map(|id| {
-                let behavior = config.behaviors[id as usize];
-                let mut replica = FbftReplica::new(
-                    id,
-                    protocol,
-                    registry.clone(),
-                    config.endorse_mode,
-                    config.base_timeout,
-                    SimTime::ZERO,
-                );
-                // A stalling leader's whole deviation is "never propose":
-                // leaving it source-less disables its chaining path while
-                // every other part of the protocol runs normally.
-                if behavior != Behavior::StallLeader {
-                    replica = replica.with_payload_source(source);
-                }
-                for txn in &workload {
-                    replica.submit_transaction(txn.clone());
-                }
-                Node {
-                    behavior,
-                    replica,
-                    key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
-                    forged_votes: HashSet::new(),
-                }
-            })
-            .collect();
+        let engines = build_fbft_engines(&config, config.base_timeout);
+        let mischief = FbftMischief::new(config.n);
         let mut net = SimNetwork::new(config.delay);
         if let Some(faults) = &config.faults {
             net = net.with_faults(faults.clone());
         }
-        Self {
-            net,
-            timelines: vec![Vec::new(); config.n],
-            config,
-            protocol,
-            nodes,
-        }
+        let transport = SimTransport::new(net, config.n);
+        let runner = EngineRunner::new(
+            engines,
+            config.behaviors.clone(),
+            transport,
+            mischief,
+            RunnerConfig {
+                plan: RunPlan::PastRound(Round::new(config.epochs)),
+                horizon: SimTime::ZERO + config.run_horizon,
+                drain_bound: config.drain_sync_bound,
+                drain_step: config.delay,
+            },
+        );
+        Self { runner, protocol }
     }
 
     /// The protocol configuration derived from `n`.
@@ -117,313 +178,18 @@ impl FbftSimulation {
 
     /// Immutable access to replica `id`, for tests and benches.
     pub fn replica(&self, id: u16) -> &FbftReplica {
-        &self.nodes[id as usize].replica
+        self.runner.engine(id as usize).replica()
     }
 
-    /// Runs until every honest replica passes round `config.epochs` *and*
-    /// no honest replica is still block-syncing (or no event can ever fire
-    /// again, or the time horizon trips) and reports. The sync condition
-    /// is what lets a partitioned replica finish catching up: the majority
-    /// keeps pipelining rounds, so events keep flowing until the straggler
-    /// has fetched the chain and joined them past the target.
-    pub fn run(mut self) -> SimReport {
-        let target = Round::new(self.config.epochs);
-        // Purely a runaway guard (Byzantine scenarios under heavy loss
-        // could otherwise sync forever against the endless pipelined
-        // event stream): generous enough that no legitimate schedule —
-        // back-off rounds included — comes near it.
-        let horizon = SimTime::ZERO + self.config.base_timeout * (64 * (self.config.epochs + 8));
-        self.step_instant(SimTime::ZERO, true);
-        while self.honest_min_round() <= target || self.honest_sync_active() {
-            let Some(next) = self.next_event_time() else {
-                break;
-            };
-            if next > horizon {
-                break;
-            }
-            self.step_instant(next, false);
-        }
-        self.report()
-    }
-
-    /// True while some honest replica still has missing blocks, in-flight
-    /// fetches, or pooled orphans.
-    fn honest_sync_active(&self) -> bool {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.behavior, Behavior::Honest | Behavior::StallLeader))
-            .any(|n| n.replica.is_syncing())
-    }
-
-    /// The smallest current round among honest replicas (the run's
-    /// progress measure). Falls back to the global maximum if the
-    /// configuration has no fully honest replica.
-    fn honest_min_round(&self) -> Round {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.behavior, Behavior::Honest | Behavior::StallLeader))
-            .map(|n| n.replica.current_round())
-            .min()
-            .unwrap_or_else(|| {
-                self.nodes
-                    .iter()
-                    .map(|n| n.replica.current_round())
-                    .max()
-                    .expect("at least one replica")
-            })
-    }
-
-    /// The earliest pending event: a network delivery or a live pacemaker
-    /// deadline. `None` when nothing can ever happen again.
-    fn next_event_time(&self) -> Option<SimTime> {
-        let delivery = self.net.next_deliver_at();
-        let deadline = self
-            .nodes
-            .iter()
-            .filter(|n| n.behavior != Behavior::Silent)
-            .map(|n| n.replica.next_deadline())
-            .min();
-        match (delivery, deadline) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
-    }
-
-    /// Processes everything that happens at instant `now`: due deliveries,
-    /// due timeouts, and every proposal the replicas chain off them —
-    /// iterating until the instant produces nothing further
-    /// (self-deliveries cascade within it). `bootstrap` additionally lets
-    /// the round-1 leader open the very first round (the only proposal no
-    /// event precedes).
-    fn step_instant(&mut self, now: SimTime, bootstrap: bool) {
-        let mut inbox: Inbox = self
-            .net
-            .deliver_due(now)
-            .into_iter()
-            .map(|e| {
-                let msg = FbftMessage::from_bytes(&e.payload).expect("well-formed wire message");
-                (e.to, msg)
-            })
-            .collect();
-        if bootstrap {
-            for i in 0..self.config.n {
-                if let Some(proposal) = self.nodes[i].replica.try_propose_chained() {
-                    self.dispatch_proposal(i, proposal, &mut inbox);
-                }
-            }
-        }
-        loop {
-            while let Some((to, msg)) = inbox.pop_front() {
-                self.handle(to, msg, now, &mut inbox);
-            }
-            if !self.fire_due_timeouts(now, &mut inbox) && inbox.is_empty() {
-                break;
-            }
-        }
-    }
-
-    /// Broadcasts `msg` from `from` over the network — encoding it exactly
-    /// once; recipients share the buffer — and loops it back to the sender
-    /// immediately.
-    fn broadcast(&mut self, from: ReplicaId, msg: FbftMessage, inbox: &mut Inbox) {
-        self.net.broadcast(from, self.config.n, msg.to_bytes());
-        inbox.push_back((from, msg));
-    }
-
-    /// Fires the round timer of every live node whose deadline has passed.
-    fn fire_due_timeouts(&mut self, now: SimTime, inbox: &mut Inbox) -> bool {
-        let mut fired = false;
-        for i in 0..self.config.n {
-            if self.nodes[i].behavior == Behavior::Silent {
-                continue;
-            }
-            if let Some(msg) = self.nodes[i].replica.on_tick(now) {
-                fired = true;
-                let from = self.nodes[i].replica.id();
-                self.broadcast(from, FbftMessage::Timeout(msg), inbox);
-            }
-        }
-        fired
-    }
-
-    /// Sends a proposal chained by node `i` according to its behavior:
-    /// honest-ish nodes broadcast it, an equivocator twins it. (Silent
-    /// nodes never chain — they process no events — and stalling leaders
-    /// have no payload source, so they never produce one.)
-    fn dispatch_proposal(&mut self, i: usize, proposal: FbftProposal, inbox: &mut Inbox) {
-        match self.nodes[i].behavior {
-            Behavior::Silent | Behavior::StallLeader => {}
-            Behavior::Honest | Behavior::WithholdVote => {
-                let from = proposal.block().proposer();
-                self.broadcast(from, FbftMessage::Proposal(proposal), inbox);
-            }
-            Behavior::Equivocate => self.send_equivocating_pair(i, proposal, inbox),
-        }
-    }
-
-    /// Split-brain delivery of an equivocating leader's twin proposals:
-    /// low ids see A, high ids see B, and the equivocator itself sees both
-    /// (so it casts the conflicting votes honest trackers will flag). Each
-    /// twin is encoded once; its recipients share the buffer.
-    fn send_equivocating_pair(&mut self, i: usize, honest: FbftProposal, inbox: &mut Inbox) {
-        let n = self.config.n;
-        let node = &self.nodes[i];
-        let parent = node
-            .replica
-            .store()
-            .get(honest.block().parent_id())
-            .expect("parent of own proposal")
-            .clone();
-        let round = honest.block().round();
-        let conflicting_payload = Payload::synthetic(1, 1, u64::MAX - round.as_u64());
-        let twin_block = Block::new(&parent, round, node.replica.id(), conflicting_payload);
-        let twin = FbftProposal::new(
-            twin_block,
-            honest.qc().clone(),
-            honest.tc().cloned(),
-            &node.key_pair,
-        );
-        let from = node.replica.id();
-        let halves = [FbftMessage::Proposal(honest), FbftMessage::Proposal(twin)];
-        let bytes: [Arc<[u8]>; 2] = [halves[0].to_bytes().into(), halves[1].to_bytes().into()];
-        for to in 0..n as u16 {
-            let target = ReplicaId::new(to);
-            let half = usize::from(to as usize >= n / 2);
-            if target == from {
-                inbox.push_back((target, halves[half].clone()));
-            } else {
-                self.net.send(from, target, Arc::clone(&bytes[half]));
-            }
-        }
-        // The equivocator also sees the twin its own half did NOT receive.
-        let other = usize::from(from.as_usize() < n / 2);
-        inbox.push_back((from, halves[other].clone()));
-    }
-
-    /// Records `out`'s commit-log entries on node `i`'s timeline,
-    /// dispatches any proposal it chained, and sends its block-sync
-    /// requests point-to-point over the network.
-    fn absorb_outcome(&mut self, i: usize, out: StepOutcome, now: SimTime, inbox: &mut Inbox) {
-        self.timelines[i].extend(out.updates.into_iter().map(|u| (now, u)));
-        let from = self.nodes[i].replica.id();
-        for (peer, request) in out.sync_requests {
-            self.net
-                .send(from, peer, FbftMessage::SyncRequest(request).to_bytes());
-        }
-        if let Some(proposal) = out.next_proposal {
-            self.dispatch_proposal(i, proposal, inbox);
-        }
-    }
-
-    /// Processes one delivered message for node `to` according to its
-    /// behavior.
-    fn handle(&mut self, to: ReplicaId, msg: FbftMessage, now: SimTime, inbox: &mut Inbox) {
-        let i = to.as_usize();
-        if self.nodes[i].behavior == Behavior::Silent {
-            return;
-        }
-        match msg {
-            FbftMessage::Proposal(proposal) => {
-                let mut out = self.nodes[i].replica.on_proposal(&proposal, now);
-                let vote = out.vote.take();
-                match self.nodes[i].behavior {
-                    Behavior::Silent => unreachable!("filtered above"),
-                    Behavior::Honest | Behavior::StallLeader => {
-                        if let Some(vote) = vote {
-                            self.broadcast(to, FbftMessage::Vote(vote), inbox);
-                        }
-                    }
-                    // Never votes; the proposal (and its certificates) was
-                    // still absorbed above.
-                    Behavior::WithholdVote => {}
-                    Behavior::Equivocate => {
-                        // Vote for everything, once per block, with a forged
-                        // clean-history marker; the honest vote is discarded.
-                        let block_id = proposal.block().id();
-                        if self.nodes[i].forged_votes.insert(block_id) {
-                            let forged = StrongVote::new(
-                                proposal.block().vote_data(),
-                                EndorseInfo::Marker(Round::ZERO),
-                                &self.nodes[i].key_pair,
-                            );
-                            self.broadcast(to, FbftMessage::Vote(forged), inbox);
-                        }
-                    }
-                }
-                self.absorb_outcome(i, out, now, inbox);
-            }
-            FbftMessage::Vote(vote) => {
-                let out = self.nodes[i].replica.on_vote(&vote, now);
-                self.absorb_outcome(i, out, now, inbox);
-            }
-            FbftMessage::Timeout(timeout) => {
-                let out = self.nodes[i].replica.on_timeout_msg(&timeout, now);
-                self.absorb_outcome(i, out, now, inbox);
-            }
-            FbftMessage::SyncRequest(request) => {
-                // Serving is read-only and deviation-free for every live
-                // behavior; a forged response could not be admitted anyway
-                // (the requester verifies against the certificate chain).
-                if let Some(response) = self.nodes[i].replica.on_sync_request(&request) {
-                    self.net.send(
-                        to,
-                        request.requester(),
-                        FbftMessage::SyncResponse(response).to_bytes(),
-                    );
-                }
-            }
-            FbftMessage::SyncResponse(response) => {
-                let out = self.nodes[i].replica.on_sync_response(&response, now);
-                self.absorb_outcome(i, out, now, inbox);
-            }
-        }
+    /// Runs until every honest replica passes the target round *and* no
+    /// honest replica is still block-syncing (or no event can ever fire
+    /// again, or the time horizon trips) and reports.
+    pub fn run(self) -> SimReport {
+        self.runner.run()
     }
 
     /// Snapshot of the current run state as a report.
     pub fn report(&self) -> SimReport {
-        let chains: Vec<Vec<HashValue>> = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.committed_chain().to_vec())
-            .collect();
-        let commit_logs = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.commit_log().to_vec())
-            .collect();
-        let safety_violations = self
-            .nodes
-            .iter()
-            .filter(|node| node.replica.safety_violated())
-            .count();
-        let equivocators_detected = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.observed_equivocators().len())
-            .max()
-            .unwrap_or(0);
-        let txns_committed = crate::max_committed_txns(
-            self.nodes
-                .iter()
-                .map(|node| (node.replica.committed_chain(), node.replica.store())),
-        );
-        let (sync_requests, sync_blocks_fetched, recovered_replicas) = crate::sync_report_fields(
-            self.nodes
-                .iter()
-                .map(|node| (node.replica.sync_stats(), node.replica.committed_chain())),
-        );
-        SimReport {
-            chains,
-            commit_logs,
-            timelines: self.timelines.clone(),
-            net: self.net.stats(),
-            txns_committed,
-            elapsed: self.net.now(),
-            safety_violations,
-            equivocators_detected,
-            sync_requests,
-            sync_blocks_fetched,
-            recovered_replicas,
-        }
+        self.runner.report()
     }
 }

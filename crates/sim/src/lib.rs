@@ -1,22 +1,29 @@
 //! # sft-sim
 //!
-//! A deterministic, in-process simulator for the SFT protocol family: `n`
-//! replicas run a full protocol over the [`sft_network::SimNetwork`]
-//! transport with pluggable Byzantine behaviors per replica. There is no
-//! real networking and no wall-clock anywhere, so every run with the same
-//! [`SimConfig`] produces byte-identical results on every platform — which
-//! is what makes protocol bugs reproducible and the paper's delay-sweep
-//! experiments (§4) scriptable.
+//! The run harness for the SFT protocol family: one generic
+//! [`run_engine`] loop ([`EngineRunner`]) drives any
+//! [`ReplicaEngine`](sft_core::ReplicaEngine) set over any
+//! [`Transport`] — the deterministic in-process [`SimTransport`] or the
+//! real-socket [`TcpCluster`] — with pluggable Byzantine behaviors per
+//! replica.
+//!
+//! Under [`SimTransport`] there is no real networking and no wall-clock
+//! anywhere, so every run with the same [`SimConfig`] produces
+//! byte-identical results on every platform — which is what makes
+//! protocol bugs reproducible and the paper's delay-sweep experiments
+//! (§4) scriptable. The same engines over [`TcpCluster`] commit the same
+//! chain (content is deterministic; only timing is not), which
+//! `repro --transport tcp` asserts.
 //!
 //! Two protocols share the harness ([`Protocol`]):
 //!
-//! - [`Protocol::Streamlet`] — the Appendix-D variant, driven in lock-step
-//!   epochs of two message delays (propose → vote) by
-//!   [`Simulation`];
-//! - [`Protocol::Fbft`] — the main-body SFT-DiemBFT protocol, driven
-//!   event-by-event (deliveries and pacemaker deadlines) by
-//!   [`FbftSimulation`], so the timeout/TC recovery path runs exactly as
-//!   the pacemaker schedules it.
+//! - [`Protocol::Streamlet`] — the Appendix-D variant: epochs of two
+//!   message delays, clocked by the engine's own epoch schedule
+//!   ([`RunPlan::UntilQuiescent`]), built by [`Simulation`];
+//! - [`Protocol::Fbft`] — the main-body SFT-DiemBFT protocol: self-paced
+//!   by deliveries and pacemaker deadlines ([`RunPlan::PastRound`]), so
+//!   the timeout/TC recovery path runs exactly as the pacemaker schedules
+//!   it, built by [`FbftSimulation`].
 //!
 //! ## Fault injection
 //!
@@ -51,18 +58,21 @@
 #![deny(missing_docs)]
 
 pub mod fbft_driver;
+pub mod runner;
 pub mod streamlet_driver;
 
 use sft_core::{BlockStore, PayloadSource, SyncStats};
 use sft_crypto::HashValue;
-use sft_network::NetworkStats;
+use sft_network::{NetworkStats, ProtocolTag};
 use sft_types::{
-    BatchConfig, EndorseMode, ReplicaId, SimDuration, SimTime, StrongCommitUpdate, Transaction,
+    BatchConfig, EndorseMode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate,
+    Transaction,
 };
 
-pub use fbft_driver::FbftSimulation;
-pub use sft_network::{FaultSchedule, Partition};
-pub use streamlet_driver::Simulation;
+pub use fbft_driver::{build_fbft_engines, FbftMischief, FbftSimulation};
+pub use runner::{run_engine, EngineRunner, Mischief, NoMischief, RunPlan, RunnerConfig};
+pub use sft_network::{FaultSchedule, Partition, SimTransport, TcpCluster, Transport};
+pub use streamlet_driver::{build_streamlet_engines, Simulation, StreamletMischief};
 
 /// The throughput numerator both drivers report: the transaction count of
 /// the longest committed chain across replicas, each chain's blocks
@@ -147,6 +157,34 @@ pub struct SimConfig {
     /// loss before GST, optional partition with a heal time). `None` keeps
     /// the lossless synchronous transport.
     pub faults: Option<FaultSchedule>,
+    /// Maximum post-schedule drain iterations: after the last epoch (or
+    /// past the target round), the runner keeps virtual time moving in δ
+    /// steps — so in-flight messages settle and block-sync retry timers
+    /// still fire — for at most this many steps. Defaults to
+    /// `4 × epochs + 32`, the bound the drivers used to hard-code.
+    pub drain_sync_bound: u64,
+    /// Hard virtual-time ceiling on a run: a runaway guard for Byzantine
+    /// scenarios under heavy loss that could otherwise sync forever
+    /// against the endless pipelined event stream. Defaults to
+    /// `base_timeout × 64 × (epochs + 8)`, the guard the fbft run loop
+    /// used to hard-code; it tracks later `with_delay` /
+    /// `with_base_timeout` calls unless explicitly overridden.
+    pub run_horizon: SimDuration,
+}
+
+/// The default post-schedule drain bound for a run of `epochs`.
+fn default_drain_bound(epochs: u64) -> u64 {
+    epochs.saturating_mul(4).saturating_add(32)
+}
+
+/// The default run horizon for `base_timeout` and `epochs`.
+fn default_horizon(base_timeout: SimDuration, epochs: u64) -> SimDuration {
+    SimDuration::from_micros(
+        base_timeout
+            .as_micros()
+            .saturating_mul(64)
+            .saturating_mul(epochs.saturating_add(8)),
+    )
 }
 
 impl SimConfig {
@@ -154,6 +192,7 @@ impl SimConfig {
     /// shape (1000 × 450 B blocks) and δ = 100 ms.
     pub fn new(n: usize, epochs: u64) -> Self {
         let delay = SimDuration::from_millis(100);
+        let base_timeout = delay * 4;
         Self {
             n,
             epochs,
@@ -161,11 +200,13 @@ impl SimConfig {
             behaviors: vec![Behavior::Honest; n],
             endorse_mode: EndorseMode::Marker,
             delay,
-            base_timeout: delay * 4,
+            base_timeout,
             txns_per_block: 1000,
             txn_bytes: 450,
             batch_size: 0,
             faults: None,
+            drain_sync_bound: default_drain_bound(epochs),
+            run_horizon: default_horizon(base_timeout, epochs),
         }
     }
 
@@ -192,20 +233,42 @@ impl SimConfig {
     }
 
     /// Sets the one-way delay δ. The base round timeout follows to 4δ
-    /// unless it was explicitly overridden with
-    /// [`with_base_timeout`](Self::with_base_timeout) — builder order does
-    /// not matter.
+    /// (and the run horizon with it) unless they were explicitly
+    /// overridden — builder order does not matter.
     pub fn with_delay(mut self, delay: SimDuration) -> Self {
         if self.base_timeout == self.delay * 4 {
-            self.base_timeout = delay * 4;
+            self.set_base_timeout(delay * 4);
         }
         self.delay = delay;
         self
     }
 
-    /// Sets the SFT-DiemBFT base round timeout explicitly.
+    /// Sets the SFT-DiemBFT base round timeout explicitly. The run horizon
+    /// follows unless it was explicitly overridden.
     pub fn with_base_timeout(mut self, timeout: SimDuration) -> Self {
+        self.set_base_timeout(timeout);
+        self
+    }
+
+    /// Updates `base_timeout`, re-deriving the horizon default if the
+    /// caller never overrode it.
+    fn set_base_timeout(&mut self, timeout: SimDuration) {
+        if self.run_horizon == default_horizon(self.base_timeout, self.epochs) {
+            self.run_horizon = default_horizon(timeout, self.epochs);
+        }
         self.base_timeout = timeout;
+    }
+
+    /// Overrides the post-schedule drain bound (see
+    /// [`SimConfig::drain_sync_bound`]).
+    pub fn with_drain_sync_bound(mut self, bound: u64) -> Self {
+        self.drain_sync_bound = bound;
+        self
+    }
+
+    /// Overrides the run horizon (see [`SimConfig::run_horizon`]).
+    pub fn with_run_horizon(mut self, horizon: SimDuration) -> Self {
+        self.run_horizon = horizon;
         self
     }
 
@@ -296,6 +359,72 @@ impl SimConfig {
             Protocol::Fbft => FbftSimulation::new(self).run(),
         }
     }
+}
+
+/// Wall-clock pacing for a loopback TCP run of a [`SimConfig`] replica
+/// set. The defaults leave orders of magnitude of scheduler slack over
+/// loopback latency (tens of microseconds) while keeping runs short.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpPacing {
+    /// The pacing unit: Streamlet epochs span two of these, and the
+    /// post-run drain advances in steps of it.
+    pub delta: SimDuration,
+    /// SFT-DiemBFT base round timeout. Keep far above loopback round
+    /// latency so rounds close on QCs, never on spurious wall-clock TCs.
+    pub base_timeout: SimDuration,
+    /// Hard wall-clock ceiling on the run.
+    pub horizon: SimDuration,
+}
+
+impl Default for TcpPacing {
+    fn default() -> Self {
+        Self {
+            delta: SimDuration::from_millis(25),
+            base_timeout: SimDuration::from_secs(5),
+            horizon: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// Runs `config`'s replica set — the exact engines [`SimConfig::run`]
+/// would build — over a loopback TCP mesh instead of the simulator, under
+/// the generic [`run_engine`] loop. This is the transport-parity harness
+/// `repro --transport tcp` and the `tcp_parity` suite share: content
+/// determinism means the TCP run commits the sim run's chain (check with
+/// [`SimReport::check_committed_prefix_of`]); only its length can differ.
+///
+/// # Errors
+///
+/// Returns any socket error raised while building the mesh.
+pub fn run_over_tcp(config: &SimConfig, pacing: TcpPacing) -> std::io::Result<SimReport> {
+    let behaviors = config.behaviors.clone();
+    let horizon = SimTime::ZERO + pacing.horizon;
+    Ok(match config.protocol {
+        Protocol::Streamlet => run_engine(
+            build_streamlet_engines(config, pacing.delta * 2),
+            behaviors,
+            TcpCluster::loopback(config.n, ProtocolTag::Streamlet)?,
+            NoMischief,
+            RunnerConfig {
+                plan: RunPlan::UntilQuiescent,
+                horizon,
+                drain_bound: config.drain_sync_bound,
+                drain_step: pacing.delta,
+            },
+        ),
+        Protocol::Fbft => run_engine(
+            build_fbft_engines(config, pacing.base_timeout),
+            behaviors,
+            TcpCluster::loopback(config.n, ProtocolTag::Fbft)?,
+            NoMischief,
+            RunnerConfig {
+                plan: RunPlan::PastRound(Round::new(config.epochs)),
+                horizon,
+                drain_bound: config.drain_sync_bound,
+                drain_step: pacing.delta,
+            },
+        ),
+    })
 }
 
 /// Everything a finished run reports, protocol independent.
@@ -391,6 +520,38 @@ impl SimReport {
     /// the cross-protocol comparison charts.
     pub fn first_commit_at(&self, id: usize) -> Option<SimTime> {
         self.timelines.get(id)?.first().map(|(at, _)| *at)
+    }
+
+    /// Verifies that every committed chain in this report is a prefix of
+    /// the longest committed chain in `reference` — the transport-parity
+    /// acceptance criterion (same blocks, same order; only run length may
+    /// differ between transports). Returns a description of the first
+    /// divergence.
+    ///
+    /// # Errors
+    ///
+    /// Returns why the prefix property does not hold.
+    pub fn check_committed_prefix_of(&self, reference: &SimReport) -> Result<(), String> {
+        let reference_chain = reference
+            .chains
+            .iter()
+            .max_by_key(|c| c.len())
+            .ok_or_else(|| "reference report has no replicas".to_string())?;
+        for (id, chain) in self.chains.iter().enumerate() {
+            if chain.len() > reference_chain.len() {
+                return Err(format!(
+                    "replica {id} committed {} blocks vs the reference's {}",
+                    chain.len(),
+                    reference_chain.len()
+                ));
+            }
+            if chain[..] != reference_chain[..chain.len()] {
+                return Err(format!(
+                    "replica {id}'s committed chain diverges from the reference"
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Per-block strength levels never decrease in any replica's commit

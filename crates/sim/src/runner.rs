@@ -1,0 +1,465 @@
+//! The generic engine run loop: one discrete event loop that drives any
+//! [`ReplicaEngine`] over any [`Transport`].
+//!
+//! This is the layer cut that used to be duplicated across
+//! `streamlet_driver` and `fbft_driver`: decode-free dispatch (engines eat
+//! envelope bytes), same-instant cascades (a replica hears its own
+//! broadcasts without paying the network delay), deadline firing, the
+//! bounded post-run sync drain, Byzantine behavior filtering, and
+//! [`SimReport`] assembly all live here exactly once. The protocol crates
+//! contribute engines; the drivers contribute only construction and the
+//! protocol-specific Byzantine payloads ([`Mischief`]).
+//!
+//! ## Behaviors without protocol knowledge
+//!
+//! Outbound messages carry a [`MsgKind`] tag, so most of the fault model
+//! is pure routing policy:
+//!
+//! - [`Behavior::Silent`] — never delivered to, never ticked;
+//! - [`Behavior::WithholdVote`] — its `Vote`s are dropped at the source;
+//! - [`Behavior::StallLeader`] — its `Proposal`s are dropped (and the
+//!   drivers additionally give it no payload source, so it never builds
+//!   one);
+//! - [`Behavior::Equivocate`] — its honest `Vote`s are replaced by forged
+//!   ones and its `Proposal` broadcasts become split-brain twin pairs.
+//!
+//! Only the *contents* of the forged votes and twin proposals are
+//! protocol-specific; the [`Mischief`] hook supplies those.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use sft_core::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route};
+use sft_network::Transport;
+use sft_types::{ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
+
+use crate::{Behavior, SimReport};
+
+/// How a run decides it is finished.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunPlan {
+    /// Externally clocked protocols (Streamlet): run until the engines
+    /// schedule nothing further, then drain in-flight traffic and catch-up
+    /// fetches (bounded) until the transport is quiet and no live replica
+    /// is still syncing.
+    UntilQuiescent,
+    /// Self-pacing protocols (SFT-DiemBFT): run until every honest replica
+    /// has moved past this round *and* none is still block-syncing — the
+    /// majority keeps pipelining rounds, so events keep flowing until a
+    /// straggler has caught up.
+    PastRound(Round),
+}
+
+/// The protocol-specific payloads Byzantine behaviors need: everything
+/// else about the fault model is generic routing policy in the runner.
+pub trait Mischief<E: ReplicaEngine> {
+    /// Twin an equivocating leader's proposal: returns the two conflicting
+    /// encodings (the honest half and a sibling with a different payload)
+    /// for split-brain delivery, or `None` if `proposal_bytes` cannot be
+    /// twinned (the runner then broadcasts it honestly).
+    fn twin(
+        &mut self,
+        node: usize,
+        engine: &E,
+        proposal_bytes: &[u8],
+    ) -> Option<(Vec<u8>, Vec<u8>)>;
+
+    /// The forged vote an equivocator broadcasts for an ingested proposal
+    /// (at most once per block), or `None` if `incoming` is not a proposal
+    /// or was already voted on.
+    fn forge_vote(&mut self, node: usize, engine: &E, incoming: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// The no-op [`Mischief`]: every replica is honest. This is what real
+/// deployments (the TCP transport) run with.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMischief;
+
+impl<E: ReplicaEngine> Mischief<E> for NoMischief {
+    fn twin(&mut self, _: usize, _: &E, _: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+        None
+    }
+
+    fn forge_vote(&mut self, _: usize, _: &E, _: &[u8]) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Pacing and safety bounds for a run, independent of protocol and
+/// transport.
+#[derive(Clone, Copy, Debug)]
+pub struct RunnerConfig {
+    /// The completion rule.
+    pub plan: RunPlan,
+    /// Hard virtual-time ceiling: a runaway guard, generous enough that no
+    /// legitimate schedule (timeout back-off included) comes near it.
+    pub horizon: SimTime,
+    /// Maximum post-schedule drain iterations (each one processes pending
+    /// events or advances time by one drain step).
+    pub drain_bound: u64,
+    /// How far to advance time per drain iteration when no event is
+    /// scheduled but catch-up work remains (use the network delay δ).
+    pub drain_step: SimDuration,
+}
+
+/// Messages pending immediate (same-instant) delivery: `(to, from, bytes)`.
+/// A replica's own broadcasts loop back through here without paying the
+/// transport delay.
+type Inbox = VecDeque<(ReplicaId, ReplicaId, Arc<[u8]>)>;
+
+/// The generic run harness: `n` engines, their behaviors, one transport,
+/// and one [`Mischief`] hook. See the [module docs](self).
+pub struct EngineRunner<E: ReplicaEngine, T: Transport, M: Mischief<E>> {
+    engines: Vec<E>,
+    behaviors: Vec<Behavior>,
+    transport: T,
+    mischief: M,
+    config: RunnerConfig,
+    timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
+    drain_used: u64,
+}
+
+impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
+    /// Builds a runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `engines` and `behaviors` disagree in length or the
+    /// transport connects a different number of replicas.
+    pub fn new(
+        engines: Vec<E>,
+        behaviors: Vec<Behavior>,
+        transport: T,
+        mischief: M,
+        config: RunnerConfig,
+    ) -> Self {
+        assert_eq!(engines.len(), behaviors.len(), "one behavior per replica");
+        assert_eq!(
+            engines.len(),
+            transport.replica_count(),
+            "transport sized for the replica set"
+        );
+        let n = engines.len();
+        Self {
+            engines,
+            behaviors,
+            transport,
+            mischief,
+            config,
+            timelines: vec![Vec::new(); n],
+            drain_used: 0,
+        }
+    }
+
+    /// Immutable access to engine `i`, for tests and benches.
+    pub fn engine(&self, i: usize) -> &E {
+        &self.engines[i]
+    }
+
+    /// The transport, for stats inspection.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Runs to completion per the configured [`RunPlan`] and reports.
+    pub fn run(mut self) -> SimReport {
+        loop {
+            if let RunPlan::PastRound(target) = self.config.plan {
+                if self.honest_min_round() > target && !self.sync_active() {
+                    break;
+                }
+            }
+            match self.next_event_time() {
+                Some(t) if t <= self.config.horizon => self.step_instant(t),
+                Some(_) => break, // horizon tripped: runaway guard
+                None => {
+                    // Nothing scheduled. Keep time moving in drain steps
+                    // while in-flight traffic or catch-up fetches remain
+                    // (bounded), so sync retry timers still fire.
+                    if (!self.transport.is_idle() || self.sync_active())
+                        && self.drain_used < self.config.drain_bound
+                    {
+                        self.drain_used += 1;
+                        let t = self.transport.now() + self.config.drain_step;
+                        self.step_instant(t);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Advances through every scheduled event at or before `until`, then
+    /// to `until` itself — the incremental API benchmarks drive epochs
+    /// with.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(next) = self.next_event_time() {
+            if next > until {
+                break;
+            }
+            self.step_instant(next);
+        }
+        if self.transport.now() < until {
+            self.step_instant(until);
+        }
+    }
+
+    /// The earliest pending event: a transport delivery or a live replica's
+    /// deadline. `None` when nothing is scheduled (the transport may still
+    /// hold traffic it cannot time — the run loop's drain covers that).
+    fn next_event_time(&self) -> Option<SimTime> {
+        let deadline = self
+            .engines
+            .iter()
+            .zip(&self.behaviors)
+            .filter(|(_, b)| **b != Behavior::Silent)
+            .filter_map(|(e, _)| e.next_deadline())
+            .min();
+        let delivery = self.transport.next_deliver_at();
+        match (deadline, delivery) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Processes everything that happens up to (and at) instant `target`:
+    /// due deliveries, due deadlines, and every message the engines chain
+    /// off them — iterating until the instant produces nothing further
+    /// (self-deliveries cascade within it), then draining due block-sync
+    /// fetches.
+    fn step_instant(&mut self, target: SimTime) {
+        let deliveries = self.transport.poll_deliver(target);
+        // A socket transport may return early (arrival before the
+        // deadline); its clock, not the target, is the processing instant.
+        let now = self.transport.now();
+        let mut inbox: Inbox = deliveries
+            .into_iter()
+            .map(|d| (d.to, d.from, d.payload))
+            .collect();
+        loop {
+            while let Some((to, from, bytes)) = inbox.pop_front() {
+                self.handle(to, from, bytes, now, &mut inbox);
+            }
+            if self.fire_due_ticks(now, &mut inbox) || !inbox.is_empty() {
+                continue;
+            }
+            self.poll_sync(now, &mut inbox);
+            if inbox.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Routes one delivered payload to its engine, applying behavior
+    /// policy to everything the engine wants sent in response.
+    fn handle(
+        &mut self,
+        to: ReplicaId,
+        from: ReplicaId,
+        bytes: Arc<[u8]>,
+        now: SimTime,
+        inbox: &mut Inbox,
+    ) {
+        let i = to.as_usize();
+        if self.behaviors[i] == Behavior::Silent {
+            return;
+        }
+        let step = self.engines[i].on_envelope(from, &bytes, now);
+        // An equivocator votes for every proposal it sees — with a forged
+        // clean-history marker, in place of the honest vote the policy
+        // below discards.
+        if self.behaviors[i] == Behavior::Equivocate {
+            if let Some(forged) = self.mischief.forge_vote(i, &self.engines[i], &bytes) {
+                self.route(i, OutboundMsg::broadcast(MsgKind::Vote, forged), inbox);
+            }
+        }
+        self.absorb(i, step, now, inbox);
+    }
+
+    /// Records a step's commit-log entries on node `i`'s timeline and
+    /// routes its outbound messages through the behavior filter.
+    fn absorb(&mut self, i: usize, step: EngineStep, now: SimTime, inbox: &mut Inbox) {
+        self.timelines[i].extend(step.updates.into_iter().map(|u| (now, u)));
+        for out in step.outbound {
+            self.route_filtered(i, out, inbox);
+        }
+    }
+
+    /// Behavior policy for one outbound message — see the module docs.
+    fn route_filtered(&mut self, i: usize, out: OutboundMsg, inbox: &mut Inbox) {
+        match (self.behaviors[i], out.kind) {
+            (Behavior::WithholdVote, MsgKind::Vote) => return,
+            (Behavior::Equivocate, MsgKind::Vote) => return, // forged instead
+            (Behavior::StallLeader, MsgKind::Proposal) => return,
+            (Behavior::Equivocate, MsgKind::Proposal) if out.route == Route::Broadcast => {
+                self.split_brain(i, out.bytes, inbox);
+                return;
+            }
+            _ => {}
+        }
+        self.route(i, out, inbox);
+    }
+
+    /// Sends one message: broadcasts go over the transport (encoded once,
+    /// recipients share the buffer) and loop back to the sender
+    /// immediately; point-to-point sends pay the transport delay.
+    fn route(&mut self, i: usize, out: OutboundMsg, inbox: &mut Inbox) {
+        let from = self.engines[i].id();
+        match out.route {
+            Route::Broadcast => {
+                self.transport.broadcast(from, Arc::clone(&out.bytes));
+                inbox.push_back((from, from, out.bytes));
+            }
+            Route::To(peer) => self.transport.send(from, peer, out.bytes),
+        }
+    }
+
+    /// Split-brain delivery of an equivocating leader's twin proposals:
+    /// low ids see A, high ids see B, and the equivocator itself sees both
+    /// (so it casts the conflicting votes honest trackers will flag). Each
+    /// twin is encoded once; its recipients share the buffer.
+    fn split_brain(&mut self, i: usize, honest: Arc<[u8]>, inbox: &mut Inbox) {
+        let Some((a, b)) = self.mischief.twin(i, &self.engines[i], &honest) else {
+            self.route(i, OutboundMsg::broadcast(MsgKind::Proposal, honest), inbox);
+            return;
+        };
+        let halves: [Arc<[u8]>; 2] = [a.into(), b.into()];
+        let n = self.engines.len();
+        let from = self.engines[i].id();
+        for to in 0..n as u16 {
+            let target = ReplicaId::new(to);
+            let half = usize::from(to as usize >= n / 2);
+            if target == from {
+                inbox.push_back((target, from, Arc::clone(&halves[half])));
+            } else {
+                self.transport.send(from, target, Arc::clone(&halves[half]));
+            }
+        }
+        // The equivocator also sees the twin its own half did NOT receive.
+        let other = usize::from(from.as_usize() < n / 2);
+        inbox.push_back((from, from, Arc::clone(&halves[other])));
+    }
+
+    /// Fires every live engine whose deadline has passed. Returns whether
+    /// any deadline was consumed (the instant may need another cascade).
+    fn fire_due_ticks(&mut self, now: SimTime, inbox: &mut Inbox) -> bool {
+        let mut fired = false;
+        for i in 0..self.engines.len() {
+            if self.behaviors[i] == Behavior::Silent {
+                continue;
+            }
+            if self.engines[i].next_deadline().is_some_and(|d| d <= now) {
+                fired = true;
+                let step = self.engines[i].on_tick(now);
+                self.absorb(i, step, now, inbox);
+            }
+        }
+        fired
+    }
+
+    /// Drains every live engine's due block-sync fetches, sent
+    /// point-to-point to the chosen peers.
+    fn poll_sync(&mut self, now: SimTime, inbox: &mut Inbox) {
+        for i in 0..self.engines.len() {
+            if self.behaviors[i] == Behavior::Silent {
+                continue;
+            }
+            let step = self.engines[i].poll_sync(now);
+            self.absorb(i, step, now, inbox);
+        }
+    }
+
+    /// True while catch-up work remains on the replicas the plan cares
+    /// about: every live replica for quiescent runs, honest-ish replicas
+    /// (the progress measure) for self-pacing ones.
+    fn sync_active(&self) -> bool {
+        self.engines
+            .iter()
+            .zip(&self.behaviors)
+            .filter(|(_, b)| match self.config.plan {
+                RunPlan::UntilQuiescent => **b != Behavior::Silent,
+                RunPlan::PastRound(_) => {
+                    matches!(**b, Behavior::Honest | Behavior::StallLeader)
+                }
+            })
+            .any(|(e, _)| e.is_syncing())
+    }
+
+    /// The smallest current round among honest replicas (the run's
+    /// progress measure). Falls back to the global maximum if the
+    /// configuration has no fully honest replica.
+    fn honest_min_round(&self) -> Round {
+        self.engines
+            .iter()
+            .zip(&self.behaviors)
+            .filter(|(_, b)| matches!(**b, Behavior::Honest | Behavior::StallLeader))
+            .map(|(e, _)| e.round())
+            .min()
+            .unwrap_or_else(|| {
+                self.engines
+                    .iter()
+                    .map(ReplicaEngine::round)
+                    .max()
+                    .expect("at least one replica")
+            })
+    }
+
+    /// Snapshot of the current run state as a report.
+    pub fn report(&self) -> SimReport {
+        let chains: Vec<Vec<sft_crypto::HashValue>> = self
+            .engines
+            .iter()
+            .map(|e| e.committed_chain().to_vec())
+            .collect();
+        let commit_logs = self
+            .engines
+            .iter()
+            .map(|e| e.commit_log().to_vec())
+            .collect();
+        let safety_violations = self.engines.iter().filter(|e| e.safety_violated()).count();
+        let equivocators_detected = self
+            .engines
+            .iter()
+            .map(ReplicaEngine::equivocators_observed)
+            .max()
+            .unwrap_or(0);
+        let txns_committed = crate::max_committed_txns(
+            self.engines
+                .iter()
+                .map(|e| (e.committed_chain(), e.store())),
+        );
+        let (sync_requests, sync_blocks_fetched, recovered_replicas) = crate::sync_report_fields(
+            self.engines
+                .iter()
+                .map(|e| (e.sync_stats(), e.committed_chain())),
+        );
+        SimReport {
+            chains,
+            commit_logs,
+            timelines: self.timelines.clone(),
+            net: self.transport.stats(),
+            txns_committed,
+            elapsed: self.transport.now(),
+            safety_violations,
+            equivocators_detected,
+            sync_requests,
+            sync_blocks_fetched,
+            recovered_replicas,
+        }
+    }
+}
+
+/// One-call form of the generic loop: builds an [`EngineRunner`] and runs
+/// it to completion. This is the entry point the `repro --transport tcp`
+/// path uses — the same loop the simulator runs, over real sockets.
+pub fn run_engine<E: ReplicaEngine, T: Transport, M: Mischief<E>>(
+    engines: Vec<E>,
+    behaviors: Vec<Behavior>,
+    transport: T,
+    mischief: M,
+    config: RunnerConfig,
+) -> SimReport {
+    EngineRunner::new(engines, behaviors, transport, mischief, config).run()
+}

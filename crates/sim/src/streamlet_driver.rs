@@ -1,42 +1,126 @@
-//! The lock-step SFT-Streamlet driver: epochs of two message delays
-//! (propose at `T`, vote at `T + δ`, count at `T + 2δ`), matching the
-//! synchrony assumption of Appendix D where epochs are externally clocked.
+//! The SFT-Streamlet simulation driver: builds [`StreamletEngine`]s over a
+//! [`SimTransport`] and hands them to the generic
+//! [`EngineRunner`].
 //!
-//! Leaders draw payloads from their replica's configured payload source —
-//! batched client transactions from the mempool, or the synthetic workload
-//! descriptor — and every broadcast message is encoded exactly once, with
-//! all recipients sharing the buffer.
+//! Epochs of two message delays (propose at `T`, deliver + vote at
+//! `T + δ`, count at `T + 2δ`) come out of the engine's own epoch clock —
+//! matching the synchrony assumption of Appendix D, where epochs are
+//! externally clocked. What used to be this driver's hand-rolled dispatch,
+//! sync drain, and report plumbing now lives in the shared runner; only
+//! construction and the Streamlet-specific Byzantine payloads
+//! ([`StreamletMischief`]) remain.
 
-use std::sync::Arc;
+use sft_core::{Block, ProtocolConfig, ReplicaEngine};
+use sft_crypto::{HashValue, KeyRegistry};
+use sft_network::{SimNetwork, SimTransport};
+use sft_streamlet::{Message, Proposal, Replica, StreamletEngine};
+use sft_types::{Decode, Encode, EndorseInfo, Payload, Round, SimTime, StrongVote};
 
-use sft_core::{Block, ProtocolConfig};
-use sft_crypto::HashValue;
-use sft_network::SimNetwork;
-use sft_streamlet::{Message, Proposal, Replica};
-use sft_types::{
-    Decode, Encode, EndorseInfo, Payload, ReplicaId, Round, SimTime, StrongCommitUpdate, StrongVote,
-};
-
+use crate::runner::{EngineRunner, Mischief, RunPlan, RunnerConfig};
 use crate::{Behavior, SimConfig, SimReport};
 
-struct Node {
-    behavior: Behavior,
-    replica: Replica,
-    key_pair: sft_crypto::KeyPair,
-    /// Blocks this (Byzantine) node already cast a forged vote for in the
-    /// current epoch, to avoid unbounded duplicates.
-    equivocation_votes: Vec<HashValue>,
+/// Streamlet's protocol-specific Byzantine payloads: conflicting twin
+/// proposals and forged zero-marker votes.
+pub struct StreamletMischief {
+    registry: KeyRegistry,
+    /// Blocks each (Byzantine) node already cast a forged vote for, to
+    /// avoid unbounded duplicates.
+    forged: Vec<std::collections::HashSet<HashValue>>,
 }
 
-/// The Streamlet simulator: owns the replicas and the network, runs
-/// lock-step epochs. Most callers use [`SimConfig::run`]; the struct is
-/// public so benchmarks can drive epochs one at a time.
+impl StreamletMischief {
+    fn new(n: usize) -> Self {
+        Self {
+            registry: KeyRegistry::deterministic(n),
+            forged: vec![Default::default(); n],
+        }
+    }
+}
+
+impl Mischief<StreamletEngine> for StreamletMischief {
+    fn twin(
+        &mut self,
+        node: usize,
+        engine: &StreamletEngine,
+        proposal_bytes: &[u8],
+    ) -> Option<(Vec<u8>, Vec<u8>)> {
+        let Ok(Message::Proposal(honest)) = Message::from_bytes(proposal_bytes) else {
+            return None;
+        };
+        let parent = engine.store().get(honest.block().parent_id())?.clone();
+        let epoch = honest.block().round();
+        let conflicting_payload = Payload::synthetic(1, 1, u64::MAX - epoch.as_u64());
+        let twin_block = Block::new(&parent, epoch, engine.id(), conflicting_payload);
+        let key_pair = self.registry.key_pair(node as u64).expect("key for node");
+        let twin = Proposal::new(twin_block, &key_pair);
+        Some((proposal_bytes.to_vec(), Message::Proposal(twin).to_bytes()))
+    }
+
+    fn forge_vote(
+        &mut self,
+        node: usize,
+        _engine: &StreamletEngine,
+        incoming: &[u8],
+    ) -> Option<Vec<u8>> {
+        let Ok(Message::Proposal(proposal)) = Message::from_bytes(incoming) else {
+            return None;
+        };
+        if !self.forged[node].insert(proposal.block().id()) {
+            return None;
+        }
+        let key_pair = self.registry.key_pair(node as u64).expect("key for node");
+        let vote = StrongVote::new(
+            proposal.block().vote_data(),
+            EndorseInfo::Marker(Round::ZERO),
+            &key_pair,
+        );
+        Some(Message::Vote(vote).to_bytes())
+    }
+}
+
+/// Builds the Streamlet engine set for `config`: one [`StreamletEngine`]
+/// per replica with the configured payload source and the deterministic
+/// client workload pre-fed. Stalling leaders get no payload source — their
+/// whole deviation is "never propose", and a source-less engine still
+/// follows the epoch clock (and votes) like everyone else.
+///
+/// Public so non-sim transports (the TCP repro path) can run the exact
+/// same replica set over real sockets; they pass their own `period`
+/// (wall-clock there, `2δ` virtual here).
+pub fn build_streamlet_engines(
+    config: &SimConfig,
+    period: sft_types::SimDuration,
+) -> Vec<StreamletEngine> {
+    let protocol = ProtocolConfig::for_replicas(config.n);
+    let registry = KeyRegistry::deterministic(config.n);
+    let source = config.payload_source();
+    let workload = config.client_workload();
+    (0..config.n as u16)
+        .map(|id| {
+            let behavior = config.behaviors[id as usize];
+            let mut replica = Replica::new(id, protocol, registry.clone(), config.endorse_mode)
+                // Two epochs of silence before re-asking another peer.
+                .with_sync_retry(config.delay * 4);
+            if behavior != Behavior::StallLeader {
+                replica = replica.with_payload_source(source);
+            }
+            for txn in &workload {
+                replica.submit_transaction(txn.clone());
+            }
+            StreamletEngine::new(replica, period, config.epochs)
+        })
+        .collect()
+}
+
+type Runner = EngineRunner<StreamletEngine, SimTransport, StreamletMischief>;
+
+/// The Streamlet simulator: engines plus the generic runner. Most callers
+/// use [`SimConfig::run`]; the struct is public so benchmarks can drive
+/// epochs one at a time.
 pub struct Simulation {
-    config: SimConfig,
+    runner: Runner,
     protocol: ProtocolConfig,
-    nodes: Vec<Node>,
-    net: SimNetwork,
-    timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
+    period: sft_types::SimDuration,
 }
 
 impl Simulation {
@@ -50,43 +134,30 @@ impl Simulation {
     pub fn new(config: SimConfig) -> Self {
         assert_eq!(config.behaviors.len(), config.n, "one behavior per replica");
         let protocol = ProtocolConfig::for_replicas(config.n);
-        let registry = sft_crypto::KeyRegistry::deterministic(config.n);
-        let source = config.payload_source();
-        let workload = config.client_workload();
-        let nodes = (0..config.n as u16)
-            .map(|id| {
-                let behavior = config.behaviors[id as usize];
-                let mut replica = Replica::new(id, protocol, registry.clone(), config.endorse_mode)
-                    // Two epochs of silence before re-asking another peer.
-                    .with_sync_retry(config.delay * 4);
-                // A stalling leader's whole deviation is "never propose":
-                // leaving it source-less keeps its mempool untouched
-                // (begin_epoch_sourced still advances its epoch) — same
-                // approach as the fbft driver.
-                if behavior != Behavior::StallLeader {
-                    replica = replica.with_payload_source(source);
-                }
-                for txn in &workload {
-                    replica.submit_transaction(txn.clone());
-                }
-                Node {
-                    behavior,
-                    replica,
-                    key_pair: registry.key_pair(u64::from(id)).expect("registry covers n"),
-                    equivocation_votes: Vec::new(),
-                }
-            })
-            .collect();
+        let period = config.delay * 2;
+        let engines = build_streamlet_engines(&config, period);
+        let mischief = StreamletMischief::new(config.n);
         let mut net = SimNetwork::new(config.delay);
         if let Some(faults) = &config.faults {
             net = net.with_faults(faults.clone());
         }
+        let transport = SimTransport::new(net, config.n);
+        let runner = EngineRunner::new(
+            engines,
+            config.behaviors.clone(),
+            transport,
+            mischief,
+            RunnerConfig {
+                plan: RunPlan::UntilQuiescent,
+                horizon: SimTime::ZERO + config.run_horizon,
+                drain_bound: config.drain_sync_bound,
+                drain_step: config.delay,
+            },
+        );
         Self {
-            net,
-            timelines: vec![Vec::new(); config.n],
-            config,
+            runner,
             protocol,
-            nodes,
+            period,
         }
     }
 
@@ -97,312 +168,25 @@ impl Simulation {
 
     /// Runs all configured epochs, lets catch-up traffic settle, and
     /// reports.
-    pub fn run(mut self) -> SimReport {
-        for epoch in 1..=self.config.epochs {
-            self.run_epoch(Round::new(epoch));
-        }
-        self.drain_sync();
-        self.report()
+    pub fn run(self) -> SimReport {
+        self.runner.run()
     }
 
-    /// Runs one epoch: propose at `T`, deliver + vote at `T + δ`, deliver
-    /// votes and evaluate commits at `T + 2δ`.
+    /// Advances the run through the end of `epoch` (an epoch spans two
+    /// message delays). Benchmarks drive the simulation one epoch at a
+    /// time with this.
     pub fn run_epoch(&mut self, epoch: Round) {
-        let n = self.config.n;
-
-        // Phase 1 — propose. Self-routed messages skip the network (a
-        // replica hears itself immediately), everything else pays δ.
-        let mut self_inbox: Vec<(ReplicaId, Message)> = Vec::new();
-        for i in 0..n {
-            let node = &mut self.nodes[i];
-            node.equivocation_votes.clear();
-            let proposals = match node.behavior {
-                Behavior::Silent => Vec::new(),
-                Behavior::StallLeader => {
-                    // Advances its epoch like everyone else, but its own
-                    // proposal (if leading) is never sent anywhere.
-                    let _ = node.replica.begin_epoch_sourced(epoch);
-                    Vec::new()
-                }
-                Behavior::Honest | Behavior::WithholdVote => node
-                    .replica
-                    .begin_epoch_sourced(epoch)
-                    .into_iter()
-                    .collect(),
-                Behavior::Equivocate => equivocating_proposals(node, epoch),
-            };
-            match proposals.as_slice() {
-                [] => {}
-                [proposal] => {
-                    let msg = Message::Proposal(proposal.clone());
-                    self.net
-                        .broadcast(proposal.block().proposer(), n, msg.to_bytes());
-                    self_inbox.push((proposal.block().proposer(), msg));
-                }
-                [a, b] => {
-                    // Split-brain delivery: low ids see A, high ids see B.
-                    // Each twin is encoded once; recipients share the buffer.
-                    let from = a.block().proposer();
-                    let halves = [Message::Proposal(a.clone()), Message::Proposal(b.clone())];
-                    let bytes: [Arc<[u8]>; 2] =
-                        [halves[0].to_bytes().into(), halves[1].to_bytes().into()];
-                    for to in 0..n as u16 {
-                        let target = ReplicaId::new(to);
-                        let half = usize::from(to as usize >= n / 2);
-                        if target == from {
-                            self_inbox.push((target, halves[half].clone()));
-                        } else {
-                            self.net.send(from, target, Arc::clone(&bytes[half]));
-                        }
-                    }
-                    // The equivocator also sees the twin its own half did
-                    // NOT receive, so it casts the conflicting votes honest
-                    // trackers will flag regardless of which half it sits in.
-                    let other = usize::from(from.as_usize() < n / 2);
-                    self_inbox.push((from, halves[other].clone()));
-                }
-                _ => unreachable!("at most two proposals per epoch"),
-            }
-        }
-
-        // Phase 2 — deliver proposals (and any due sync traffic), collect
-        // votes.
-        let mid = self.net.now() + self.config.delay;
-        let mut vote_inbox: Vec<(ReplicaId, Message)> = Vec::new();
-        let deliveries: Vec<(ReplicaId, Message)> = self_inbox
-            .into_iter()
-            .chain(self.net.deliver_due(mid).into_iter().map(|e| {
-                let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
-                (e.to, msg)
-            }))
-            .collect();
-        for (to, msg) in deliveries {
-            self.dispatch(to, msg, &mut vote_inbox);
-        }
-        self.poll_sync_requests();
-
-        // Phase 3 — deliver votes (and any due sync traffic) everywhere,
-        // evaluate the commit rules.
-        let end = mid + self.config.delay;
-        let deliveries: Vec<(ReplicaId, Message)> = vote_inbox
-            .into_iter()
-            .chain(self.net.deliver_due(end).into_iter().map(|e| {
-                let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
-                (e.to, msg)
-            }))
-            .collect();
-        let mut late_votes = Vec::new();
-        for (to, msg) in deliveries {
-            self.dispatch(to, msg, &mut late_votes);
-        }
-        for (to, msg) in late_votes {
-            // Votes a proposal delivered this phase attracted: everyone
-            // already received the broadcast copy over the network; only
-            // the self-loop copy is outstanding.
-            let mut none = Vec::new();
-            self.dispatch(to, msg, &mut none);
-        }
-        self.poll_sync_requests();
-    }
-
-    /// Routes one delivered message to its replica according to behavior.
-    /// Votes produced in response to a proposal are broadcast immediately
-    /// and their self-loop copies appended to `vote_inbox` for same-phase
-    /// processing (a replica hears itself without paying δ).
-    fn dispatch(
-        &mut self,
-        to: ReplicaId,
-        msg: Message,
-        vote_inbox: &mut Vec<(ReplicaId, Message)>,
-    ) {
-        let i = to.as_usize();
-        if self.nodes[i].behavior == Behavior::Silent {
-            return;
-        }
-        let n = self.config.n;
-        match msg {
-            Message::Proposal(proposal) => {
-                for vote in self.nodes[i].handle_proposal(&proposal) {
-                    let msg = Message::Vote(vote);
-                    self.net.broadcast(to, n, msg.to_bytes());
-                    vote_inbox.push((to, msg));
-                }
-            }
-            Message::Vote(vote) => {
-                let now = self.net.now();
-                let updates = self.nodes[i].replica.on_vote(&vote);
-                self.timelines[i].extend(updates.into_iter().map(|u| (now, u)));
-            }
-            Message::SyncRequest(request) => {
-                if let Some(response) = self.nodes[i].replica.on_sync_request(&request) {
-                    self.net.send(
-                        to,
-                        request.requester(),
-                        Message::SyncResponse(response).to_bytes(),
-                    );
-                }
-            }
-            Message::SyncResponse(response) => {
-                let now = self.net.now();
-                let updates = self.nodes[i].replica.on_sync_response(&response);
-                self.timelines[i].extend(updates.into_iter().map(|u| (now, u)));
-            }
-        }
-    }
-
-    /// Sends every replica's due block-sync requests point-to-point.
-    fn poll_sync_requests(&mut self) {
-        let now = self.net.now();
-        for i in 0..self.config.n {
-            if self.nodes[i].behavior == Behavior::Silent {
-                continue;
-            }
-            let from = self.nodes[i].replica.id();
-            for (peer, request) in self.nodes[i].replica.take_sync_requests(now) {
-                self.net
-                    .send(from, peer, Message::SyncRequest(request).to_bytes());
-            }
-        }
-    }
-
-    /// After the final epoch, keeps virtual time moving in δ steps until
-    /// in-flight messages and catch-up fetches settle (bounded) — the
-    /// window in which a replica that fell behind under loss or partition
-    /// finishes recovering the committed prefix. A lossless run breaks out
-    /// immediately, so its report is identical to the pre-sync driver's.
-    fn drain_sync(&mut self) {
-        let max_steps = 4 * self.config.epochs + 32;
-        for _ in 0..max_steps {
-            let syncing = self
-                .nodes
-                .iter()
-                .any(|n| n.behavior != Behavior::Silent && n.replica.is_syncing());
-            if self.net.pending() == 0 && !syncing {
-                break;
-            }
-            let next = self.net.now() + self.config.delay;
-            let deliveries: Vec<(ReplicaId, Message)> = self
-                .net
-                .deliver_due(next)
-                .into_iter()
-                .map(|e| {
-                    let msg = Message::from_bytes(&e.payload).expect("well-formed wire message");
-                    (e.to, msg)
-                })
-                .collect();
-            let mut votes = Vec::new();
-            for (to, msg) in deliveries {
-                self.dispatch(to, msg, &mut votes);
-            }
-            for (to, msg) in votes {
-                let mut none = Vec::new();
-                self.dispatch(to, msg, &mut none);
-            }
-            self.poll_sync_requests();
-        }
+        self.runner
+            .run_until(SimTime::ZERO + self.period * epoch.as_u64());
     }
 
     /// Snapshot of the current run state as a report.
     pub fn report(&self) -> SimReport {
-        let chains = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.committed_chain().to_vec())
-            .collect();
-        let commit_logs = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.commit_log().to_vec())
-            .collect();
-        let safety_violations = self
-            .nodes
-            .iter()
-            .filter(|node| node.replica.safety_violated())
-            .count();
-        let equivocators_detected = self
-            .nodes
-            .iter()
-            .map(|node| node.replica.observed_equivocators().len())
-            .max()
-            .unwrap_or(0);
-        let txns_committed = crate::max_committed_txns(
-            self.nodes
-                .iter()
-                .map(|node| (node.replica.committed_chain(), node.replica.store())),
-        );
-        let (sync_requests, sync_blocks_fetched, recovered_replicas) = crate::sync_report_fields(
-            self.nodes
-                .iter()
-                .map(|node| (node.replica.sync_stats(), node.replica.committed_chain())),
-        );
-        SimReport {
-            chains,
-            commit_logs,
-            timelines: self.timelines.clone(),
-            net: self.net.stats(),
-            txns_committed,
-            elapsed: self.net.now(),
-            safety_violations,
-            equivocators_detected,
-            sync_requests,
-            sync_blocks_fetched,
-            recovered_replicas,
-        }
+        self.runner.report()
     }
 
     /// Immutable access to replica `id`, for tests and benches.
     pub fn replica(&self, id: u16) -> &Replica {
-        &self.nodes[id as usize].replica
-    }
-}
-
-/// As the epoch leader, produce one honest proposal plus one conflicting
-/// sibling with a different payload tag. Non-leaders produce nothing.
-fn equivocating_proposals(node: &mut Node, epoch: Round) -> Vec<Proposal> {
-    let Some(honest) = node.replica.begin_epoch_sourced(epoch) else {
-        return Vec::new();
-    };
-    let parent = node
-        .replica
-        .store()
-        .get(honest.block().parent_id())
-        .expect("parent of own proposal")
-        .clone();
-    let conflicting_payload = Payload::synthetic(1, 1, u64::MAX - epoch.as_u64());
-    let twin = Block::new(&parent, epoch, node.replica.id(), conflicting_payload);
-    let twin = Proposal::new(twin, &node.key_pair);
-    vec![honest, twin]
-}
-
-impl Node {
-    /// Processes one delivered proposal according to the node's behavior,
-    /// returning the votes it broadcasts.
-    fn handle_proposal(&mut self, proposal: &Proposal) -> Vec<StrongVote> {
-        match self.behavior {
-            Behavior::Silent => Vec::new(),
-            Behavior::WithholdVote => {
-                let _ = self.replica.on_proposal(proposal);
-                Vec::new()
-            }
-            Behavior::Honest | Behavior::StallLeader => {
-                self.replica.on_proposal(proposal).into_iter().collect()
-            }
-            Behavior::Equivocate => {
-                // Vote for everything, once per block, with a forged
-                // clean-history marker.
-                let block_id = proposal.block().id();
-                if self.equivocation_votes.contains(&block_id) {
-                    return Vec::new();
-                }
-                self.equivocation_votes.push(block_id);
-                // Keep the replica's store current so later epochs work.
-                let _ = self.replica.on_proposal(proposal);
-                vec![StrongVote::new(
-                    proposal.block().vote_data(),
-                    EndorseInfo::Marker(Round::ZERO),
-                    &self.key_pair,
-                )]
-            }
-        }
+        self.runner.engine(id as usize).replica()
     }
 }

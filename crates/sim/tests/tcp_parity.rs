@@ -1,0 +1,44 @@
+//! The transport-agnosticism acceptance test: the same engines the
+//! deterministic simulator builds, driven by the same generic run loop,
+//! commit the same chain over a real loopback TCP mesh
+//! ([`sft_sim::run_over_tcp`]).
+//!
+//! Content determinism is what makes this assertable: blocks are a pure
+//! function of (parent, round, proposer, payload) and the payload stream
+//! is deterministic, so wall-clock jitter can shorten a TCP run's chain
+//! but never change its blocks. The CI `tcp-smoke` step runs the larger
+//! `repro --transport tcp` variant; this test keeps the path covered by
+//! plain `cargo test` with a small, fast configuration.
+
+use sft_sim::{run_over_tcp, Protocol, SimConfig, TcpPacing};
+
+fn tcp_matches_sim(protocol: Protocol) {
+    let config = SimConfig::new(4, 6)
+        .with_protocol(protocol)
+        .with_batch_size(8);
+    let sim_report = config.clone().run();
+    assert!(sim_report.agreement());
+    assert!(sim_report.max_committed() >= 3);
+
+    let tcp_report = run_over_tcp(&config, TcpPacing::default()).expect("loopback mesh");
+
+    assert!(tcp_report.agreement(), "{protocol:?}: tcp replicas agree");
+    assert_eq!(tcp_report.safety_violations, 0);
+    assert!(
+        tcp_report.max_committed() >= 1,
+        "{protocol:?}: tcp run commits"
+    );
+    tcp_report
+        .check_committed_prefix_of(&sim_report)
+        .unwrap_or_else(|e| panic!("{protocol:?}: {e}"));
+}
+
+#[test]
+fn streamlet_over_tcp_commits_the_sim_prefix() {
+    tcp_matches_sim(Protocol::Streamlet);
+}
+
+#[test]
+fn fbft_over_tcp_commits_the_sim_prefix() {
+    tcp_matches_sim(Protocol::Fbft);
+}

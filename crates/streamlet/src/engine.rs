@@ -1,0 +1,175 @@
+//! The SFT-Streamlet replica as a transport-driven [`ReplicaEngine`].
+//!
+//! Streamlet epochs are externally clocked (Appendix D assumes synchrony),
+//! so the engine owns the epoch clock the lock-step driver used to hold:
+//! epoch `e` opens at `(e − 1) × period` where `period = 2δ` (propose,
+//! then one delay for the proposal and one for the votes). Expressing the
+//! clock as [`ReplicaEngine::next_deadline`] ticks is what lets the same
+//! event-driven run loop pace both the externally clocked Streamlet and
+//! the self-pacing SFT-DiemBFT — and lets the clock be wall time when the
+//! engine runs over sockets.
+
+use sft_core::{BlockStore, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats};
+use sft_crypto::HashValue;
+use sft_types::{Decode, Encode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
+
+use crate::message::Message;
+use crate::replica::Replica;
+
+/// A [`Replica`] plus the epoch clock, implementing [`ReplicaEngine`].
+///
+/// # Examples
+///
+/// ```
+/// use sft_core::{ProtocolConfig, ReplicaEngine};
+/// use sft_crypto::KeyRegistry;
+/// use sft_streamlet::{EndorseMode, Replica, StreamletEngine};
+/// use sft_types::{SimDuration, SimTime};
+///
+/// let config = ProtocolConfig::for_replicas(4);
+/// let registry = KeyRegistry::deterministic(4);
+/// let replica = Replica::new(0, config, registry, EndorseMode::Marker);
+/// let engine = StreamletEngine::new(replica, SimDuration::from_millis(200), 10);
+/// // Epoch 1 opens at the very first instant.
+/// assert_eq!(engine.next_deadline(), Some(SimTime::ZERO));
+/// ```
+pub struct StreamletEngine {
+    replica: Replica,
+    /// One full epoch: two message delays (propose + vote).
+    period: SimDuration,
+    /// Last epoch the clock will open.
+    max_epochs: u64,
+    /// Next epoch to open (1-based).
+    next_epoch: u64,
+}
+
+impl StreamletEngine {
+    /// Wraps `replica` with an epoch clock of `period` (use `2δ`) running
+    /// through `max_epochs` epochs.
+    pub fn new(replica: Replica, period: SimDuration, max_epochs: u64) -> Self {
+        Self {
+            replica,
+            period,
+            max_epochs,
+            next_epoch: 1,
+        }
+    }
+
+    /// The wrapped replica.
+    pub fn replica(&self) -> &Replica {
+        &self.replica
+    }
+
+    /// Mutable access to the wrapped replica (tests and harness setup).
+    pub fn replica_mut(&mut self) -> &mut Replica {
+        &mut self.replica
+    }
+
+    fn epoch_open_at(&self, epoch: u64) -> SimTime {
+        SimTime::ZERO + self.period * (epoch - 1)
+    }
+}
+
+impl ReplicaEngine for StreamletEngine {
+    fn id(&self) -> ReplicaId {
+        self.replica.id()
+    }
+
+    fn on_envelope(&mut self, _from: ReplicaId, payload: &[u8], _now: SimTime) -> EngineStep {
+        let Ok(msg) = Message::from_bytes(payload) else {
+            return EngineStep::empty(); // transports can carry garbage
+        };
+        let mut step = EngineStep::empty();
+        match msg {
+            Message::Proposal(proposal) => {
+                if let Some(vote) = self.replica.on_proposal(&proposal) {
+                    step.outbound.push(OutboundMsg::broadcast(
+                        MsgKind::Vote,
+                        Message::Vote(vote).to_bytes(),
+                    ));
+                }
+            }
+            Message::Vote(vote) => {
+                step.updates = self.replica.on_vote(&vote);
+            }
+            Message::SyncRequest(request) => {
+                if let Some(response) = self.replica.on_sync_request(&request) {
+                    step.outbound.push(OutboundMsg::to(
+                        request.requester(),
+                        MsgKind::SyncResponse,
+                        Message::SyncResponse(response).to_bytes(),
+                    ));
+                }
+            }
+            Message::SyncResponse(response) => {
+                step.updates = self.replica.on_sync_response(&response);
+            }
+        }
+        step
+    }
+
+    fn next_deadline(&self) -> Option<SimTime> {
+        (self.next_epoch <= self.max_epochs).then(|| self.epoch_open_at(self.next_epoch))
+    }
+
+    fn on_tick(&mut self, now: SimTime) -> EngineStep {
+        let mut step = EngineStep::empty();
+        // Open every epoch whose start has passed (a wall-clock run can
+        // overshoot a deadline; catch up in order).
+        while self.next_epoch <= self.max_epochs && self.epoch_open_at(self.next_epoch) <= now {
+            let epoch = Round::new(self.next_epoch);
+            self.next_epoch += 1;
+            if let Some(proposal) = self.replica.begin_epoch_sourced(epoch) {
+                step.outbound.push(OutboundMsg::broadcast(
+                    MsgKind::Proposal,
+                    Message::Proposal(proposal).to_bytes(),
+                ));
+            }
+        }
+        step
+    }
+
+    fn poll_sync(&mut self, now: SimTime) -> EngineStep {
+        let mut step = EngineStep::empty();
+        for (peer, request) in self.replica.take_sync_requests(now) {
+            step.outbound.push(OutboundMsg::to(
+                peer,
+                MsgKind::SyncRequest,
+                Message::SyncRequest(request).to_bytes(),
+            ));
+        }
+        step
+    }
+
+    fn round(&self) -> Round {
+        self.replica.epoch()
+    }
+
+    fn is_syncing(&self) -> bool {
+        self.replica.is_syncing()
+    }
+
+    fn committed_chain(&self) -> &[HashValue] {
+        self.replica.committed_chain()
+    }
+
+    fn commit_log(&self) -> &[StrongCommitUpdate] {
+        self.replica.commit_log()
+    }
+
+    fn safety_violated(&self) -> bool {
+        self.replica.safety_violated()
+    }
+
+    fn equivocators_observed(&self) -> usize {
+        self.replica.observed_equivocators().len()
+    }
+
+    fn sync_stats(&self) -> SyncStats {
+        self.replica.sync_stats()
+    }
+
+    fn store(&self) -> &BlockStore {
+        self.replica.store()
+    }
+}

@@ -33,9 +33,11 @@
 
 #![deny(missing_docs)]
 
+pub mod engine;
 pub mod message;
 pub mod replica;
 
+pub use engine::StreamletEngine;
 pub use message::{Message, Proposal};
 pub use replica::Replica;
 // Historically defined here; now shared with the round-based replica.

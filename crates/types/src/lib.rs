@@ -18,6 +18,7 @@
 //! | block-sync fetch (catch-up subprotocol) | [`sync`]: [`BlockRequest`] |
 //! | block contents / workload of §4 | [`transaction`]: [`Transaction`], [`Payload`] |
 //! | injected delays δ of the evaluation (§4) | [`time`]: [`SimTime`], [`SimDuration`] |
+//! | transport wire unit + framing (harness, not paper) | [`envelope`]: [`Envelope`], [`Dest`], [`ProtocolTag`] |
 //!
 //! ## Example
 //!
@@ -39,6 +40,7 @@
 pub mod bitset;
 pub mod codec;
 pub mod commit_log;
+pub mod envelope;
 pub mod ids;
 pub mod interval;
 pub mod sync;
@@ -50,6 +52,7 @@ pub mod vote;
 pub use bitset::SignerSet;
 pub use codec::{Decode, DecodeError, Encode};
 pub use commit_log::{commit_log_digest, StrongCommitUpdate};
+pub use envelope::{Dest, Envelope, ProtocolTag, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 pub use ids::{Height, ReplicaId, Round};
 pub use interval::{RoundInterval, RoundIntervalSet};
 pub use sync::BlockRequest;

@@ -17,8 +17,10 @@
 //!   protocol family.
 //! - [`streamlet`] — SFT-Streamlet, the Appendix D protocol this repo runs
 //!   end to end.
-//! - [`network`] — deterministic in-process transport with delay injection.
-//! - [`sim`] — the lock-step simulator with Byzantine behaviors.
+//! - [`network`] — the `Transport` trait and both implementations: the
+//!   deterministic in-process simulator network (delay injection, fault
+//!   schedules) and the loopback TCP mesh.
+//! - [`sim`] — the generic engine run loop with Byzantine behaviors.
 //!
 //! ## Example
 //!
