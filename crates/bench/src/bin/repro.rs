@@ -9,6 +9,10 @@
 //!              partition — replica n-1 cut off until mid-run while replica 0
 //!                          equivocates; recovery via block-sync is asserted
 //!              lossy     — 15% seeded message loss until GST at mid-run
+//!              crash     — replica 0 crash-stops mid-run; survivors must keep going
+//!              restart   — replica 0 crash-stops mid-run, then restarts from a
+//!                          write-ahead-log replay; committed-prefix parity and
+//!                          zero equivocation are asserted
 //!
 //! flags:
 //!   --protocol streamlet | fbft | both   which protocol(s) to run (default streamlet)
@@ -39,9 +43,13 @@
 use std::fmt::Write as _;
 use std::process::ExitCode;
 
-use sft_core::ProtocolConfig;
-use sft_sim::{run_over_tcp, Behavior, Protocol, SimConfig, SimReport, TcpPacing};
-use sft_types::SimDuration;
+use sft_core::{scan_wal, MemSink, ProtocolConfig, ReplicaEngine, Wal, WalRecord};
+use sft_network::{SimNetwork, SimTransport, Transport};
+use sft_sim::{
+    build_fbft_engines, build_streamlet_engines, run_over_tcp, Behavior, EngineRunner, NoMischief,
+    Protocol, RunPlan, RunnerConfig, SimConfig, SimReport, TcpPacing,
+};
+use sft_types::{Round, SimDuration, SimTime};
 
 /// What the optional third positional argument selects: a Byzantine
 /// behavior for replica `n − 1`, or a partial-synchrony fault schedule.
@@ -56,6 +64,13 @@ enum Scenario {
     Partition,
     /// 15% seeded message loss until GST at mid-run, all replicas honest.
     Lossy,
+    /// Replica 0 crash-stops mid-run (engine dropped, never restarted);
+    /// the survivors must keep committing and agreeing.
+    Crash,
+    /// Replica 0 crash-stops mid-run and is later rebuilt from a
+    /// write-ahead-log replay through the real frame codec; committed-
+    /// prefix parity and zero equivocation are asserted.
+    Restart,
 }
 
 /// Which transport the run goes over.
@@ -172,10 +187,12 @@ fn parse_args() -> Result<Args, String> {
                             "stall" => Scenario::Byzantine(Behavior::StallLeader),
                             "partition" => Scenario::Partition,
                             "lossy" => Scenario::Lossy,
+                            "crash" => Scenario::Crash,
+                            "restart" => Scenario::Restart,
                             other => {
                                 return Err(format!(
                                     "unknown scenario {other:?}; use equivocate | withhold | \
-                                     silent | stall | partition | lossy"
+                                     silent | stall | partition | lossy | crash | restart"
                                 ))
                             }
                         };
@@ -190,6 +207,15 @@ fn parse_args() -> Result<Args, String> {
         args.sweep = vec![args.n];
     } else {
         args.n = args.sweep[0];
+    }
+    if matches!(args.scenario, Scenario::Crash | Scenario::Restart)
+        && (args.json_dir.is_some() || args.sweep.len() > 1 || !args.delay_sweep_ms.is_empty())
+    {
+        return Err(
+            "crash/restart are acceptance scenarios, not bench runs: they support none of \
+             --json-dir / --replicas / --sweep-delay"
+                .to_string(),
+        );
     }
     if args.transport == TransportKind::Tcp {
         if args.scenario != Scenario::Honest {
@@ -226,6 +252,8 @@ fn scenario_name(scenario: Scenario) -> &'static str {
         Scenario::Byzantine(Behavior::StallLeader) => "stall",
         Scenario::Partition => "partition",
         Scenario::Lossy => "lossy",
+        Scenario::Crash => "crash",
+        Scenario::Restart => "restart",
     }
 }
 
@@ -263,6 +291,10 @@ fn configure(
         Scenario::Lossy => {
             config = config.with_lossy_links(LOSSY_SEED, 0.15);
         }
+        // Crash scenarios need mid-run engine surgery, which a static
+        // config cannot express; `run_crash_scenario` drives the runner
+        // directly and never comes through here.
+        Scenario::Crash | Scenario::Restart => unreachable!("crash scenarios bypass configure"),
     }
     config
 }
@@ -422,6 +454,9 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
             args.n - 1
         ),
         Scenario::Lossy => println!("15% message loss (seed {LOSSY_SEED}) until GST at mid-run"),
+        Scenario::Crash | Scenario::Restart => {
+            unreachable!("crash scenarios run through run_crash_scenario")
+        }
     }
 
     let report = config.run();
@@ -553,6 +588,202 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     Ok(())
 }
 
+/// Round-trips `records` through the on-disk frame codec — encode, then
+/// scan back — so the restart replay exercises exactly what a rebooted
+/// process would read from `wal.log`, not the in-memory records the
+/// runner collected.
+fn through_wal_codec(records: &[WalRecord]) -> Result<Vec<WalRecord>, String> {
+    let mut wal = Wal::new(MemSink::new(), 4);
+    for record in records {
+        wal.append(record).map_err(|e| format!("wal encode: {e}"))?;
+    }
+    wal.flush().map_err(|e| format!("wal flush: {e}"))?;
+    let scan = scan_wal(wal.sink().bytes()).map_err(|e| format!("wal scan: {e}"))?;
+    if scan.records.len() != records.len() {
+        return Err(format!(
+            "lossy wal round-trip: {} in, {} out",
+            records.len(),
+            scan.records.len()
+        ));
+    }
+    Ok(scan.records)
+}
+
+/// The `crash` / `restart` scenarios: replica 0 is killed mid-run (its
+/// engine — all in-memory state — dropped on the floor, exactly what
+/// `kill -9` does to a process), and for `restart` later rebuilt from a
+/// write-ahead-log replay through the real frame codec. This is the
+/// simulated twin of the `crash-harness` binary's OS-process run, on the
+/// CI scenario matrix where it is cheap enough to run everywhere.
+fn run_crash_scenario(args: &Args, protocol: Protocol) -> Result<(), String> {
+    let config = SimConfig::new(args.n, args.epochs)
+        .with_protocol(protocol)
+        .with_batch_size(args.batch_size);
+    let restart = args.scenario == Scenario::Restart;
+    println!(
+        "running SFT-{} {}: n={}, {} {} — replica 0 killed mid-run{}",
+        if protocol == Protocol::Fbft {
+            "DiemBFT"
+        } else {
+            "Streamlet"
+        },
+        scenario_name(args.scenario),
+        args.n,
+        args.epochs,
+        if protocol == Protocol::Fbft {
+            "rounds"
+        } else {
+            "epochs"
+        },
+        if restart {
+            ", later restarted from its WAL"
+        } else {
+            ", never restarted"
+        },
+    );
+    match protocol {
+        Protocol::Streamlet => {
+            let period = config.delay * 2;
+            let build = || build_streamlet_engines(&config, period);
+            drive_crash(args, &config, build, RunPlan::UntilQuiescent, restart)
+        }
+        Protocol::Fbft => {
+            let build = || build_fbft_engines(&config, config.base_timeout);
+            let plan = RunPlan::PastRound(Round::new(args.epochs));
+            drive_crash(args, &config, build, plan, restart)
+        }
+    }
+}
+
+/// The crash-scenario event schedule, shared by both protocols: run a
+/// third of the schedule, kill replica 0, (optionally) restart it from a
+/// codec-round-tripped WAL replay two periods later, then drive well past
+/// the target with a sync drain so catch-up fetches and retries fire.
+fn drive_crash<E: ReplicaEngine>(
+    args: &Args,
+    config: &SimConfig,
+    build: impl Fn() -> Vec<E>,
+    plan: RunPlan,
+    restart: bool,
+) -> Result<(), String> {
+    let victim = 0usize;
+    let period = config.delay * 2;
+    let transport = SimTransport::new(SimNetwork::new(config.delay), args.n);
+    let mut runner = EngineRunner::new(
+        build(),
+        vec![Behavior::Honest; args.n],
+        transport,
+        NoMischief,
+        RunnerConfig {
+            plan,
+            horizon: SimTime::ZERO + config.run_horizon,
+            drain_bound: config.drain_sync_bound,
+            drain_step: config.delay,
+        },
+    );
+
+    let crash_at = SimTime::ZERO + period * (args.epochs / 3).max(1);
+    runner.run_until(crash_at);
+    let pre_crash = runner.engine(victim).committed_chain().to_vec();
+    let wal_records = runner.persisted(victim).len();
+    if wal_records == 0 {
+        return Err("victim crashed with an empty WAL; crash point too early".to_string());
+    }
+    runner.set_behavior(victim, Behavior::Silent);
+    println!(
+        "replica {victim} killed at {crash_at}: {wal_records} WAL records, {} committed blocks",
+        pre_crash.len()
+    );
+
+    if restart {
+        let restart_at = crash_at + period * 2;
+        runner.run_until(restart_at);
+        let replayed = through_wal_codec(runner.persisted(victim))?;
+        let mut fresh = build().remove(victim);
+        for record in &replayed {
+            fresh.restore(record, restart_at);
+        }
+        runner.replace_engine(victim, fresh);
+        runner.set_behavior(victim, Behavior::Honest);
+        println!(
+            "replica {victim} restarted at {restart_at}: {} records replayed through the \
+             frame codec",
+            replayed.len()
+        );
+    }
+
+    // Generous tail: self-pacing fbft rounds stall for a timeout whenever
+    // the dead (or catching-up) victim holds the leader slot, so give the
+    // survivors room; Streamlet's epoch clock simply runs out. Driving in
+    // δ steps fires the victim's sync polls and retries along the way.
+    let end = match plan {
+        RunPlan::UntilQuiescent => SimTime::ZERO + period * (args.epochs + 2),
+        RunPlan::PastRound(_) => crash_at + config.base_timeout * 2 * (args.epochs + 6),
+    };
+    let mut at = runner.transport().now();
+    while at < end {
+        at += config.delay;
+        runner.run_until(at);
+    }
+    for step in 1..=60u64 {
+        runner.run_until(end + config.delay * step);
+    }
+
+    let report = runner.report();
+    if !report.agreement() || report.safety_violations > 0 {
+        return Err(format!(
+            "committed prefixes diverge after the crash (violations: {})",
+            report.safety_violations
+        ));
+    }
+    if report.equivocators_detected > 0 {
+        return Err(format!(
+            "{} equivocator(s) observed — a recovered replica contradicted itself",
+            report.equivocators_detected
+        ));
+    }
+    let survivor_best = report
+        .chains
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != victim)
+        .map(|(_, c)| c.len())
+        .max()
+        .unwrap_or(0);
+    if survivor_best <= pre_crash.len() {
+        return Err(format!(
+            "survivors made no progress past the crash ({survivor_best} vs {} pre-crash)",
+            pre_crash.len()
+        ));
+    }
+    let victim_chain = &report.chains[victim];
+    if victim_chain.len() < pre_crash.len() || victim_chain[..pre_crash.len()] != pre_crash[..] {
+        return Err("the victim's committed prefix rolled back".to_string());
+    }
+    if restart && victim_chain.len() <= pre_crash.len() {
+        return Err(format!(
+            "restarted replica made no progress past its pre-crash prefix ({} blocks)",
+            pre_crash.len()
+        ));
+    }
+    println!(
+        "\nOK: agreement holds; survivors reached {survivor_best} blocks{}",
+        if restart {
+            format!(
+                "; the restarted replica kept {} pre-crash blocks and committed {} more",
+                pre_crash.len(),
+                report.chains[victim].len() - pre_crash.len()
+            )
+        } else {
+            format!(
+                "; the dead replica's chain froze at {} blocks",
+                report.chains[victim].len()
+            )
+        }
+    );
+    Ok(())
+}
+
 /// Runs the honest scenario over a loopback TCP mesh — the same engines
 /// the simulator builds, over real sockets, via [`sft_sim::run_over_tcp`]
 /// — and asserts the committed prefix matches the deterministic sim
@@ -619,9 +850,12 @@ fn main() -> ExitCode {
         if i > 0 {
             println!("\n{}\n", "=".repeat(64));
         }
-        let outcome = match args.transport {
-            TransportKind::Sim => run_protocol(&args, protocol),
-            TransportKind::Tcp => run_tcp_protocol(&args, protocol),
+        let outcome = match (args.transport, args.scenario) {
+            (TransportKind::Sim, Scenario::Crash | Scenario::Restart) => {
+                run_crash_scenario(&args, protocol)
+            }
+            (TransportKind::Sim, _) => run_protocol(&args, protocol),
+            (TransportKind::Tcp, _) => run_tcp_protocol(&args, protocol),
         };
         if let Err(message) = outcome {
             eprintln!("FAIL ({}): {message}", protocol_name(protocol));

@@ -18,6 +18,7 @@
 #![deny(missing_docs)]
 
 pub mod gate;
+pub mod node;
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};

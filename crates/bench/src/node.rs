@@ -1,0 +1,269 @@
+//! The standalone replica runtime behind the `sft-node` binary: one
+//! engine, one [`NodeTransport`] endpoint, one write-ahead log.
+//!
+//! This is the deployment shape the paper assumes — `n` independent
+//! processes that only share a network — assembled from the exact pieces
+//! the simulator tests: the engines come from the same builders
+//! ([`build_streamlet_engines`] / [`build_fbft_engines`]), the loop
+//! mirrors the generic `EngineRunner` event loop, and durability follows
+//! the same write-ahead discipline: every record in
+//! [`EngineStep::persist`] is appended to the log *before* any message it
+//! justifies is routed. On startup the node replays `wal.log` into a
+//! fresh engine, so a `kill -9` + restart resumes exactly the pre-crash
+//! voting history — never equivocating against its former self.
+//!
+//! ## Data directory
+//!
+//! ```text
+//! <data-dir>/wal.log      append-only record log (truncated to the last
+//!                         complete frame on recovery)
+//! <data-dir>/commit.out   committed chain, one block hash per line,
+//!                         written atomically at exit
+//! ```
+
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use sft_core::{EngineStep, ReplicaEngine, Route, WalStore};
+use sft_network::{NodeTransport, ProtocolTag, Transport};
+use sft_sim::{build_fbft_engines, build_streamlet_engines, Protocol, SimConfig};
+use sft_types::{ReplicaId, Round, SimDuration, SimTime};
+
+/// Everything that parameterizes one node process. Parsed from the
+/// `sft-node` command line; constructed directly by in-process tests.
+#[derive(Clone, Debug)]
+pub struct NodeOpts {
+    /// This replica's id (an index into `peers`).
+    pub id: u16,
+    /// Address to listen on (normally `peers[id]`).
+    pub listen: SocketAddr,
+    /// The full address table, indexed by replica id, own entry included.
+    pub peers: Vec<SocketAddr>,
+    /// Which protocol the replica set runs.
+    pub protocol: Protocol,
+    /// Directory holding `wal.log` and `commit.out`.
+    pub data_dir: PathBuf,
+    /// Target epoch/round count: the node works until its round passes
+    /// this (and no block-sync is pending), then lingers and exits.
+    pub epochs: u64,
+    /// Hard wall-clock budget for the whole run, linger included.
+    pub budget: Duration,
+    /// How long to keep serving votes and sync responses after reaching
+    /// the target, so slower peers (a restarted crasher, say) can finish.
+    pub linger: Duration,
+    /// fsync batching: sync the log every this many appended records
+    /// (1 = every record durable before its message leaves; larger
+    /// values trade a bounded durability window for fewer fsyncs).
+    pub sync_every: u64,
+    /// The pacing unit δ: Streamlet epochs span `2δ` of wall clock.
+    pub delta: Duration,
+    /// SFT-DiemBFT base round timeout.
+    pub base_timeout: Duration,
+    /// The cluster's shared genesis instant, as a duration since the UNIX
+    /// epoch. Every process anchors its protocol clock here, so epoch
+    /// boundaries align across machines and a restarted replica resumes
+    /// at the cluster's *current* epoch — not at wall time zero of its
+    /// own launch. `None` anchors at process start (single-run tooling).
+    pub start_at: Option<Duration>,
+}
+
+impl NodeOpts {
+    /// The replica count implied by the address table.
+    pub fn n(&self) -> usize {
+        self.peers.len()
+    }
+}
+
+/// What a finished node reports back (and prints).
+#[derive(Clone, Debug)]
+pub struct NodeOutcome {
+    /// WAL records recovered and replayed at startup.
+    pub recovered: usize,
+    /// Records appended to the WAL during this incarnation.
+    pub appended: u64,
+    /// The committed chain, genesis-side first, as lowercase hex.
+    pub committed: Vec<String>,
+    /// Peer connections lost over the run (see
+    /// [`NetworkStats::disconnects`](sft_network::NetworkStats)).
+    pub disconnects: u64,
+    /// The round the engine ended on.
+    pub round: u64,
+}
+
+/// Runs one replica process to completion: bind, recover, participate,
+/// write `commit.out`.
+///
+/// # Errors
+///
+/// Returns a description of any socket or WAL failure.
+pub fn run_node(opts: &NodeOpts) -> Result<NodeOutcome, String> {
+    let n = opts.n();
+    if opts.id as usize >= n {
+        return Err(format!("id {} out of range for {} peers", opts.id, n));
+    }
+    let config = SimConfig::new(n, opts.epochs).with_protocol(opts.protocol);
+    let delta = SimDuration::from_micros(opts.delta.as_micros() as u64);
+    match opts.protocol {
+        Protocol::Streamlet => {
+            let engine = build_streamlet_engines(&config, delta * 2).remove(opts.id as usize);
+            drive(engine, opts, ProtocolTag::Streamlet)
+        }
+        Protocol::Fbft => {
+            let timeout = SimDuration::from_micros(opts.base_timeout.as_micros() as u64);
+            let engine = build_fbft_engines(&config, timeout).remove(opts.id as usize);
+            drive(engine, opts, ProtocolTag::Fbft)
+        }
+    }
+}
+
+/// Messages pending same-instant self-delivery (a node hears its own
+/// broadcasts without a network round trip, as in every harness).
+type Inbox = VecDeque<(ReplicaId, Arc<[u8]>)>;
+
+/// The node event loop around one engine: recover from the WAL, then
+/// deliver / tick / sync until the target round is passed (plus linger)
+/// or the wall-clock budget runs out.
+fn drive<E: ReplicaEngine>(
+    mut engine: E,
+    opts: &NodeOpts,
+    tag: ProtocolTag,
+) -> Result<NodeOutcome, String> {
+    let mut wal =
+        WalStore::open(&opts.data_dir, opts.sync_every).map_err(|e| format!("wal: {e}"))?;
+    let mut transport = NodeTransport::bind(ReplicaId::new(opts.id), tag, opts.listen, &opts.peers)
+        .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    if let Some(since_unix) = opts.start_at {
+        transport = transport.with_time_origin(std::time::UNIX_EPOCH + since_unix);
+    }
+
+    // Recovery before the first tick: the engine resumes its pre-crash
+    // voting history, locked state, and committed prefix.
+    let recovered = wal.replay_into(&mut engine, transport.now());
+    if recovered > 0 {
+        eprintln!(
+            "sft-node {}: recovered {recovered} WAL records{}",
+            opts.id,
+            if wal.tail_truncated() {
+                " (torn tail truncated)"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let id = ReplicaId::new(opts.id);
+    let target = Round::new(opts.epochs);
+    let step = SimDuration::from_micros(opts.delta.as_micros() as u64);
+    let budget_end = transport.now() + SimDuration::from_micros(opts.budget.as_micros() as u64);
+    let linger = SimDuration::from_micros(opts.linger.as_micros() as u64);
+    let mut done_at: Option<SimTime> = None;
+    let mut inbox: Inbox = VecDeque::new();
+
+    loop {
+        let now = transport.now();
+        if now >= budget_end {
+            break;
+        }
+        // Done when the protocol ran its course — an exhausted epoch
+        // clock (Streamlet) or the target round passed (fbft) — and no
+        // catch-up fetch is pending.
+        let course_run = engine.next_deadline().is_none() || engine.round() > target;
+        if course_run && !engine.is_syncing() {
+            let at = *done_at.get_or_insert(now);
+            if now >= at + linger {
+                break;
+            }
+        }
+        // Wait for traffic until the next engine deadline (or one pacing
+        // step, so the linger/budget clocks keep being checked).
+        let mut wake = now + step;
+        if let Some(deadline) = engine.next_deadline() {
+            wake = wake.min(deadline.max(now));
+        }
+        for d in transport.poll_deliver(wake) {
+            inbox.push_back((d.from, d.payload));
+        }
+        let now = transport.now();
+        loop {
+            while let Some((from, bytes)) = inbox.pop_front() {
+                let step = engine.on_envelope(from, &bytes, now);
+                absorb(step, id, &mut wal, &mut transport, &mut inbox)?;
+            }
+            let mut fired = false;
+            if engine.next_deadline().is_some_and(|d| d <= now) {
+                fired = true;
+                let step = engine.on_tick(now);
+                absorb(step, id, &mut wal, &mut transport, &mut inbox)?;
+            }
+            if fired || !inbox.is_empty() {
+                continue;
+            }
+            let step = engine.poll_sync(now);
+            absorb(step, id, &mut wal, &mut transport, &mut inbox)?;
+            if inbox.is_empty() {
+                break;
+            }
+        }
+    }
+
+    wal.flush().map_err(|e| format!("wal flush: {e}"))?;
+    let committed: Vec<String> = engine
+        .committed_chain()
+        .iter()
+        .map(|h| format!("{h}"))
+        .collect();
+    write_commit_file(opts, &committed)?;
+    Ok(NodeOutcome {
+        recovered,
+        appended: wal.appended(),
+        committed,
+        disconnects: transport.stats().disconnects,
+        round: engine.round().as_u64(),
+    })
+}
+
+/// Write-ahead discipline, then routing: persist the step's durable
+/// records, then send its messages (broadcasts loop back through the
+/// inbox so the node hears itself).
+fn absorb<S: Transport>(
+    step: EngineStep,
+    id: ReplicaId,
+    wal: &mut WalStore,
+    transport: &mut S,
+    inbox: &mut Inbox,
+) -> Result<(), String> {
+    for record in &step.persist {
+        wal.append(record).map_err(|e| format!("wal append: {e}"))?;
+    }
+    for out in step.outbound {
+        match out.route {
+            Route::Broadcast => {
+                transport.broadcast(id, Arc::clone(&out.bytes));
+                inbox.push_back((id, out.bytes));
+            }
+            Route::To(peer) if peer == id => inbox.push_back((id, out.bytes)),
+            Route::To(peer) => transport.send(id, peer, out.bytes),
+        }
+    }
+    Ok(())
+}
+
+/// The file the crash harness compares across replicas.
+pub const COMMIT_FILE_NAME: &str = "commit.out";
+
+/// Writes the committed chain atomically (tmp + rename), one hash per
+/// line, so a reader never observes a half-written file.
+fn write_commit_file(opts: &NodeOpts, committed: &[String]) -> Result<(), String> {
+    let path = opts.data_dir.join(COMMIT_FILE_NAME);
+    let tmp = opts.data_dir.join(format!("{COMMIT_FILE_NAME}.tmp"));
+    let mut body = committed.join("\n");
+    if !body.is_empty() {
+        body.push('\n');
+    }
+    std::fs::write(&tmp, body).map_err(|e| format!("writing {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path).map_err(|e| format!("renaming to {}: {e}", path.display()))?;
+    Ok(())
+}

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use sft_crypto::HashValue;
 use sft_types::{ReplicaId, Round, SimTime, StrongCommitUpdate};
 
+use crate::wal::WalRecord;
 use crate::{BlockStore, SyncStats};
 
 /// What kind of protocol message an outbound payload encodes. The tag is
@@ -98,6 +99,11 @@ pub struct EngineStep {
     /// Commit-log entries this step produced (standard commits and
     /// strength increases), in occurrence order.
     pub updates: Vec<StrongCommitUpdate>,
+    /// Durable consensus events this step produced, in occurrence order.
+    /// A crash-safe harness appends these to the replica's write-ahead
+    /// log *before* routing `outbound` — the write-ahead discipline that
+    /// makes a restarted replica honor its pre-crash votes.
+    pub persist: Vec<WalRecord>,
 }
 
 impl EngineStep {
@@ -106,9 +112,10 @@ impl EngineStep {
         Self::default()
     }
 
-    /// True if the step produced neither messages nor commit entries.
+    /// True if the step produced no messages, commit entries, or durable
+    /// events.
     pub fn is_empty(&self) -> bool {
-        self.outbound.is_empty() && self.updates.is_empty()
+        self.outbound.is_empty() && self.updates.is_empty() && self.persist.is_empty()
     }
 }
 
@@ -139,6 +146,15 @@ pub trait ReplicaEngine {
     fn poll_sync(&mut self, now: SimTime) -> EngineStep {
         let _ = now;
         EngineStep::empty()
+    }
+
+    /// Re-applies one recovered write-ahead-log record at restart instant
+    /// `now`, before the engine's first tick. Replaying a log front to
+    /// back restores vote dedup (no equivocation against the pre-crash
+    /// self), the locked round and high-QC, and the committed prefix.
+    /// Engines without durable state ignore the record.
+    fn restore(&mut self, record: &WalRecord, now: SimTime) {
+        let _ = (record, now);
     }
 
     /// The replica's current round (Streamlet: epoch) — the progress

@@ -49,6 +49,7 @@ pub mod ledger;
 pub mod mempool;
 pub mod qc;
 pub mod sync;
+pub mod wal;
 
 pub use block::{Ancestors, Block, BlockStore, BlockStoreError};
 pub use config::ProtocolConfig;
@@ -58,3 +59,7 @@ pub use ledger::CommitLedger;
 pub use mempool::{Mempool, PayloadSource};
 pub use qc::{QuorumCertificate, VoteOutcome, VoteTracker};
 pub use sync::{BlockResponse, SyncConfig, SyncManager, SyncStats};
+pub use wal::{
+    scan_wal, FileSink, FrameError, MemSink, Wal, WalError, WalRecord, WalScan, WalSink, WalStore,
+    WAL_FILE_NAME,
+};

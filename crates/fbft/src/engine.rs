@@ -8,7 +8,7 @@
 //! and fires [`FbftReplica::try_propose_chained`] on its first tick
 //! (exactly what the old event-loop driver did by hand).
 
-use sft_core::{BlockStore, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats};
+use sft_core::{BlockStore, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord};
 use sft_crypto::HashValue;
 use sft_types::{Decode, Encode, ReplicaId, Round, SimTime, StrongCommitUpdate};
 
@@ -89,6 +89,7 @@ impl FbftEngine {
             ));
         }
         step.updates = out.updates;
+        step.persist = self.replica.drain_wal();
         step
     }
 }
@@ -160,7 +161,12 @@ impl ReplicaEngine for FbftEngine {
                 FbftMessage::Timeout(timeout).to_bytes(),
             ));
         }
+        step.persist = self.replica.drain_wal();
         step
+    }
+
+    fn restore(&mut self, record: &WalRecord, now: SimTime) {
+        self.replica.replay(record, now);
     }
 
     fn round(&self) -> Round {

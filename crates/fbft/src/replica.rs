@@ -6,7 +6,7 @@ use std::fmt;
 use sft_core::{
     honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, Mempool,
     PayloadSource, ProtocolConfig, QuorumCertificate, SyncManager, SyncStats, VoteOutcome,
-    VoteTracker,
+    VoteTracker, WalRecord,
 };
 use sft_crypto::{HashValue, KeyPair, KeyRegistry};
 use sft_types::{
@@ -149,6 +149,17 @@ pub struct FbftReplica {
     /// Blocks the 2-chain rule declared committed while their chain was
     /// still incomplete locally; retried after every sync admission.
     deferred_commits: Vec<HashValue>,
+    /// Durable events produced since the last [`drain_wal`](Self::drain_wal):
+    /// the write-ahead-log records a crash-safe harness persists before
+    /// sending this replica's messages.
+    wal: Vec<WalRecord>,
+    /// Digests of certificates already written to the WAL buffer. Separate
+    /// from `processed_qcs`, which deliberately re-processes a QC while its
+    /// block is absent — the log wants each certificate exactly once.
+    logged_qcs: HashSet<HashValue>,
+    /// Rounds whose TC was already written to the WAL buffer (one TC per
+    /// round suffices for recovery: replay only needs the round jump).
+    logged_tcs: HashSet<Round>,
 }
 
 impl FbftReplica {
@@ -203,6 +214,9 @@ impl FbftReplica {
                 sync
             },
             deferred_commits: Vec::new(),
+            wal: Vec::new(),
+            logged_qcs: HashSet::new(),
+            logged_tcs: HashSet::new(),
         }
     }
 
@@ -380,7 +394,7 @@ impl FbftReplica {
         self.commit_log.extend(out.updates.iter().copied());
         if let Some(tc) = proposal.tc() {
             if self.pacemaker.on_tc_round(tc.round(), now).is_some() {
-                self.last_tc = Some(tc.clone());
+                self.adopt_tc(tc.clone());
             }
         }
         // Record the block regardless of the voting decision — descendants
@@ -413,7 +427,11 @@ impl FbftReplica {
             honest_endorse_info(self.endorse_mode, &self.store, &self.voted_blocks, block);
         self.voted_rounds.insert(round);
         self.voted_blocks.push((round, block.id()));
-        out.vote = Some(StrongVote::new(data, endorse, &self.key_pair));
+        let vote = StrongVote::new(data, endorse, &self.key_pair);
+        // Write-ahead: the harness persists this record before the vote is
+        // routed, so a restart can never contradict it.
+        self.wal.push(WalRecord::VoteSent(vote.clone()));
+        out.vote = Some(vote);
         out
     }
 
@@ -471,7 +489,7 @@ impl FbftReplica {
             if tc.signers().len() >= self.config.quorum()
                 && self.pacemaker.on_tc_round(tc.round(), now).is_some()
             {
-                self.last_tc = Some(tc.clone());
+                self.adopt_tc(tc.clone());
                 self.timeouts.prune_below(self.pacemaker.current_round());
             }
         }
@@ -489,7 +507,7 @@ impl FbftReplica {
         if msg.round() >= self.pacemaker.current_round() {
             if let TimeoutOutcome::Certified(tc) = self.timeouts.add(msg) {
                 if self.pacemaker.on_tc_round(tc.round(), now).is_some() {
-                    self.last_tc = Some(tc);
+                    self.adopt_tc(tc);
                     self.timeouts.prune_below(self.pacemaker.current_round());
                 }
             }
@@ -541,6 +559,9 @@ impl FbftReplica {
             .ledger
             .finalize_deferred(&self.store, &mut self.deferred_commits)
         {
+            if let Some(block) = self.store.get(id).cloned() {
+                self.wal.push(WalRecord::BlockCommitted(block));
+            }
             if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
                 out.updates.push(update);
             }
@@ -590,6 +611,13 @@ impl FbftReplica {
         if !qc.is_well_formed(&self.config) {
             return Vec::new();
         }
+        // Log each certificate exactly once (the genesis QC replays as a
+        // no-op, so logging it is harmless). This must *not* share
+        // `processed_qcs`: that set deliberately skips caching while the
+        // certified block is absent, and re-deliveries would re-log.
+        if qc.round() > Round::ZERO && self.logged_qcs.insert(qc.digest()) {
+            self.wal.push(WalRecord::QcFormed(qc.clone()));
+        }
         // Sync bookkeeping: record the certificate (it may be served to
         // lagging peers later) and, if the certified block is unknown,
         // flag it as a fetch target.
@@ -624,12 +652,79 @@ impl FbftReplica {
                 }
             }
             for id in committed {
+                if let Some(block) = self.store.get(id).cloned() {
+                    self.wal.push(WalRecord::BlockCommitted(block));
+                }
                 if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
                     updates.push(update);
                 }
             }
         }
         updates
+    }
+
+    /// Adopts `tc` as the justification of the round it closed, logging it
+    /// for crash recovery (once per round — replay only needs the jump).
+    fn adopt_tc(&mut self, tc: TimeoutCertificate) {
+        if self.logged_tcs.insert(tc.round()) {
+            self.wal.push(WalRecord::TcFormed(tc.clone()));
+        }
+        self.last_tc = Some(tc);
+    }
+
+    /// Takes every durable event produced since the last drain, in
+    /// occurrence order. A crash-safe harness appends these to the WAL
+    /// *before* routing the step's messages.
+    pub fn drain_wal(&mut self) -> Vec<WalRecord> {
+        std::mem::take(&mut self.wal)
+    }
+
+    /// Re-applies one recovered WAL record at restart instant `now`.
+    ///
+    /// Replaying a log front to back restores exactly the promises the log
+    /// recorded: `VoteSent` re-arms the vote-once rule and the marker
+    /// history (the replica can never equivocate against its pre-crash
+    /// self), `QcFormed` re-runs certificate processing (high-QC, round,
+    /// 2-chain lock, commits — certified-but-unknown blocks become sync
+    /// targets again), `TcFormed` re-applies the round jump, and
+    /// `BlockCommitted` restores the block and the committed prefix.
+    ///
+    /// Records the replay itself re-derives are discarded, not re-buffered:
+    /// they are already in the log being replayed.
+    pub fn replay(&mut self, record: &WalRecord, now: SimTime) {
+        match record {
+            WalRecord::VoteSent(vote) => {
+                self.voted_rounds.insert(vote.round());
+                self.voted_blocks
+                    .push((vote.round(), vote.data().block_id()));
+            }
+            WalRecord::QcFormed(qc) => {
+                let updates = self.process_qc(qc, now);
+                self.commit_log.extend(updates.iter().copied());
+            }
+            WalRecord::TcFormed(tc) => {
+                if self.pacemaker.on_tc_round(tc.round(), now).is_some() {
+                    self.last_tc = Some(tc.clone());
+                    self.timeouts.prune_below(self.pacemaker.current_round());
+                }
+            }
+            WalRecord::BlockCommitted(block) => {
+                match self.store.insert(block.clone()) {
+                    Ok(_) => self.sync.note_stored(block.id()),
+                    Err(sft_core::BlockStoreError::UnknownParent) => {
+                        self.sync.note_orphan_block(block.clone(), &self.store);
+                    }
+                    Err(_) => {}
+                }
+                let committed = self.ledger.finalize_through(&self.store, block.id());
+                for id in committed {
+                    if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
+                        self.commit_log.push(update);
+                    }
+                }
+            }
+        }
+        self.wal.clear();
     }
 }
 

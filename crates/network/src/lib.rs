@@ -48,6 +48,7 @@
 
 #![deny(missing_docs)]
 
+pub mod node;
 pub mod tcp;
 
 use std::collections::VecDeque;
@@ -57,6 +58,7 @@ use std::sync::Arc;
 use sft_crypto::rng::{RngCore, SplitMix64};
 use sft_types::{ReplicaId, SimDuration, SimTime};
 
+pub use node::NodeTransport;
 pub use sft_types::{Dest, Envelope, ProtocolTag};
 pub use tcp::TcpCluster;
 
@@ -257,6 +259,11 @@ pub struct NetworkStats {
     /// Messages the fault schedule dropped (partition cuts and lossy-link
     /// losses); always zero on a lossless network.
     pub dropped: u64,
+    /// Peer connections lost (reader EOF/error, writer failures). Always
+    /// zero on the simulator; socket transports count every drop so
+    /// reconnection logic has an observable signal instead of a silent
+    /// thread exit.
+    pub disconnects: u64,
 }
 
 /// A deterministic store-and-forward network with a uniform one-way delay.
@@ -493,7 +500,8 @@ mod tests {
             NetworkStats {
                 messages: 3,
                 bytes: 6,
-                dropped: 0
+                dropped: 0,
+                disconnects: 0
             }
         );
     }

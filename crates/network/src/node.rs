@@ -1,0 +1,477 @@
+//! Single-endpoint socket transport for standalone replica processes.
+//!
+//! [`TcpCluster`](crate::TcpCluster) hosts all `n` endpoints in one
+//! process and connects the mesh at construction — fine for tests, useless
+//! for a real deployment where each replica is its own process that must
+//! survive peers being down, crashing, and coming back. [`NodeTransport`]
+//! is the per-process half of the same design:
+//!
+//! - one listener accepts inbound connections from any peer, attributing
+//!   each by its hello frame (same validation as the cluster readers);
+//! - one **reconnecting writer thread per peer** dials the peer's address
+//!   with capped exponential backoff, re-dials (and re-sends the hello)
+//!   whenever a write fails, and keeps draining its frame channel in the
+//!   meantime — so a peer's crash never wedges the consensus loop, and
+//!   its restart is picked up without any coordination;
+//! - every lost connection, inbound or outbound, is a counted
+//!   [`disconnect`](crate::NetworkStats::disconnects), not a silent
+//!   thread exit.
+//!
+//! The [`Transport`] surface is identical to the cluster's, so the same
+//! generic engine loop drives a replica here — `sft-node` is that loop
+//! plus a write-ahead log.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sft_types::{Envelope, ProtocolTag, ReplicaId, SimTime};
+
+use crate::tcp::spawn_reader;
+use crate::{Delivery, NetworkStats, Transport};
+
+/// Per-peer writer queue depth. Bounded so a long-dead peer costs a fixed
+/// amount of memory; sends beyond it are counted drops (the peer will
+/// block-sync what it missed, exactly as after a partition).
+const WRITER_QUEUE_DEPTH: usize = 1024;
+
+/// First reconnect delay; doubles per failed attempt up to
+/// [`BACKOFF_CAP`].
+const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+
+/// Ceiling on the reconnect backoff.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// One peer's outbound side: the channel its reconnecting writer drains.
+struct PeerOut {
+    frames: SyncSender<Arc<[u8]>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+/// One replica's view of the network: a listener for inbound peers and a
+/// reconnecting writer per outbound peer. See the [module docs](self).
+pub struct NodeTransport {
+    id: ReplicaId,
+    n: usize,
+    protocol: ProtocolTag,
+    start: Instant,
+    /// Outbound side per replica id; the own-id slot is `None`
+    /// (self-delivery is the harness's job, as with every transport).
+    peers: Vec<Option<PeerOut>>,
+    inbound: Receiver<Delivery>,
+    staged: VecDeque<Delivery>,
+    next_seq: u64,
+    stats: NetworkStats,
+    /// Connections lost, inbound readers and outbound writers combined.
+    disconnects: Arc<AtomicU64>,
+    /// Tells writer threads to stop reconnecting at shutdown.
+    shutdown: Arc<AtomicBool>,
+    /// The local listener's address (waking the acceptor at drop).
+    listen_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl NodeTransport {
+    /// Binds this replica's listener on `listen` and spawns a
+    /// reconnecting writer toward every other entry of `peers` (the full
+    /// address table, indexed by replica id, own entry included). Peers
+    /// need not be up yet — and may go down and come back — connections
+    /// are (re-)established in the background with capped exponential
+    /// backoff.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for `peers` or fewer than two
+    /// addresses are given.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error raised while binding the listener or
+    /// spawning threads.
+    pub fn bind(
+        id: ReplicaId,
+        protocol: ProtocolTag,
+        listen: SocketAddr,
+        peers: &[SocketAddr],
+    ) -> io::Result<Self> {
+        let n = peers.len();
+        assert!(n >= 2, "a replica set needs at least two members");
+        assert!(id.as_usize() < n, "own id must index the address table");
+        let listener = TcpListener::bind(listen)?;
+        let listen_addr = listener.local_addr()?;
+
+        let (inbound_tx, inbound) = mpsc::channel::<Delivery>();
+        let received = Arc::new(AtomicU64::new(0));
+        let disconnects = Arc::new(AtomicU64::new(0));
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let acceptor = std::thread::Builder::new()
+            .name(format!("sft-node-accept-{}", id.as_u16()))
+            .spawn({
+                let inbound_tx = inbound_tx.clone();
+                let received = Arc::clone(&received);
+                let disconnects = Arc::clone(&disconnects);
+                let shutdown = Arc::clone(&shutdown);
+                move || {
+                    accept_loop(
+                        listener,
+                        id,
+                        protocol,
+                        inbound_tx,
+                        received,
+                        disconnects,
+                        shutdown,
+                    );
+                }
+            })?;
+
+        let mut outs: Vec<Option<PeerOut>> = Vec::with_capacity(n);
+        for (peer, addr) in peers.iter().enumerate() {
+            if peer == id.as_usize() {
+                outs.push(None);
+                continue;
+            }
+            let hello =
+                Envelope::to_peer(id, ReplicaId::new(peer as u16), protocol, Vec::new()).to_frame();
+            let (frames, rx) = mpsc::sync_channel::<Arc<[u8]>>(WRITER_QUEUE_DEPTH);
+            let writer = std::thread::Builder::new()
+                .name(format!("sft-node-writer-{}-{peer}", id.as_u16()))
+                .spawn({
+                    let addr = *addr;
+                    let disconnects = Arc::clone(&disconnects);
+                    let shutdown = Arc::clone(&shutdown);
+                    move || peer_writer_loop(addr, hello, rx, disconnects, shutdown)
+                })?;
+            outs.push(Some(PeerOut {
+                frames,
+                writer: Some(writer),
+            }));
+        }
+
+        Ok(Self {
+            id,
+            n,
+            protocol,
+            start: Instant::now(),
+            peers: outs,
+            inbound,
+            staged: VecDeque::new(),
+            next_seq: 0,
+            stats: NetworkStats::default(),
+            disconnects,
+            shutdown,
+            listen_addr,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The bound listener address (useful when `listen` used port 0).
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Re-anchors the transport clock at `origin` — a wall-clock instant
+    /// shared by every process of the cluster (the deployment's genesis
+    /// timestamp). [`now`](Transport::now) then reads the time elapsed
+    /// since that shared instant (zero before it), so externally clocked
+    /// protocols tick aligned epochs across processes regardless of when
+    /// each one started — and a restarted replica resumes at the
+    /// *cluster's* current epoch instead of replaying wall time from its
+    /// own launch.
+    #[must_use]
+    pub fn with_time_origin(mut self, origin: std::time::SystemTime) -> Self {
+        let now = Instant::now();
+        self.start = match origin.elapsed() {
+            // Anchor in the past: back-date the start by that much.
+            Ok(past) => now.checked_sub(past).unwrap_or(now),
+            // Anchor in the future: the clock reads zero until then.
+            Err(ahead) => now + ahead.duration(),
+        };
+        self
+    }
+
+    /// Enqueues one pre-framed buffer toward `to`. A full or closed
+    /// channel is a counted drop — the writer is down or hopelessly
+    /// behind, and the peer will block-sync what it missed.
+    fn enqueue(&mut self, to: ReplicaId, frame: Arc<[u8]>, payload_len: usize) {
+        self.stats.messages += 1;
+        self.stats.bytes += payload_len as u64;
+        let Some(peer) = self.peers[to.as_usize()].as_ref() else {
+            self.stats.dropped += 1;
+            return;
+        };
+        match peer.frames.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.stats.dropped += 1;
+            }
+        }
+    }
+
+    /// Stamps a popped delivery with arrival order.
+    fn stage(&mut self, mut delivery: Delivery) {
+        delivery.seq = self.next_seq;
+        self.next_seq += 1;
+        self.staged.push_back(delivery);
+    }
+}
+
+impl Transport for NodeTransport {
+    fn replica_count(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, from: ReplicaId, to: ReplicaId, payload: Arc<[u8]>) {
+        debug_assert_eq!(from, self.id, "a node only sends as itself");
+        let env = Envelope::to_peer(from, to, self.protocol, Arc::clone(&payload));
+        let frame: Arc<[u8]> = env.to_frame().into();
+        self.enqueue(to, frame, payload.len());
+    }
+
+    fn broadcast(&mut self, from: ReplicaId, payload: Arc<[u8]>) {
+        debug_assert_eq!(from, self.id, "a node only sends as itself");
+        let env = Envelope::broadcast(from, self.protocol, Arc::clone(&payload));
+        let frame: Arc<[u8]> = env.to_frame().into();
+        for to in 0..self.n as u16 {
+            let to = ReplicaId::new(to);
+            if to != from {
+                self.enqueue(to, Arc::clone(&frame), payload.len());
+            }
+        }
+    }
+
+    fn poll_deliver(&mut self, deadline: SimTime) -> Vec<Delivery> {
+        while let Ok(d) = self.inbound.try_recv() {
+            self.stage(d);
+        }
+        if self.staged.is_empty() {
+            let now = self.now();
+            if deadline > now {
+                let wait = Duration::from_micros((deadline - now).as_micros());
+                match self.inbound.recv_timeout(wait) {
+                    Ok(d) => {
+                        self.stage(d);
+                        while let Ok(more) = self.inbound.try_recv() {
+                            self.stage(more);
+                        }
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {}
+                }
+            }
+        }
+        let now = self.now();
+        self.staged
+            .drain(..)
+            .map(|mut d| {
+                d.deliver_at = now;
+                d
+            })
+            .collect()
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn next_deliver_at(&self) -> Option<SimTime> {
+        None
+    }
+
+    fn is_idle(&self) -> bool {
+        // A lone endpoint cannot know what peers still have in flight;
+        // "idle" is only "nothing locally staged".
+        self.staged.is_empty()
+    }
+
+    fn stats(&self) -> NetworkStats {
+        let mut stats = self.stats;
+        stats.disconnects = self.disconnects.load(Ordering::SeqCst);
+        stats
+    }
+}
+
+impl Drop for NodeTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Closing the frame channels ends the writer loops.
+        for peer in self.peers.iter_mut().flatten() {
+            let (closed, _) = mpsc::sync_channel(1);
+            peer.frames = closed;
+        }
+        for peer in std::mem::take(&mut self.peers).into_iter().flatten() {
+            drop(peer.frames);
+            if let Some(handle) = peer.writer {
+                let _ = handle.join();
+            }
+        }
+        // Wake the acceptor so it can observe the shutdown flag.
+        let _ = TcpStream::connect(self.listen_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Accepts inbound peer connections for `owner` until shutdown, handing
+/// each to a detached reader (the same validating reader the cluster
+/// transport uses). Reader threads exit on their own at EOF — each exit
+/// bumps `disconnects`.
+fn accept_loop(
+    listener: TcpListener,
+    owner: ReplicaId,
+    protocol: ProtocolTag,
+    inbound: Sender<Delivery>,
+    received: Arc<AtomicU64>,
+    disconnects: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_nodelay(true);
+        let _ = spawn_reader(
+            stream,
+            owner,
+            protocol,
+            inbound.clone(),
+            Arc::clone(&received),
+            Arc::clone(&disconnects),
+        );
+    }
+}
+
+/// The reconnecting writer toward one peer: dials with capped exponential
+/// backoff, leads every (re)connection with the hello frame, and re-dials
+/// on any write failure — counting each lost connection. Exits when the
+/// frame channel closes or shutdown is flagged.
+fn peer_writer_loop(
+    addr: SocketAddr,
+    hello: Vec<u8>,
+    frames: Receiver<Arc<[u8]>>,
+    disconnects: Arc<AtomicU64>,
+    shutdown: Arc<AtomicBool>,
+) {
+    let mut stream: Option<TcpStream> = None;
+    let mut backoff = BACKOFF_FLOOR;
+    'frames: while let Ok(frame) = frames.recv() {
+        loop {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            if stream.is_none() {
+                match TcpStream::connect(addr) {
+                    Ok(mut s) => {
+                        let _ = s.set_nodelay(true);
+                        if s.write_all(&hello).is_ok() {
+                            stream = Some(s);
+                            backoff = BACKOFF_FLOOR;
+                        } else {
+                            disconnects.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(BACKOFF_CAP);
+                            continue;
+                        }
+                    }
+                    Err(_) => {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(BACKOFF_CAP);
+                        continue;
+                    }
+                }
+            }
+            let connected = stream.as_mut().expect("just connected");
+            if connected.write_all(&frame).is_ok() {
+                continue 'frames;
+            }
+            // The peer died mid-stream: count it, drop the socket, and
+            // retry this same frame on the next connection.
+            stream = None;
+            disconnects.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    if let Some(s) = stream {
+        let _ = s.shutdown(std::net::Shutdown::Write);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_types::SimDuration;
+
+    /// Two free loopback addresses reserved by bind-then-drop.
+    fn free_addrs(count: usize) -> Vec<SocketAddr> {
+        let holds: Vec<TcpListener> = (0..count)
+            .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+            .collect();
+        holds.iter().map(|l| l.local_addr().unwrap()).collect()
+    }
+
+    fn collect(node: &mut NodeTransport, want: usize, secs: u64) -> Vec<Delivery> {
+        let deadline = node.now() + SimDuration::from_secs(secs);
+        let mut got = Vec::new();
+        while got.len() < want && node.now() < deadline {
+            got.extend(node.poll_deliver(node.now() + SimDuration::from_millis(50)));
+        }
+        got
+    }
+
+    #[test]
+    fn two_nodes_exchange_broadcasts() {
+        let addrs = free_addrs(2);
+        let mut a =
+            NodeTransport::bind(ReplicaId::new(0), ProtocolTag::Fbft, addrs[0], &addrs).unwrap();
+        let mut b =
+            NodeTransport::bind(ReplicaId::new(1), ProtocolTag::Fbft, addrs[1], &addrs).unwrap();
+        a.broadcast(ReplicaId::new(0), vec![1, 2].into());
+        b.broadcast(ReplicaId::new(1), vec![3].into());
+        let at_b = collect(&mut b, 1, 10);
+        let at_a = collect(&mut a, 1, 10);
+        assert_eq!(at_b.len(), 1);
+        assert_eq!(at_b[0].payload[..], [1, 2]);
+        assert_eq!(at_a.len(), 1);
+        assert_eq!(at_a[0].payload[..], [3]);
+    }
+
+    #[test]
+    fn writer_reconnects_after_peer_restart_and_counts_the_loss() {
+        let addrs = free_addrs(2);
+        let mut a =
+            NodeTransport::bind(ReplicaId::new(0), ProtocolTag::Fbft, addrs[0], &addrs).unwrap();
+        {
+            let mut b = NodeTransport::bind(ReplicaId::new(1), ProtocolTag::Fbft, addrs[1], &addrs)
+                .unwrap();
+            a.send(ReplicaId::new(0), ReplicaId::new(1), vec![1].into());
+            assert_eq!(collect(&mut b, 1, 10).len(), 1, "first incarnation hears");
+        } // kill -9: b's process (and its listener) is gone
+
+        // Writes toward the dead peer fail; the writer starts re-dialing.
+        // Eventually the restarted incarnation must hear a later send.
+        let mut b2 =
+            NodeTransport::bind(ReplicaId::new(1), ProtocolTag::Fbft, addrs[1], &addrs).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut heard = Vec::new();
+        while heard.is_empty() && Instant::now() < deadline {
+            a.send(ReplicaId::new(0), ReplicaId::new(1), vec![7].into());
+            heard = collect(&mut b2, 1, 1);
+        }
+        assert_eq!(heard.len(), 1, "reconnection reaches the restarted peer");
+        assert_eq!(heard[0].payload[..], [7]);
+        assert!(
+            a.stats().disconnects >= 1,
+            "the lost connection was a counted event"
+        );
+    }
+}

@@ -89,6 +89,10 @@ pub struct TcpCluster {
     /// Frames accepted and pushed by reader threads (compared against
     /// `stats.messages` for idleness).
     received: Arc<AtomicU64>,
+    /// Peer connections the reader threads lost (EOF, socket error, or a
+    /// protocol violation) — surfaced through [`Transport::stats`] so a
+    /// dropped peer is a counted event, not a silent thread exit.
+    disconnects: Arc<AtomicU64>,
     delivered: u64,
     next_seq: u64,
     stats: NetworkStats,
@@ -116,6 +120,7 @@ impl TcpCluster {
 
         let (inbound_tx, inbound) = mpsc::channel::<Delivery>();
         let received = Arc::new(AtomicU64::new(0));
+        let disconnects = Arc::new(AtomicU64::new(0));
         let mut readers = Vec::new();
 
         // Connect the mesh: for each ordered pair (from → to), `from`
@@ -160,6 +165,7 @@ impl TcpCluster {
                     protocol,
                     inbound_tx.clone(),
                     Arc::clone(&received),
+                    Arc::clone(&disconnects),
                 )?;
                 readers.push(reader);
             }
@@ -174,6 +180,7 @@ impl TcpCluster {
             inbound,
             staged: VecDeque::new(),
             received,
+            disconnects,
             delivered: 0,
             next_seq: 0,
             stats: NetworkStats::default(),
@@ -185,14 +192,29 @@ impl TcpCluster {
     fn enqueue(&mut self, from: ReplicaId, to: ReplicaId, frame: Arc<[u8]>, payload_len: usize) {
         self.stats.messages += 1;
         self.stats.bytes += payload_len as u64;
-        let link = self.links[from.as_usize()][to.as_usize()]
-            .as_ref()
-            .expect("no link to self");
-        // A full queue means the peer stopped draining (dead writer): the
-        // blocking send is this transport's backpressure. A disconnected
-        // channel is counted like a network drop.
+        // A severed link counts like a network drop, as does a
+        // disconnected channel. A full queue means the peer stopped
+        // draining (dead writer): the blocking send is this transport's
+        // backpressure.
+        let Some(link) = self.links[from.as_usize()][to.as_usize()].as_ref() else {
+            self.stats.dropped += 1;
+            return;
+        };
         if link.frames.send(frame).is_err() {
             self.stats.dropped += 1;
+        }
+    }
+
+    /// Severs the `from → to` connection — what the receiving endpoint
+    /// observes when the sender's process dies. Its reader EOFs and counts
+    /// a disconnect in [`Transport::stats`]; later sends on the severed
+    /// link count as drops.
+    pub fn sever(&mut self, from: ReplicaId, to: ReplicaId) {
+        if let Some(link) = self.links[from.as_usize()][to.as_usize()].take() {
+            drop(link.frames);
+            if let Some(handle) = link.writer {
+                let _ = handle.join();
+            }
         }
     }
 
@@ -279,7 +301,9 @@ impl Transport for TcpCluster {
     }
 
     fn stats(&self) -> NetworkStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.disconnects = self.disconnects.load(Ordering::SeqCst);
+        stats
     }
 }
 
@@ -314,17 +338,23 @@ fn writer_loop(mut stream: TcpStream, frames: Receiver<Arc<[u8]>>) {
 
 /// Spawns the reader for one accepted connection: decodes frames
 /// incrementally, validates the hello, tag, and destination, and pushes
-/// deliveries for `owner` into the shared queue.
-fn spawn_reader(
+/// deliveries for `owner` into the shared queue. Every reader exit — EOF,
+/// socket error, or protocol violation — bumps `disconnects`, so a lost
+/// peer is observable in [`NetworkStats`] instead of vanishing silently.
+pub(crate) fn spawn_reader(
     stream: TcpStream,
     owner: ReplicaId,
     protocol: ProtocolTag,
     inbound: Sender<Delivery>,
     received: Arc<AtomicU64>,
+    disconnects: Arc<AtomicU64>,
 ) -> io::Result<JoinHandle<()>> {
     std::thread::Builder::new()
         .name(format!("sft-tcp-reader-{}", owner.as_u16()))
-        .spawn(move || reader_loop(stream, owner, protocol, inbound, received))
+        .spawn(move || {
+            reader_loop(stream, owner, protocol, inbound, received);
+            disconnects.fetch_add(1, Ordering::SeqCst);
+        })
 }
 
 fn reader_loop(
@@ -418,7 +448,8 @@ mod tests {
             NetworkStats {
                 messages: 3,
                 bytes: 6,
-                dropped: 0
+                dropped: 0,
+                disconnects: 0
             },
             "byte accounting matches the simulator's per-recipient charge"
         );
@@ -448,6 +479,26 @@ mod tests {
         assert!(out.is_empty());
         assert!(cluster.now() >= before + SimDuration::from_millis(15));
         assert!(cluster.is_idle());
+    }
+
+    #[test]
+    fn severed_connection_is_a_counted_disconnect() {
+        let mut cluster = TcpCluster::loopback(2, ProtocolTag::Fbft).unwrap();
+        assert_eq!(cluster.stats().disconnects, 0);
+        cluster.sever(ReplicaId::new(0), ReplicaId::new(1));
+        // The reader notices the EOF asynchronously; wait for the count.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while cluster.stats().disconnects == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(
+            cluster.stats().disconnects,
+            1,
+            "a dropped peer is a counted event, not a silent reader exit"
+        );
+        // Traffic toward the severed link degrades to counted drops.
+        cluster.send(ReplicaId::new(0), ReplicaId::new(1), vec![9].into());
+        assert_eq!(cluster.stats().dropped, 1);
     }
 
     #[test]

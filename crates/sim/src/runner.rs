@@ -29,7 +29,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use sft_core::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route};
+use sft_core::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route, WalRecord};
 use sft_network::Transport;
 use sft_types::{ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
 
@@ -116,6 +116,10 @@ pub struct EngineRunner<E: ReplicaEngine, T: Transport, M: Mischief<E>> {
     mischief: M,
     config: RunnerConfig,
     timelines: Vec<Vec<(SimTime, StrongCommitUpdate)>>,
+    /// Per-replica write-ahead logs: every durable record the engines
+    /// emitted, appended *before* the messages it justifies were routed —
+    /// the in-memory stand-in for the on-disk WAL a real node keeps.
+    persisted: Vec<Vec<WalRecord>>,
     drain_used: u64,
 }
 
@@ -147,6 +151,7 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             mischief,
             config,
             timelines: vec![Vec::new(); n],
+            persisted: vec![Vec::new(); n],
             drain_used: 0,
         }
     }
@@ -154,6 +159,33 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
     /// Immutable access to engine `i`, for tests and benches.
     pub fn engine(&self, i: usize) -> &E {
         &self.engines[i]
+    }
+
+    /// Replica `i`'s write-ahead log so far, in persistence order — what
+    /// a crash at this instant would leave on disk.
+    pub fn persisted(&self, i: usize) -> &[WalRecord] {
+        &self.persisted[i]
+    }
+
+    /// Swaps in a replacement engine for replica `i` and returns the old
+    /// one — the in-process analogue of `kill -9` plus restart. The
+    /// replacement arrives with whatever state the caller rebuilt (nothing
+    /// for an amnesiac restart, a [`restore`](ReplicaEngine::restore)
+    /// replay of [`persisted`](Self::persisted) for a recovering one); its
+    /// WAL keeps growing where the old engine's left off.
+    pub fn replace_engine(&mut self, i: usize, engine: E) -> E {
+        assert_eq!(
+            engine.id(),
+            self.engines[i].id(),
+            "replacement must keep the replica's identity"
+        );
+        std::mem::replace(&mut self.engines[i], engine)
+    }
+
+    /// Reassigns replica `i`'s behavior mid-run (e.g. `Silent` while it is
+    /// "down" between a crash and its restart).
+    pub fn set_behavior(&mut self, i: usize, behavior: Behavior) {
+        self.behaviors[i] = behavior;
     }
 
     /// The transport, for stats inspection.
@@ -230,6 +262,10 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
     /// (self-deliveries cascade within it), then draining due block-sync
     /// fetches.
     fn step_instant(&mut self, target: SimTime) {
+        // A freshly restarted engine can report a deadline already in the
+        // past (its clock resumes where the pre-crash replica left off);
+        // overdue work fires at the current instant — time never rewinds.
+        let target = target.max(self.transport.now());
         let deliveries = self.transport.poll_deliver(target);
         // A socket transport may return early (arrival before the
         // deadline); its clock, not the target, is the processing instant.
@@ -281,6 +317,10 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
     /// Records a step's commit-log entries on node `i`'s timeline and
     /// routes its outbound messages through the behavior filter.
     fn absorb(&mut self, i: usize, step: EngineStep, now: SimTime, inbox: &mut Inbox) {
+        // Write-ahead discipline: durable records land in the log before
+        // any message they justify is routed, so a crash after a send can
+        // never find the log missing the vote that went out.
+        self.persisted[i].extend(step.persist);
         self.timelines[i].extend(step.updates.into_iter().map(|u| (now, u)));
         for out in step.outbound {
             self.route_filtered(i, out, inbox);

@@ -9,7 +9,7 @@
 //! the self-pacing SFT-DiemBFT — and lets the clock be wall time when the
 //! engine runs over sockets.
 
-use sft_core::{BlockStore, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats};
+use sft_core::{BlockStore, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord};
 use sft_crypto::HashValue;
 use sft_types::{Decode, Encode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
 
@@ -105,6 +105,7 @@ impl ReplicaEngine for StreamletEngine {
                 step.updates = self.replica.on_sync_response(&response);
             }
         }
+        step.persist = self.replica.drain_wal();
         step
     }
 
@@ -126,7 +127,15 @@ impl ReplicaEngine for StreamletEngine {
                 ));
             }
         }
+        step.persist = self.replica.drain_wal();
         step
+    }
+
+    fn restore(&mut self, record: &WalRecord, _now: SimTime) {
+        self.replica.replay(record);
+        // Never re-open (and re-propose in) an epoch the pre-crash self
+        // already reached — the clock resumes strictly after it.
+        self.next_epoch = self.next_epoch.max(self.replica.epoch().as_u64() + 1);
     }
 
     fn poll_sync(&mut self, now: SimTime) -> EngineStep {

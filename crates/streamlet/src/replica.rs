@@ -6,6 +6,7 @@ use std::fmt;
 use sft_core::{
     honest_endorse_info, Block, BlockStore, BlockStoreError, CommitLedger, EndorsementTracker,
     Mempool, PayloadSource, ProtocolConfig, SyncManager, SyncStats, VoteOutcome, VoteTracker,
+    WalRecord,
 };
 use sft_crypto::{HashValue, KeyPair, KeyRegistry};
 use sft_types::{
@@ -106,6 +107,12 @@ pub struct Replica {
     /// Commit-rule middles declared while the local chain still had holes;
     /// retried after every sync admission.
     deferred_commits: Vec<HashValue>,
+    /// Durable consensus events pending write-ahead persistence, drained
+    /// by the engine into `EngineStep::persist`.
+    wal: Vec<WalRecord>,
+    /// Digests of certificates already logged, so re-certification paths
+    /// (sync recovery, replay) never duplicate a `QcFormed` record.
+    logged_qcs: HashSet<HashValue>,
 }
 
 impl Replica {
@@ -145,6 +152,8 @@ impl Replica {
             mempool: Mempool::new(),
             sync: SyncManager::new(config, ReplicaId::new(id)),
             deferred_commits: Vec::new(),
+            wal: Vec::new(),
+            logged_qcs: HashSet::new(),
         }
     }
 
@@ -240,7 +249,7 @@ impl Replica {
     /// proposal extending the tip of a longest notarized chain, carrying
     /// `payload`. Non-leaders (and stale epochs) return `None`.
     pub fn begin_epoch(&mut self, epoch: Round, payload: Payload) -> Option<Proposal> {
-        if !self.enter_epoch(epoch) {
+        if !self.enter_epoch(epoch) || !self.can_extend_tip(epoch) {
             return None;
         }
         Some(self.propose(epoch, payload))
@@ -253,12 +262,21 @@ impl Replica {
     /// but the epoch advances in every non-stale case, so a source-less
     /// replica still follows the clock (and votes) like everyone else.
     pub fn begin_epoch_sourced(&mut self, epoch: Round) -> Option<Proposal> {
-        if !self.enter_epoch(epoch) {
+        if !self.enter_epoch(epoch) || !self.can_extend_tip(epoch) {
             return None;
         }
         let source = self.payload_source?;
         let payload = source.next_payload(&mut self.mempool, epoch);
         Some(self.propose(epoch, payload))
+    }
+
+    /// Whether a proposal in `epoch` can legally extend the current tip.
+    /// False for a replica whose epoch clock lags its synced chain (a
+    /// restarted process catching up to live peers): blocks carry strictly
+    /// increasing rounds, so a lagging leader declines its slot instead of
+    /// proposing a block nobody could vote for.
+    fn can_extend_tip(&self, epoch: Round) -> bool {
+        self.tip().round() < epoch
     }
 
     /// Moves to `epoch` (stale epochs are refused) and reports whether this
@@ -326,7 +344,11 @@ impl Replica {
             honest_endorse_info(self.endorse_mode, &self.store, &self.voted_blocks, block);
         self.voted_epochs.insert(block.round());
         self.voted_blocks.push((block.round(), block.id()));
-        Some(StrongVote::new(block.vote_data(), endorse, &self.key_pair))
+        let vote = StrongVote::new(block.vote_data(), endorse, &self.key_pair);
+        // Write-ahead: the harness persists this record before the vote is
+        // routed, so a restart can never contradict it.
+        self.wal.push(WalRecord::VoteSent(vote.clone()));
+        Some(vote)
     }
 
     /// Handles a broadcast vote (including this replica's own). Counts it,
@@ -344,6 +366,9 @@ impl Replica {
                 // never received (a lost proposal): the sync manager
                 // records the certificate and, if needed, fetches the block.
                 self.sync.note_certificate(&qc, &self.store);
+                if self.logged_qcs.insert(qc.digest()) {
+                    self.wal.push(WalRecord::QcFormed(qc.clone()));
+                }
                 Some(qc.block_id())
             }
             VoteOutcome::Counted(_) => None,
@@ -352,14 +377,11 @@ impl Replica {
 
         let mut updates = Vec::new();
         if let Some(block_id) = newly_certified {
-            self.notarized.insert(block_id);
-            if let Some(parent_id) = self.store.get(block_id).map(Block::parent_id) {
-                self.notarized_children
-                    .entry(parent_id)
-                    .or_default()
-                    .push(block_id);
-            }
+            self.note_notarized(block_id);
             for committed_id in self.apply_commit_rule(block_id) {
+                if let Some(block) = self.store.get(committed_id).cloned() {
+                    self.wal.push(WalRecord::BlockCommitted(block));
+                }
                 if let Some(update) = self
                     .endorsements
                     .take_level_update(committed_id, &self.store)
@@ -491,6 +513,95 @@ impl Replica {
         }
     }
 
+    /// Marks `block_id` notarized and indexes it under its parent for the
+    /// incremental commit rule.
+    fn note_notarized(&mut self, block_id: HashValue) {
+        self.notarized.insert(block_id);
+        if let Some(parent_id) = self.store.get(block_id).map(Block::parent_id) {
+            let children = self.notarized_children.entry(parent_id).or_default();
+            if !children.contains(&block_id) {
+                children.push(block_id);
+            }
+        }
+    }
+
+    /// Takes the durable consensus events buffered since the last drain,
+    /// in occurrence order. The engine moves them into
+    /// [`EngineStep::persist`](sft_core::EngineStep) so the harness can
+    /// write them ahead of the messages they justify.
+    pub fn drain_wal(&mut self) -> Vec<WalRecord> {
+        std::mem::take(&mut self.wal)
+    }
+
+    /// Re-applies one recovered write-ahead-log record at restart.
+    ///
+    /// Replay restores exactly what the log promised durability for: vote
+    /// dedup (the recovered replica never votes twice in an epoch its
+    /// pre-crash self voted in), the notarized set behind formed
+    /// certificates, and the committed prefix. Records are chronological,
+    /// so committed blocks replay parent-first and always attach.
+    /// Endorsement tallies are *not* persisted: strength grades resume
+    /// accumulating from live votes only, which only under-reports
+    /// strength — never a committed block.
+    pub fn replay(&mut self, record: &WalRecord) {
+        match record {
+            WalRecord::VoteSent(vote) => {
+                let round = vote.round();
+                self.voted_epochs.insert(round);
+                self.voted_blocks.push((round, vote.data().block_id()));
+                if round > self.epoch {
+                    self.epoch = round;
+                }
+            }
+            WalRecord::QcFormed(qc) => {
+                self.sync.note_certificate(qc, &self.store);
+                self.logged_qcs.insert(qc.digest());
+                let block_id = qc.block_id();
+                if self.store.contains(block_id) {
+                    self.note_notarized(block_id);
+                    for committed_id in self.apply_commit_rule(block_id) {
+                        if let Some(update) = self
+                            .endorsements
+                            .take_level_update(committed_id, &self.store)
+                        {
+                            self.commit_log.push(update);
+                        }
+                    }
+                }
+            }
+            // Streamlet has no timeout certificates; a foreign record in
+            // the log is ignored rather than fatal.
+            WalRecord::TcFormed(_) => {}
+            WalRecord::BlockCommitted(block) => {
+                match self.store.insert(block.clone()) {
+                    Ok(_) => self.sync.note_stored(block.id()),
+                    Err(BlockStoreError::UnknownParent) => {
+                        self.sync.note_orphan_block(block.clone(), &self.store);
+                    }
+                    Err(_) => {}
+                }
+                if self.store.contains(block.id()) {
+                    // A committed block necessarily carried a quorum.
+                    self.note_notarized(block.id());
+                    for committed_id in self.ledger.finalize_through(&self.store, block.id()) {
+                        if let Some(update) = self
+                            .endorsements
+                            .take_level_update(committed_id, &self.store)
+                        {
+                            self.commit_log.push(update);
+                        }
+                    }
+                }
+                if block.round() > self.epoch {
+                    self.epoch = block.round();
+                }
+            }
+        }
+        // Replay-derived records are already in the log being replayed:
+        // re-persisting them would duplicate the file on every restart.
+        self.wal.clear();
+    }
+
     /// Block-sync fetches now due (new targets and expired retries), to be
     /// sent point-to-point to the named peer. Drivers poll this once per
     /// delivery phase.
@@ -538,14 +649,16 @@ impl Replica {
             // let the commit rule see the recovered windows.
             let certified = self.notarized.contains(id) || self.sync.certificate_for(*id).is_some();
             if certified && self.store.contains(*id) {
-                self.notarized.insert(*id);
-                if let Some(parent_id) = self.store.get(*id).map(Block::parent_id) {
-                    let children = self.notarized_children.entry(parent_id).or_default();
-                    if !children.contains(id) {
-                        children.push(*id);
+                if let Some(qc) = self.sync.certificate_for(*id).cloned() {
+                    if self.logged_qcs.insert(qc.digest()) {
+                        self.wal.push(WalRecord::QcFormed(qc));
                     }
                 }
+                self.note_notarized(*id);
                 for committed_id in self.apply_commit_rule(*id) {
+                    if let Some(block) = self.store.get(committed_id).cloned() {
+                        self.wal.push(WalRecord::BlockCommitted(block));
+                    }
                     if let Some(update) = self
                         .endorsements
                         .take_level_update(committed_id, &self.store)
@@ -559,6 +672,9 @@ impl Replica {
             .ledger
             .finalize_deferred(&self.store, &mut self.deferred_commits)
         {
+            if let Some(block) = self.store.get(id).cloned() {
+                self.wal.push(WalRecord::BlockCommitted(block));
+            }
             if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
                 updates.push(update);
             }
