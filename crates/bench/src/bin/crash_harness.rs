@@ -19,7 +19,11 @@
 //! 1. every replica's `commit.out` agrees on the common committed prefix;
 //! 2. the victim's final chain preserves every block its pre-crash WAL
 //!    had committed — recovery lost nothing;
-//! 3. the victim made progress past its pre-crash prefix.
+//! 3. the victim made progress past its pre-crash prefix;
+//! 4. the victim's NDJSON trace (`trace.ndjson`, both incarnations
+//!    appended) shows the restarted incarnation finishing its WAL replay
+//!    *before* it cast its first vote — recovery ordering, reconstructed
+//!    from the event timeline rather than inferred from exit state.
 //!
 //! Exit status is the CI verdict; data directories are left in place on
 //! failure (and printed) so they can be uploaded as artifacts.
@@ -30,9 +34,13 @@ use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::{Duration, Instant};
 
 use sft_core::{scan_wal, WalRecord, WAL_FILE_NAME};
+use sft_obs::names;
 
 /// The replica that gets killed and restarted.
 const VICTIM: usize = 1;
+
+/// Per-node NDJSON trace file, appended across incarnations.
+const TRACE_FILE_NAME: &str = "trace.ndjson";
 
 struct Args {
     protocol: String,
@@ -151,6 +159,10 @@ fn spawn_node(
             // included — runs the same cluster-wide protocol clock.
             "--start-at-unix-ms",
             &genesis_unix_ms.to_string(),
+            // Appended across incarnations, so the kill and the restart
+            // land in one reconstructable timeline.
+            "--trace-out",
+            &dir.join(TRACE_FILE_NAME).display().to_string(),
         ])
         .stdout(Stdio::inherit())
         .stderr(Stdio::inherit())
@@ -177,6 +189,47 @@ fn wal_record_count(dir: &Path) -> usize {
         return 0;
     };
     scan_wal(&bytes).map_or(0, |scan| scan.records.len())
+}
+
+/// Verdict 4: the restarted incarnation's trace must show WAL replay
+/// completing — with records actually replayed — before its first
+/// outbound vote. File order is the ordering authority: the sink writes
+/// whole lines in event order, so index comparison needs no clock.
+fn verify_recovery_timeline(dir: &Path) -> Result<(), String> {
+    let path = dir.join(TRACE_FILE_NAME);
+    let events =
+        sft_obs::read_trace(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let restart = events
+        .iter()
+        .rposition(|e| e.name == names::EV_NODE_START)
+        .ok_or("victim trace has no node_start events")?;
+    if restart == 0 {
+        return Err("victim trace shows only one incarnation; the restart never logged".into());
+    }
+    let tail = &events[restart..];
+    let replay = tail
+        .iter()
+        .position(|e| e.name == names::EV_WAL_REPLAY_DONE)
+        .ok_or("restarted incarnation never finished WAL replay")?;
+    let records = tail[replay].get("records").unwrap_or(0);
+    if records == 0 {
+        return Err("restarted incarnation replayed an empty WAL".into());
+    }
+    let vote = tail
+        .iter()
+        .position(|e| e.name == names::EV_VOTE)
+        .ok_or("restarted incarnation never voted")?;
+    if vote < replay {
+        return Err(format!(
+            "restarted incarnation voted (event {vote}) before WAL replay completed \
+             (event {replay}) — recovery ordering violated"
+        ));
+    }
+    println!(
+        "crash-harness: restart timeline OK — {records} records replayed (event {replay}) \
+         before the first vote (event {vote})"
+    );
+    Ok(())
 }
 
 fn read_commit_file(dir: &Path) -> Result<Vec<String>, String> {
@@ -313,6 +366,7 @@ fn run(args: &Args) -> Result<(), String> {
     if victim_chain.len() == pre_crash.len() {
         return Err("restarted victim made no progress past its pre-crash prefix".to_string());
     }
+    verify_recovery_timeline(&dirs[VICTIM])?;
     println!(
         "crash-harness OK: prefixes agree on {} replicas; victim kept {} pre-crash blocks \
          and committed {} more after restart",

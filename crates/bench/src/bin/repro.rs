@@ -274,7 +274,10 @@ fn configure(
 ) -> SimConfig {
     let mut config = SimConfig::new(n, args.epochs)
         .with_protocol(protocol)
-        .with_batch_size(batch_size);
+        .with_batch_size(batch_size)
+        // Bench runs record phase timings and per-round latencies for
+        // the JSON summary; interactive runs keep the free no-op path.
+        .with_recording(args.json_dir.is_some());
     if let Some(delay) = delay {
         config = config.with_delay(delay);
     }
@@ -397,6 +400,19 @@ fn summary_json(
         report.sync_blocks_fetched.to_string(),
     );
     field("recovered_replicas", report.recovered_replicas.to_string());
+    field("disconnects", report.net.disconnects.to_string());
+    field("walk_steps", report.walk_steps.to_string());
+    // Recorded counters and histogram digests, one scalar per line so the
+    // gate's flat line scanner picks every one of them up individually.
+    let flat = report.metrics.flat_fields();
+    if !flat.is_empty() {
+        let _ = writeln!(out, "  \"metrics\": {{");
+        for (i, (name, value)) in flat.iter().enumerate() {
+            let comma = if i + 1 == flat.len() { "" } else { "," };
+            let _ = writeln!(out, "    \"{name}\": {value}{comma}");
+        }
+        let _ = writeln!(out, "  }},");
+    }
     // The sweep grid: throughput scaling over replica counts (at the
     // default δ) and over network delays (at the headline n).
     let entries: Vec<String> = sweep

@@ -18,6 +18,10 @@
 //!                          the SAME value to every replica so protocol
 //!                          clocks align across processes (default: this
 //!                          process's start)
+//!   --trace-out PATH       append an NDJSON event trace (node lifecycle,
+//!                          proposals, votes, QCs, commits) to PATH and
+//!                          turn on metric recording; omit for the free
+//!                          no-op path
 //! ```
 //!
 //! On startup the node replays `<data-dir>/wal.log` (recovering from a
@@ -53,6 +57,7 @@ fn parse_args() -> Result<NodeOpts, String> {
     let mut delta = Duration::from_millis(25);
     let mut base_timeout = Duration::from_millis(1000);
     let mut start_at: Option<Duration> = None;
+    let mut trace_out: Option<String> = None;
 
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let mut iter = raw.iter();
@@ -105,6 +110,7 @@ fn parse_args() -> Result<NodeOpts, String> {
             "--start-at-unix-ms" => {
                 start_at = Some(parse_ms(value("--start-at-unix-ms")?, "start instant")?);
             }
+            "--trace-out" => trace_out = Some(value("--trace-out")?.clone()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
@@ -129,6 +135,7 @@ fn parse_args() -> Result<NodeOpts, String> {
         delta,
         base_timeout,
         start_at,
+        trace_out: trace_out.map(Into::into),
     })
 }
 

@@ -96,47 +96,112 @@ pub enum Better {
     Lower,
 }
 
-/// One gated metric: a summary field plus its improvement direction.
+/// One gated metric: a summary field plus its improvement direction and
+/// tolerance multiplier.
 #[derive(Clone, Copy, Debug)]
 pub struct Metric {
     /// Summary field name.
     pub field: &'static str,
     /// Improvement direction.
     pub better: Better,
+    /// Multiplier on the caller's tolerance. `1.0` for bit-deterministic
+    /// virtual metrics; larger for metrics with inherent spread — log
+    /// histogram digests quantize to ~12.5% buckets, and `*_ns` phase
+    /// timings are wall-clock readings on shared CI runners.
+    pub slack: f64,
 }
 
+/// Tolerance multiplier for deterministic scalar metrics.
+const EXACT: f64 = 1.0;
+/// Tolerance multiplier for virtual-time histogram digests: the value is
+/// deterministic, but a small true shift can cross a ~12.5% log-bucket
+/// boundary and report as a full bucket's jump.
+const BUCKETED: f64 = 4.0;
+/// Tolerance multiplier for wall-clock phase timings: real nanoseconds
+/// measured on whatever CI machine the run landed on. The band exists to
+/// catch order-of-magnitude hot-path regressions, not scheduler noise.
+const WALL: f64 = 60.0;
+
 /// The metrics the gate holds every run to: commit latency, throughput,
-/// message/byte complexity, and the block-sync catch-up cost (request and
+/// message/byte complexity, the block-sync catch-up cost (request and
 /// fetch counts should only shrink for a fixed scenario; recovered
-/// replicas should never drop).
+/// replicas should never drop), endorsement-walk work, and — when the run
+/// recorded them — per-round latency digests and hot-path phase timings.
 pub const GATED_METRICS: &[Metric] = &[
     Metric {
         field: "first_commit_us",
         better: Better::Lower,
+        slack: EXACT,
     },
     Metric {
         field: "txns_per_sec",
         better: Better::Higher,
+        slack: EXACT,
     },
     Metric {
         field: "messages",
         better: Better::Lower,
+        slack: EXACT,
     },
     Metric {
         field: "bytes",
         better: Better::Lower,
+        slack: EXACT,
     },
     Metric {
         field: "sync_requests",
         better: Better::Lower,
+        slack: EXACT,
     },
     Metric {
         field: "sync_blocks_fetched",
         better: Better::Lower,
+        slack: EXACT,
     },
     Metric {
         field: "recovered_replicas",
         better: Better::Higher,
+        slack: EXACT,
+    },
+    Metric {
+        field: "walk_steps",
+        better: Better::Lower,
+        slack: EXACT,
+    },
+    Metric {
+        field: "disconnects",
+        better: Better::Lower,
+        slack: EXACT,
+    },
+    Metric {
+        field: "round_commit_us_p50",
+        better: Better::Lower,
+        slack: BUCKETED,
+    },
+    Metric {
+        field: "round_commit_us_p99",
+        better: Better::Lower,
+        slack: BUCKETED,
+    },
+    Metric {
+        field: "consensus_qc_us_p99",
+        better: Better::Lower,
+        slack: BUCKETED,
+    },
+    Metric {
+        field: "phase_on_envelope_ns_p99",
+        better: Better::Lower,
+        slack: WALL,
+    },
+    Metric {
+        field: "phase_persist_ns_p99",
+        better: Better::Lower,
+        slack: WALL,
+    },
+    Metric {
+        field: "phase_route_ns_p99",
+        better: Better::Lower,
+        slack: WALL,
     },
 ];
 
@@ -193,9 +258,10 @@ pub fn compare(baseline: &Summary, new: &Summary, tolerance: f64) -> GateResult 
                 .push(format!("{}: missing in one side, skipped", metric.field));
             continue;
         };
+        let band = tolerance * metric.slack;
         let (regressed, arrow) = match metric.better {
-            Better::Higher => (current < old * (1.0 - tolerance), "fell"),
-            Better::Lower => (current > old * (1.0 + tolerance), "rose"),
+            Better::Higher => (current < old * (1.0 - band), "fell"),
+            Better::Lower => (current > old * (1.0 + band), "rose"),
         };
         let line = format!(
             "{}: {old:.3} -> {current:.3} ({:+.1}%)",
@@ -205,7 +271,7 @@ pub fn compare(baseline: &Summary, new: &Summary, tolerance: f64) -> GateResult 
         if regressed {
             result.regressions.push(format!(
                 "{line} — {arrow} beyond the {:.0}% tolerance",
-                tolerance * 100.0
+                band * 100.0
             ));
         } else {
             result.notes.push(line);
@@ -304,6 +370,50 @@ mod tests {
         assert!(!compare(&base, &slow, 0.25).passed());
         let chatty = summary(1000.0, 400.0, 400000.0);
         assert!(!compare(&base, &chatty, 0.25).passed());
+    }
+
+    #[test]
+    fn metrics_block_parses_flat_and_wall_timings_get_slack() {
+        // The `"metrics": { ... }` block is one scalar per line; the flat
+        // line scanner lifts each into the top level, which is exactly how
+        // the recorded digests become gateable.
+        let render = |phase_p99: u64, commit_p50: u64| {
+            Summary::parse(&format!(
+                "{{\n  \"protocol\": \"fbft\",\n  \"n\": 4,\n  \"metrics\": {{\n    \"round_commit_us_p50\": {commit_p50},\n    \"phase_on_envelope_ns_p99\": {phase_p99}\n  }},\n  \"sweep\": []\n}}\n"
+            ))
+        };
+        let base = render(1000, 400_000);
+        assert_eq!(base.number("phase_on_envelope_ns_p99"), Some(1000.0));
+        assert_eq!(base.get("metrics"), None, "the block itself is not a field");
+        // 30x the base tolerance: fine for a wall metric (slack 60 at 5%
+        // tolerance = 300% band)…
+        let noisy = render(2500, 400_000);
+        assert!(compare(&base, &noisy, 0.05).passed());
+        // …but a >3x wall-clock blowup is a real hot-path regression.
+        let blown = render(5000, 400_000);
+        let result = compare(&base, &blown, 0.05);
+        assert!(!result.passed());
+        assert!(result.regressions[0].contains("phase_on_envelope_ns_p99"));
+        // Virtual latency digests only get bucket-quantization slack.
+        let slower_commit = render(1000, 520_000); // +30% > 4 × 5%
+        assert!(!compare(&base, &slower_commit, 0.05).passed());
+    }
+
+    #[test]
+    fn baseline_without_recorded_metrics_still_compares() {
+        // Old artifacts predate the metrics block; the new fields must
+        // skip, not fail, so the rollout is self-seeding.
+        let old = summary(1000.0, 150.0, 400000.0);
+        let new = Summary::parse(&format!(
+            "{}  \"round_commit_us_p50\": 12345\n",
+            "{\n  \"protocol\": \"fbft\",\n  \"n\": 4,\n  \"batch_size\": 256,\n  \"agreement\": true,\n  \"strength_monotone\": true,\n  \"first_commit_us\": 400000,\n  \"txns_per_sec\": 1000,\n  \"messages\": 150,\n  \"bytes\": 1000,\n"
+        ));
+        let result = compare(&old, &new, 0.05);
+        assert!(result.passed(), "{:?}", result.regressions);
+        assert!(result
+            .notes
+            .iter()
+            .any(|n| n.contains("round_commit_us_p50") && n.contains("skipped")));
     }
 
     #[test]

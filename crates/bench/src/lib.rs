@@ -19,6 +19,7 @@
 
 pub mod gate;
 pub mod node;
+pub mod plot;
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};

@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use sft_core::{EngineStep, ReplicaEngine, Route, WalStore};
 use sft_network::{NodeTransport, ProtocolTag, Transport};
+use sft_obs::{names, PhaseTimer, Recorder, Registry, SharedRecorder, TraceEvent, TraceSink};
 use sft_sim::{build_fbft_engines, build_streamlet_engines, Protocol, SimConfig};
 use sft_types::{ReplicaId, Round, SimDuration, SimTime};
 
@@ -68,6 +69,11 @@ pub struct NodeOpts {
     /// at the cluster's *current* epoch — not at wall time zero of its
     /// own launch. `None` anchors at process start (single-run tooling).
     pub start_at: Option<Duration>,
+    /// Where to append the NDJSON event trace (`--trace-out`). `None`
+    /// keeps the free no-op recorder; `Some` turns on metric recording
+    /// and crash-safe line-framed tracing (the crash harness reads the
+    /// resulting timeline back to verify recovery ordering).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl NodeOpts {
@@ -131,16 +137,47 @@ fn drive<E: ReplicaEngine>(
     opts: &NodeOpts,
     tag: ProtocolTag,
 ) -> Result<NodeOutcome, String> {
+    // One registry per process when --trace-out asks for it; the no-op
+    // recorder otherwise, so the unobserved node pays nothing.
+    let registry: Option<Arc<Registry>> = match &opts.trace_out {
+        Some(path) => {
+            let sink =
+                TraceSink::open(path).map_err(|e| format!("trace {}: {e}", path.display()))?;
+            let registry = Arc::new(Registry::new());
+            registry.set_sink(sink);
+            Some(registry)
+        }
+        None => None,
+    };
+    let recorder: SharedRecorder = match registry.clone() {
+        Some(registry) => registry,
+        None => sft_obs::noop(),
+    };
+    engine.set_recorder(Arc::clone(&recorder));
+
     let mut wal =
         WalStore::open(&opts.data_dir, opts.sync_every).map_err(|e| format!("wal: {e}"))?;
-    let mut transport = NodeTransport::bind(ReplicaId::new(opts.id), tag, opts.listen, &opts.peers)
-        .map_err(|e| format!("bind {}: {e}", opts.listen))?;
+    let mut transport = NodeTransport::bind_observed(
+        ReplicaId::new(opts.id),
+        tag,
+        opts.listen,
+        &opts.peers,
+        Arc::clone(&recorder),
+    )
+    .map_err(|e| format!("bind {}: {e}", opts.listen))?;
     if let Some(since_unix) = opts.start_at {
         transport = transport.with_time_origin(std::time::UNIX_EPOCH + since_unix);
     }
+    recorder.trace(&TraceEvent::new(
+        names::EV_NODE_START,
+        transport.now().as_micros(),
+        &[("id", u64::from(opts.id))],
+    ));
 
     // Recovery before the first tick: the engine resumes its pre-crash
-    // voting history, locked state, and committed prefix.
+    // voting history, locked state, and committed prefix. The replay-done
+    // trace event is the recovery milestone the crash harness orders the
+    // first outbound vote against.
     let recovered = wal.replay_into(&mut engine, transport.now());
     if recovered > 0 {
         eprintln!(
@@ -153,6 +190,11 @@ fn drive<E: ReplicaEngine>(
             }
         );
     }
+    recorder.trace(&TraceEvent::new(
+        names::EV_WAL_REPLAY_DONE,
+        transport.now().as_micros(),
+        &[("records", recovered as u64)],
+    ));
 
     let id = ReplicaId::new(opts.id);
     let target = Round::new(opts.epochs);
@@ -189,20 +231,24 @@ fn drive<E: ReplicaEngine>(
         let now = transport.now();
         loop {
             while let Some((from, bytes)) = inbox.pop_front() {
+                let timer = PhaseTimer::start(&*recorder);
                 let step = engine.on_envelope(from, &bytes, now);
-                absorb(step, id, &mut wal, &mut transport, &mut inbox)?;
+                timer.finish(&*recorder, names::PHASE_ON_ENVELOPE_NS);
+                absorb(step, id, &mut wal, &mut transport, &mut inbox, &*recorder)?;
             }
             let mut fired = false;
             if engine.next_deadline().is_some_and(|d| d <= now) {
                 fired = true;
+                let timer = PhaseTimer::start(&*recorder);
                 let step = engine.on_tick(now);
-                absorb(step, id, &mut wal, &mut transport, &mut inbox)?;
+                timer.finish(&*recorder, names::PHASE_ON_TICK_NS);
+                absorb(step, id, &mut wal, &mut transport, &mut inbox, &*recorder)?;
             }
             if fired || !inbox.is_empty() {
                 continue;
             }
             let step = engine.poll_sync(now);
-            absorb(step, id, &mut wal, &mut transport, &mut inbox)?;
+            absorb(step, id, &mut wal, &mut transport, &mut inbox, &*recorder)?;
             if inbox.is_empty() {
                 break;
             }
@@ -210,6 +256,14 @@ fn drive<E: ReplicaEngine>(
     }
 
     wal.flush().map_err(|e| format!("wal flush: {e}"))?;
+    recorder.trace(&TraceEvent::new(
+        names::EV_NODE_STOP,
+        transport.now().as_micros(),
+        &[("round", engine.round().as_u64())],
+    ));
+    if let Some(registry) = &registry {
+        registry.flush_sink();
+    }
     let committed: Vec<String> = engine
         .committed_chain()
         .iter()
@@ -234,10 +288,14 @@ fn absorb<S: Transport>(
     wal: &mut WalStore,
     transport: &mut S,
     inbox: &mut Inbox,
+    recorder: &dyn Recorder,
 ) -> Result<(), String> {
+    let persist = PhaseTimer::start(recorder);
     for record in &step.persist {
         wal.append(record).map_err(|e| format!("wal append: {e}"))?;
     }
+    persist.finish(recorder, names::PHASE_PERSIST_NS);
+    let route = PhaseTimer::start(recorder);
     for out in step.outbound {
         match out.route {
             Route::Broadcast => {
@@ -248,6 +306,7 @@ fn absorb<S: Transport>(
             Route::To(peer) => transport.send(id, peer, out.bytes),
         }
     }
+    route.finish(recorder, names::PHASE_ROUTE_NS);
     Ok(())
 }
 

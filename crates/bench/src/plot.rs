@@ -1,0 +1,366 @@
+//! Bench-trajectory plotting: turns a sequence of `BENCH_*.json`
+//! snapshot directories into hand-rolled SVG line charts.
+//!
+//! CI archives the `repro` binary's summaries on every run
+//! (`bench-summaries` artifacts) and `scripts/bench_gate` restores the
+//! previous run's copy; `scripts/plot_bench` feeds both directories —
+//! baseline first, current run last — through [`charts`] and uploads the
+//! SVGs, so a reviewer sees each gated metric's trajectory (commit
+//! latency, throughput, recorded phase p99s) as a curve instead of a
+//! pass/fail verdict. The renderer is deliberately dependency-free: the
+//! offline set has no plotting crate, and the handful of SVG elements a
+//! polyline chart needs (axes, ticks, paths, labels) fit in a string
+//! builder.
+
+use std::fmt::Write as _;
+
+use crate::gate::Summary;
+
+/// The summary fields plotted, one chart each. Metrics missing from every
+/// snapshot (e.g. phase timings before recording shipped) produce no
+/// chart rather than an empty one.
+pub const PLOT_METRICS: &[&str] = &[
+    "first_commit_us",
+    "txns_per_sec",
+    "messages",
+    "bytes",
+    "round_commit_us_p50",
+    "round_commit_us_p99",
+    "consensus_qc_us_p99",
+    "phase_on_envelope_ns_p99",
+    "phase_persist_ns_p99",
+    "phase_route_ns_p99",
+    "walk_steps",
+];
+
+/// One named curve: `(x, y)` points in draw order.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (the summary file stem, e.g. `BENCH_fbft_lossy`).
+    pub label: String,
+    /// Points in run order; x is the run index.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// One run snapshot: a label (directory name or run id) plus the parsed
+/// summaries it held, keyed by file stem.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// Where the snapshot came from, used as the x-axis tick label.
+    pub label: String,
+    /// `(file stem, parsed summary)` pairs, e.g. `("BENCH_fbft", ...)`.
+    pub summaries: Vec<(String, Summary)>,
+}
+
+/// Builds one chart per [`PLOT_METRICS`] entry across `snapshots` (run
+/// order = slice order): each summary stem contributes a series, each
+/// snapshot one point. Returns `(chart name, svg body)` pairs; metrics
+/// with no data anywhere are omitted.
+pub fn charts(snapshots: &[Snapshot]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for metric in PLOT_METRICS {
+        let mut series: Vec<Series> = Vec::new();
+        for (run, snapshot) in snapshots.iter().enumerate() {
+            for (stem, summary) in &snapshot.summaries {
+                let Some(value) = summary.number(metric) else {
+                    continue;
+                };
+                match series.iter_mut().find(|s| s.label == *stem) {
+                    Some(s) => s.points.push((run as f64, value)),
+                    None => series.push(Series {
+                        label: stem.clone(),
+                        points: vec![(run as f64, value)],
+                    }),
+                }
+            }
+        }
+        if series.is_empty() {
+            continue;
+        }
+        let ticks: Vec<String> = snapshots.iter().map(|s| s.label.clone()).collect();
+        out.push(((*metric).to_string(), render_chart(metric, &ticks, &series)));
+    }
+    out
+}
+
+/// Fixed qualitative palette; series past its length cycle.
+const PALETTE: &[&str] = &[
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
+];
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 420.0;
+const MARGIN_L: f64 = 84.0;
+const MARGIN_R: f64 = 24.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 56.0;
+
+/// Formats an axis value compactly (`1.2M`, `340k`, `0.85`).
+fn format_value(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else if a >= 1.0 || a == 0.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Renders one SVG line chart: `title` on top, one x tick per entry of
+/// `x_ticks` (run labels), y scaled to the series' range with zero
+/// clamped in when it is near, a polyline plus point markers per series,
+/// and a legend. Always returns a complete standalone `<svg>` document.
+pub fn render_chart(title: &str, x_ticks: &[String], series: &[Series]) -> String {
+    let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+    let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+
+    let xs: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    let ys: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.1))
+        .collect();
+    let (x_min, x_max) = bounds(&xs, 0.0);
+    // Anchor the y axis at zero when the data lives near it; pad the top.
+    let (y_lo, y_hi) = bounds(&ys, 0.05);
+    let y_min = if y_lo > 0.0 && y_lo < y_hi * 0.5 {
+        0.0
+    } else {
+        y_lo
+    };
+    let y_max = if y_hi > y_min { y_hi } else { y_min + 1.0 };
+    let x_span = (x_max - x_min).max(1.0);
+
+    let px = |x: f64| MARGIN_L + (x - x_min) / x_span * plot_w;
+    let py = |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="monospace" font-size="12">"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+    );
+    let _ = writeln!(
+        svg,
+        r#"<text x="{}" y="22" font-size="15" text-anchor="middle">{}</text>"#,
+        WIDTH / 2.0,
+        escape(title)
+    );
+
+    // Horizontal gridlines + y tick labels.
+    for i in 0..=4u32 {
+        let y = y_min + (y_max - y_min) * f64::from(i) / 4.0;
+        let yy = py(y);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{MARGIN_L}" y1="{yy:.1}" x2="{:.1}" y2="{yy:.1}" stroke="#dddddd"/>"##,
+            WIDTH - MARGIN_R
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 8.0,
+            yy + 4.0,
+            format_value(y)
+        );
+    }
+    // X ticks: one per run label.
+    for (i, label) in x_ticks.iter().enumerate() {
+        let xx = px(i as f64);
+        let _ = writeln!(
+            svg,
+            r##"<line x1="{xx:.1}" y1="{:.1}" x2="{xx:.1}" y2="{:.1}" stroke="#dddddd"/>"##,
+            MARGIN_T,
+            HEIGHT - MARGIN_B
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{xx:.1}" y="{:.1}" text-anchor="middle">{}</text>"#,
+            HEIGHT - MARGIN_B + 18.0,
+            escape(label)
+        );
+    }
+    // Axes.
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{:.1}" stroke="black"/>"#,
+        HEIGHT - MARGIN_B
+    );
+    let _ = writeln!(
+        svg,
+        r#"<line x1="{MARGIN_L}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="black"/>"#,
+        HEIGHT - MARGIN_B,
+        WIDTH - MARGIN_R,
+        HEIGHT - MARGIN_B
+    );
+
+    // Series: polyline + markers, legend entry per series.
+    for (i, s) in series.iter().enumerate() {
+        let color = PALETTE[i % PALETTE.len()];
+        if s.points.len() > 1 {
+            let path: Vec<String> = s
+                .points
+                .iter()
+                .map(|(x, y)| format!("{:.1},{:.1}", px(*x), py(*y)))
+                .collect();
+            let _ = writeln!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="2"/>"#,
+                path.join(" ")
+            );
+        }
+        for (x, y) in &s.points {
+            let _ = writeln!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="3.5" fill="{color}"/>"#,
+                px(*x),
+                py(*y)
+            );
+        }
+        let ly = MARGIN_T + 6.0 + i as f64 * 16.0;
+        let _ = writeln!(
+            svg,
+            r#"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="{color}"/>"#,
+            MARGIN_L + 10.0,
+            ly
+        );
+        let _ = writeln!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+            MARGIN_L + 26.0,
+            ly + 9.0,
+            escape(&s.label)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// `(min, max)` of `values` with relative `pad` applied above; `(0, 1)`
+/// for an empty slice.
+fn bounds(values: &[f64], pad: f64) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(*v);
+        max = max.max(*v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        return (0.0, 1.0);
+    }
+    let span = (max - min).abs().max(max.abs() * 0.01).max(1e-9);
+    (min, max + span * pad)
+}
+
+/// Minimal XML text escaping for labels.
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Loads every `BENCH_*.json` in `dir` into a [`Snapshot`] labeled
+/// `label`. Missing directories yield an empty snapshot (a run whose
+/// artifact never existed still occupies its slot on the x axis).
+pub fn load_snapshot(dir: &std::path::Path, label: &str) -> Snapshot {
+    let mut summaries = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+                continue;
+            }
+            if let Ok(body) = std::fs::read_to_string(&path) {
+                let stem = name.trim_end_matches(".json").to_string();
+                summaries.push((stem, Summary::parse(&body)));
+            }
+        }
+    }
+    summaries.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        label: label.to_string(),
+        summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(label: &str, txns: f64) -> Snapshot {
+        Snapshot {
+            label: label.to_string(),
+            summaries: vec![(
+                "BENCH_fbft".to_string(),
+                Summary::parse(&format!(
+                    "{{\n  \"txns_per_sec\": {txns},\n  \"first_commit_us\": 400000,\n  \"messages\": 150\n}}\n"
+                )),
+            )],
+        }
+    }
+
+    #[test]
+    fn charts_cover_present_metrics_only() {
+        let charts = charts(&[snapshot("base", 1000.0), snapshot("new", 1100.0)]);
+        let names: Vec<&str> = charts.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"txns_per_sec"));
+        assert!(names.contains(&"first_commit_us"));
+        assert!(
+            !names.contains(&"phase_persist_ns_p99"),
+            "absent metrics produce no chart"
+        );
+    }
+
+    #[test]
+    fn rendered_svg_is_well_formed_and_plots_the_series() {
+        let charts = charts(&[snapshot("base", 1000.0), snapshot("new", 1100.0)]);
+        let (_, svg) = charts
+            .iter()
+            .find(|(n, _)| n == "txns_per_sec")
+            .expect("txns chart");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"), "two runs draw a line");
+        assert!(svg.contains("BENCH_fbft"), "legend names the series");
+        assert!(svg.matches("<circle").count() >= 2, "one marker per run");
+    }
+
+    #[test]
+    fn single_snapshot_draws_markers_without_a_line() {
+        let charts = charts(&[snapshot("only", 1000.0)]);
+        let (_, svg) = &charts[0];
+        assert!(!svg.contains("<polyline"));
+        assert!(svg.contains("<circle"));
+    }
+
+    #[test]
+    fn empty_input_yields_no_charts() {
+        assert!(charts(&[]).is_empty());
+        assert!(charts(&[Snapshot::default()]).is_empty());
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let series = [Series {
+            label: "a<&>b".to_string(),
+            points: vec![(0.0, 1.0)],
+        }];
+        let svg = render_chart("t<&>t", &["x<y".to_string()], &series);
+        assert!(svg.contains("a&lt;&amp;&gt;b"));
+        assert!(svg.contains("t&lt;&amp;&gt;t"));
+        assert!(!svg.contains("a<&>b"));
+    }
+}

@@ -157,6 +157,20 @@ pub trait ReplicaEngine {
         let _ = (record, now);
     }
 
+    /// Installs a metrics/trace recorder. Engines that record forward it
+    /// to their [`EngineObs`](crate::EngineObs) and sync manager; the
+    /// default keeps the free no-op recorder.
+    fn set_recorder(&mut self, recorder: sft_obs::SharedRecorder) {
+        let _ = recorder;
+    }
+
+    /// Total endorsement-frontier walk steps taken so far — the
+    /// amortization counter behind the `walk_steps` bench field. Engines
+    /// without an endorsement tracker report 0.
+    fn endorsement_walk_steps(&self) -> u64 {
+        0
+    }
+
     /// The replica's current round (Streamlet: epoch) — the progress
     /// measure self-pacing run plans stop on.
     fn round(&self) -> Round;

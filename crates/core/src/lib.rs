@@ -47,6 +47,7 @@ pub mod endorse;
 pub mod engine;
 pub mod ledger;
 pub mod mempool;
+pub mod obs;
 pub mod qc;
 pub mod sync;
 pub mod wal;
@@ -57,6 +58,7 @@ pub use endorse::{honest_endorse_info, EndorsementTracker};
 pub use engine::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route};
 pub use ledger::CommitLedger;
 pub use mempool::{Mempool, PayloadSource};
+pub use obs::EngineObs;
 pub use qc::{QuorumCertificate, VoteOutcome, VoteTracker};
 pub use sync::{BlockResponse, SyncConfig, SyncManager, SyncStats};
 pub use wal::{

@@ -1,0 +1,233 @@
+//! Per-round consensus observability shared by both protocol engines.
+//!
+//! [`EngineObs`] tracks when each round's proposal was first seen and
+//! turns the engine's subsequent milestones — own vote cast, QC formed,
+//! standard commit, strength-level increase — into latency histogram
+//! samples and trace events against the paper's §3 commit-grading
+//! pipeline: *certify* at `2f + 1` votes, *commit*, then *strengthen*
+//! to level `x` at `f + x + 1` endorsements. Latencies are measured on
+//! the protocol clock (`SimTime` microseconds: virtual under the
+//! simulator, wall under real sockets), so a sim run and a TCP run
+//! report in the same unit.
+//!
+//! Everything is gated on [`sft_obs::Recorder::enabled`], so an engine holding
+//! the default no-op recorder pays one branch per call site.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sft_obs::{names, SharedRecorder, TraceEvent};
+use sft_types::{Round, SimTime, StrongCommitUpdate};
+
+/// How many proposal-seen timestamps to retain; old rounds are pruned
+/// once commits pass them, so this only bounds pathological runs.
+const SEEN_CAP: usize = 2048;
+
+/// Per-engine consensus event recorder. Engines embed one and call into
+/// it from their message handlers; everything is a no-op until
+/// [`EngineObs::set_recorder`] installs a live recorder.
+#[derive(Debug, Default)]
+pub struct EngineObs {
+    recorder: sft_obs::RecorderCell,
+    /// First-seen protocol time per proposed round, the anchor every
+    /// downstream latency is measured from.
+    seen: BTreeMap<u64, u64>,
+    /// Rounds whose standard commit was already counted (strength
+    /// increases for them keep arriving afterwards).
+    committed: BTreeSet<u64>,
+}
+
+impl EngineObs {
+    /// A disabled recorder (every call a cheap branch).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs the recorder all subsequent events flow into.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = sft_obs::RecorderCell::new(recorder);
+    }
+
+    /// The recorder handle (for passing onward to sub-components).
+    pub fn recorder(&self) -> &SharedRecorder {
+        self.recorder.get()
+    }
+
+    /// True when events are actually kept.
+    pub fn enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// A proposal for `round` was accepted (first sighting only counts).
+    pub fn proposal_seen(&mut self, round: Round, now: SimTime) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let round = round.as_u64();
+        if self.seen.contains_key(&round) {
+            return;
+        }
+        if self.seen.len() >= SEEN_CAP {
+            self.seen.pop_first();
+        }
+        self.seen.insert(round, now.as_micros());
+        self.recorder.add(names::CONSENSUS_PROPOSALS_SEEN, 1);
+        self.recorder.trace(&TraceEvent::new(
+            names::EV_PROPOSAL,
+            now.as_micros(),
+            &[("round", round)],
+        ));
+    }
+
+    /// This replica cast its own vote for `round`.
+    pub fn voted(&mut self, round: Round, now: SimTime) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let round = round.as_u64();
+        self.recorder.add(names::CONSENSUS_VOTES_CAST, 1);
+        if let Some(lat) = self.latency_from_seen(round, now) {
+            self.recorder.observe(names::CONSENSUS_VOTE_US, lat);
+        }
+        self.recorder.trace(&TraceEvent::new(
+            names::EV_VOTE,
+            now.as_micros(),
+            &[("round", round)],
+        ));
+    }
+
+    /// A quorum certificate formed locally for `round`.
+    pub fn qc_formed(&mut self, round: Round, now: SimTime) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let round = round.as_u64();
+        self.recorder.add(names::CONSENSUS_QC_FORMED, 1);
+        if let Some(lat) = self.latency_from_seen(round, now) {
+            self.recorder.observe(names::CONSENSUS_QC_US, lat);
+        }
+        self.recorder.trace(&TraceEvent::new(
+            names::EV_QC,
+            now.as_micros(),
+            &[("round", round)],
+        ));
+    }
+
+    /// Scans one step's durable records for newly formed/adopted quorum
+    /// certificates — both replicas write `QcFormed` exactly once per
+    /// distinct QC, so this is the protocol-agnostic QC milestone.
+    pub fn wal_records(&mut self, records: &[crate::WalRecord], now: SimTime) {
+        if !self.recorder.enabled() || records.is_empty() {
+            return;
+        }
+        for record in records {
+            if let crate::WalRecord::QcFormed(qc) = record {
+                self.qc_formed(qc.round(), now);
+            }
+        }
+    }
+
+    /// Absorbs one step's commit-log entries: the first entry per round
+    /// is its standard commit; every entry records the latency to the
+    /// strength level it reached.
+    pub fn updates(&mut self, updates: &[StrongCommitUpdate], now: SimTime) {
+        if !self.recorder.enabled() || updates.is_empty() {
+            return;
+        }
+        for update in updates {
+            let round = update.round().as_u64();
+            if self.committed.insert(round) {
+                if self.committed.len() > SEEN_CAP {
+                    self.committed.pop_first();
+                }
+                self.recorder.add(names::CONSENSUS_COMMITS, 1);
+                if let Some(lat) = self.latency_from_seen(round, now) {
+                    self.recorder.observe(names::ROUND_COMMIT_US, lat);
+                }
+                self.recorder.trace(&TraceEvent::new(
+                    names::EV_COMMIT,
+                    now.as_micros(),
+                    &[("round", round), ("height", update.height().as_u64())],
+                ));
+            }
+            if let Some(lat) = self.latency_from_seen(round, now) {
+                self.recorder
+                    .observe(names::strength_level_name(update.level()), lat);
+            }
+            self.recorder.trace(&TraceEvent::new(
+                names::EV_STRENGTH,
+                now.as_micros(),
+                &[("round", round), ("level", update.level())],
+            ));
+        }
+    }
+
+    /// Microseconds from the round's proposal sighting to `now`; `None`
+    /// when the proposal was never seen (e.g. the block arrived via
+    /// block-sync) — such latencies would be lies, so they are skipped.
+    fn latency_from_seen(&self, round: u64, now: SimTime) -> Option<u64> {
+        self.seen
+            .get(&round)
+            .map(|seen| now.as_micros().saturating_sub(*seen))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sft_crypto::HashValue;
+    use sft_obs::Registry;
+    use sft_types::Height;
+    use std::sync::Arc;
+
+    fn update(round: u64, level: u64) -> StrongCommitUpdate {
+        StrongCommitUpdate::new(
+            HashValue::of(&round.to_le_bytes()),
+            Round::new(round),
+            Height::new(round),
+            level,
+        )
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let mut obs = EngineObs::new();
+        obs.proposal_seen(Round::new(1), SimTime::from_micros(10));
+        obs.voted(Round::new(1), SimTime::from_micros(20));
+        obs.updates(&[update(1, 0)], SimTime::from_micros(30));
+        assert!(obs.recorder().snapshot().is_empty());
+    }
+
+    #[test]
+    fn full_round_produces_latencies() {
+        let mut obs = EngineObs::new();
+        let reg = Arc::new(Registry::new());
+        obs.set_recorder(reg);
+        obs.proposal_seen(Round::new(5), SimTime::from_micros(100));
+        obs.proposal_seen(Round::new(5), SimTime::from_micros(150)); // dup ignored
+        obs.voted(Round::new(5), SimTime::from_micros(130));
+        obs.qc_formed(Round::new(5), SimTime::from_micros(300));
+        obs.updates(&[update(5, 0), update(5, 2)], SimTime::from_micros(400));
+        let snap = obs.recorder().snapshot();
+        assert_eq!(snap.counter(names::CONSENSUS_PROPOSALS_SEEN), Some(1));
+        assert_eq!(snap.counter(names::CONSENSUS_VOTES_CAST), Some(1));
+        assert_eq!(snap.counter(names::CONSENSUS_QC_FORMED), Some(1));
+        assert_eq!(snap.counter(names::CONSENSUS_COMMITS), Some(1));
+        assert_eq!(snap.hist(names::CONSENSUS_VOTE_US).unwrap().max, 30);
+        assert_eq!(snap.hist(names::CONSENSUS_QC_US).unwrap().max, 200);
+        assert_eq!(snap.hist(names::ROUND_COMMIT_US).unwrap().max, 300);
+        assert_eq!(snap.hist("strength_x2_us").unwrap().count, 1);
+    }
+
+    #[test]
+    fn strength_only_updates_do_not_double_count_commits() {
+        let mut obs = EngineObs::new();
+        obs.set_recorder(Arc::new(Registry::new()));
+        obs.proposal_seen(Round::new(7), SimTime::from_micros(0));
+        obs.updates(&[update(7, 0)], SimTime::from_micros(10));
+        obs.updates(&[update(7, 1)], SimTime::from_micros(20));
+        let snap = obs.recorder().snapshot();
+        assert_eq!(snap.counter(names::CONSENSUS_COMMITS), Some(1));
+        assert_eq!(snap.hist(names::ROUND_COMMIT_US).unwrap().count, 1);
+        assert_eq!(snap.hist("strength_x1_us").unwrap().count, 1);
+    }
+}

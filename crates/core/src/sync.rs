@@ -224,6 +224,9 @@ pub struct SyncManager {
     waiting_on: HashMap<HashValue, Vec<HashValue>>,
     peer_cursor: u64,
     stats: SyncStats,
+    /// Metrics sink for retry counts and response latencies; no-op by
+    /// default ([`set_recorder`](Self::set_recorder) turns it live).
+    recorder: sft_obs::RecorderCell,
 }
 
 impl SyncManager {
@@ -241,7 +244,14 @@ impl SyncManager {
             waiting_on: HashMap::new(),
             peer_cursor: 0,
             stats: SyncStats::default(),
+            recorder: sft_obs::RecorderCell::default(),
         }
+    }
+
+    /// Installs the recorder that request/response/retry timing flows
+    /// into.
+    pub fn set_recorder(&mut self, recorder: sft_obs::SharedRecorder) {
+        self.recorder = sft_obs::RecorderCell::new(recorder);
     }
 
     /// Overrides the tuning knobs (bounds and retry pacing).
@@ -369,6 +379,9 @@ impl SyncManager {
                 continue;
             }
             *attempts += 1;
+            if *attempts >= 2 {
+                self.recorder.add(sft_obs::names::SYNC_RETRIES, 1);
+            }
             let peer = self.pick_peer(target);
             self.inflight.insert(target, InFlight { sent_at: now });
             self.stats.requests_sent += 1;
@@ -429,6 +442,31 @@ impl SyncManager {
         segment.reverse();
         self.stats.responses_served += 1;
         Some(BlockResponse::new(qc, segment))
+    }
+
+    /// [`on_response`](Self::on_response) plus latency accounting: when
+    /// the response answers a request still in flight, records
+    /// request-sent → admitted time into the `sync_response_us`
+    /// histogram. Callers with a protocol clock in hand should prefer
+    /// this over the raw variant.
+    pub fn on_response_timed(
+        &mut self,
+        response: &BlockResponse,
+        store: &mut BlockStore,
+        now: SimTime,
+    ) -> Vec<HashValue> {
+        let sent_at = self
+            .inflight
+            .get(&response.target())
+            .map(|inflight| inflight.sent_at);
+        let admitted = self.on_response(response, store);
+        if let (Some(sent_at), false) = (sent_at, admitted.is_empty()) {
+            self.recorder.observe(
+                sft_obs::names::SYNC_RESPONSE_US,
+                now.saturating_since(sent_at).as_micros(),
+            );
+        }
+        admitted
     }
 
     /// Verifies a response against the certificate chain and admits what it

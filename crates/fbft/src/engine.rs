@@ -8,8 +8,11 @@
 //! and fires [`FbftReplica::try_propose_chained`] on its first tick
 //! (exactly what the old event-loop driver did by hand).
 
-use sft_core::{BlockStore, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord};
+use sft_core::{
+    BlockStore, EngineObs, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord,
+};
 use sft_crypto::HashValue;
+use sft_obs::{names, PhaseTimer, SharedRecorder};
 use sft_types::{Decode, Encode, ReplicaId, Round, SimTime, StrongCommitUpdate};
 
 use crate::message::FbftMessage;
@@ -43,6 +46,7 @@ use crate::replica::{FbftReplica, StepOutcome};
 pub struct FbftEngine {
     replica: FbftReplica,
     booted: bool,
+    obs: EngineObs,
 }
 
 impl FbftEngine {
@@ -51,6 +55,7 @@ impl FbftEngine {
         Self {
             replica,
             booted: false,
+            obs: EngineObs::new(),
         }
     }
 
@@ -67,9 +72,10 @@ impl FbftEngine {
     /// Converts a [`StepOutcome`] into an [`EngineStep`], preserving the
     /// old driver's send order: the vote first, then block-sync requests,
     /// then the chained next-round proposal.
-    fn absorb(&mut self, out: StepOutcome) -> EngineStep {
+    fn absorb(&mut self, out: StepOutcome, now: SimTime) -> EngineStep {
         let mut step = EngineStep::empty();
         if let Some(vote) = out.vote {
+            self.obs.voted(vote.round(), now);
             step.outbound.push(OutboundMsg::broadcast(
                 MsgKind::Vote,
                 FbftMessage::Vote(vote).to_bytes(),
@@ -90,6 +96,8 @@ impl FbftEngine {
         }
         step.updates = out.updates;
         step.persist = self.replica.drain_wal();
+        self.obs.wal_records(&step.persist, now);
+        self.obs.updates(&step.updates, now);
         step
     }
 }
@@ -100,21 +108,25 @@ impl ReplicaEngine for FbftEngine {
     }
 
     fn on_envelope(&mut self, _from: ReplicaId, payload: &[u8], now: SimTime) -> EngineStep {
-        let Ok(msg) = FbftMessage::from_bytes(payload) else {
+        let decode = PhaseTimer::start(&**self.obs.recorder());
+        let decoded = FbftMessage::from_bytes(payload);
+        decode.finish(&**self.obs.recorder(), names::PHASE_DECODE_NS);
+        let Ok(msg) = decoded else {
             return EngineStep::empty(); // transports can carry garbage
         };
         match msg {
             FbftMessage::Proposal(proposal) => {
+                self.obs.proposal_seen(proposal.block().round(), now);
                 let out = self.replica.on_proposal(&proposal, now);
-                self.absorb(out)
+                self.absorb(out, now)
             }
             FbftMessage::Vote(vote) => {
                 let out = self.replica.on_vote(&vote, now);
-                self.absorb(out)
+                self.absorb(out, now)
             }
             FbftMessage::Timeout(timeout) => {
                 let out = self.replica.on_timeout_msg(&timeout, now);
-                self.absorb(out)
+                self.absorb(out, now)
             }
             FbftMessage::SyncRequest(request) => {
                 // Serving is read-only; the requester verifies everything
@@ -131,7 +143,7 @@ impl ReplicaEngine for FbftEngine {
             }
             FbftMessage::SyncResponse(response) => {
                 let out = self.replica.on_sync_response(&response, now);
-                self.absorb(out)
+                self.absorb(out, now)
             }
         }
     }
@@ -162,11 +174,21 @@ impl ReplicaEngine for FbftEngine {
             ));
         }
         step.persist = self.replica.drain_wal();
+        self.obs.wal_records(&step.persist, now);
         step
     }
 
     fn restore(&mut self, record: &WalRecord, now: SimTime) {
         self.replica.replay(record, now);
+    }
+
+    fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.replica.set_recorder(recorder.clone());
+        self.obs.set_recorder(recorder);
+    }
+
+    fn endorsement_walk_steps(&self) -> u64 {
+        self.replica.walk_steps()
     }
 
     fn round(&self) -> Round {

@@ -532,7 +532,7 @@ impl FbftReplica {
     /// recovery made this replica the ready leader — chains a proposal.
     pub fn on_sync_response(&mut self, response: &BlockResponse, now: SimTime) -> StepOutcome {
         let mut out = StepOutcome::default();
-        let admitted = self.sync.on_response(response, &mut self.store);
+        let admitted = self.sync.on_response_timed(response, &mut self.store, now);
         // A certificate-only response (the block was already held, only its
         // QC was missing — the certificate-want path) admits nothing, but
         // the certificate itself must still run its course below.
@@ -575,6 +575,17 @@ impl FbftReplica {
     /// Block-sync counters (requests sent, blocks recovered, …).
     pub fn sync_stats(&self) -> SyncStats {
         self.sync.stats()
+    }
+
+    /// Total endorsement-frontier walk steps taken — the amortization
+    /// counter the bench gate watches.
+    pub fn walk_steps(&self) -> u64 {
+        self.endorsements.walk_steps()
+    }
+
+    /// Installs the recorder block-sync timing flows into.
+    pub fn set_recorder(&mut self, recorder: sft_obs::SharedRecorder) {
+        self.sync.set_recorder(recorder);
     }
 
     /// True while this replica is still chasing missing blocks.

@@ -30,6 +30,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use sft_obs::{names, SharedRecorder};
 use sft_types::{Envelope, ProtocolTag, ReplicaId, SimTime};
 
 use crate::tcp::spawn_reader;
@@ -74,6 +75,9 @@ pub struct NodeTransport {
     /// The local listener's address (waking the acceptor at drop).
     listen_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    /// Frame-level counters (no-op unless bound observed); writer
+    /// threads hold their own clones for reconnect/backoff accounting.
+    recorder: SharedRecorder,
 }
 
 impl NodeTransport {
@@ -98,6 +102,32 @@ impl NodeTransport {
         protocol: ProtocolTag,
         listen: SocketAddr,
         peers: &[SocketAddr],
+    ) -> io::Result<Self> {
+        Self::bind_observed(id, protocol, listen, peers, sft_obs::noop())
+    }
+
+    /// [`bind`](Self::bind) with a live metrics recorder: reconnect
+    /// attempts and backoff sleeps surface as `net_reconnect_attempts` /
+    /// `net_backoff_sleeps` / `net_backoff_sleep_ms` counters, and every
+    /// enqueued frame as `net_frames_sent` / `net_frame_bytes`. The
+    /// recorder must be given at bind time because the per-peer writer
+    /// threads are spawned here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for `peers` or fewer than two
+    /// addresses are given.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error raised while binding the listener or
+    /// spawning threads.
+    pub fn bind_observed(
+        id: ReplicaId,
+        protocol: ProtocolTag,
+        listen: SocketAddr,
+        peers: &[SocketAddr],
+        recorder: SharedRecorder,
     ) -> io::Result<Self> {
         let n = peers.len();
         assert!(n >= 2, "a replica set needs at least two members");
@@ -145,7 +175,8 @@ impl NodeTransport {
                     let addr = *addr;
                     let disconnects = Arc::clone(&disconnects);
                     let shutdown = Arc::clone(&shutdown);
-                    move || peer_writer_loop(addr, hello, rx, disconnects, shutdown)
+                    let recorder = Arc::clone(&recorder);
+                    move || peer_writer_loop(addr, hello, rx, disconnects, shutdown, recorder)
                 })?;
             outs.push(Some(PeerOut {
                 frames,
@@ -167,6 +198,7 @@ impl NodeTransport {
             shutdown,
             listen_addr,
             acceptor: Some(acceptor),
+            recorder,
         })
     }
 
@@ -206,6 +238,11 @@ impl NodeTransport {
     fn enqueue(&mut self, to: ReplicaId, frame: Arc<[u8]>, payload_len: usize) {
         self.stats.messages += 1;
         self.stats.bytes += payload_len as u64;
+        if self.recorder.enabled() {
+            self.recorder.add(names::NET_FRAMES_SENT, 1);
+            self.recorder
+                .add(names::NET_FRAME_BYTES, frame.len() as u64);
+        }
         let Some(peer) = self.peers[to.as_usize()].as_ref() else {
             self.stats.dropped += 1;
             return;
@@ -362,15 +399,22 @@ fn peer_writer_loop(
     frames: Receiver<Arc<[u8]>>,
     disconnects: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
+    recorder: SharedRecorder,
 ) {
     let mut stream: Option<TcpStream> = None;
     let mut backoff = BACKOFF_FLOOR;
+    let sleep_counted = |backoff: Duration| {
+        recorder.add(names::NET_BACKOFF_SLEEPS, 1);
+        recorder.add(names::NET_BACKOFF_SLEEP_MS, backoff.as_millis() as u64);
+        std::thread::sleep(backoff);
+    };
     'frames: while let Ok(frame) = frames.recv() {
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return;
             }
             if stream.is_none() {
+                recorder.add(names::NET_RECONNECT_ATTEMPTS, 1);
                 match TcpStream::connect(addr) {
                     Ok(mut s) => {
                         let _ = s.set_nodelay(true);
@@ -379,13 +423,13 @@ fn peer_writer_loop(
                             backoff = BACKOFF_FLOOR;
                         } else {
                             disconnects.fetch_add(1, Ordering::SeqCst);
-                            std::thread::sleep(backoff);
+                            sleep_counted(backoff);
                             backoff = (backoff * 2).min(BACKOFF_CAP);
                             continue;
                         }
                     }
                     Err(_) => {
-                        std::thread::sleep(backoff);
+                        sleep_counted(backoff);
                         backoff = (backoff * 2).min(BACKOFF_CAP);
                         continue;
                     }

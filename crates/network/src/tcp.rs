@@ -39,6 +39,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use sft_obs::{names, SharedRecorder};
 use sft_types::{Dest, Envelope, ProtocolTag, ReplicaId, SimTime};
 
 use crate::{Delivery, NetworkStats, Transport};
@@ -97,6 +98,8 @@ pub struct TcpCluster {
     next_seq: u64,
     stats: NetworkStats,
     readers: Vec<JoinHandle<()>>,
+    /// Frame-level counters; no-op until [`set_recorder`](Self::set_recorder).
+    recorder: SharedRecorder,
 }
 
 impl TcpCluster {
@@ -185,13 +188,25 @@ impl TcpCluster {
             next_seq: 0,
             stats: NetworkStats::default(),
             readers,
+            recorder: sft_obs::noop(),
         })
+    }
+
+    /// Installs a live recorder: every enqueued frame counts into
+    /// `net_frames_sent` / `net_frame_bytes`.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = recorder;
     }
 
     /// Enqueues one pre-framed buffer on the `from → to` writer.
     fn enqueue(&mut self, from: ReplicaId, to: ReplicaId, frame: Arc<[u8]>, payload_len: usize) {
         self.stats.messages += 1;
         self.stats.bytes += payload_len as u64;
+        if self.recorder.enabled() {
+            self.recorder.add(names::NET_FRAMES_SENT, 1);
+            self.recorder
+                .add(names::NET_FRAME_BYTES, frame.len() as u64);
+        }
         // A severed link counts like a network drop, as does a
         // disconnected channel. A full queue means the peer stopped
         // draining (dead writer): the blocking send is this transport's

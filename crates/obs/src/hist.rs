@@ -1,0 +1,234 @@
+//! Log-bucketed latency histogram with percentile extraction.
+//!
+//! The bucket layout is HdrHistogram-shaped but tiny: values below 16
+//! get exact unit buckets; above that, each power-of-two octave is split
+//! into 8 sub-buckets, so the relative bucket width is at most 12.5 %.
+//! Recording is one shift, one mask, one increment — cheap enough for
+//! per-message hot paths — and the whole histogram is 496 fixed buckets,
+//! so merging across replicas is element-wise addition.
+
+/// Sub-buckets per octave as a power of two (`8` sub-buckets).
+const SUB_BITS: u32 = 3;
+/// Values below this are their own exact bucket.
+const LINEAR_MAX: u64 = 1 << (SUB_BITS + 1);
+/// Total bucket count: 16 linear + 8 per octave for octaves 4..=63.
+const BUCKETS: usize = LINEAR_MAX as usize + ((64 - (SUB_BITS + 1)) << SUB_BITS) as usize;
+
+/// A log-bucketed histogram of `u64` samples (latencies, sizes, counts).
+///
+/// # Examples
+///
+/// ```
+/// use sft_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 1000);
+/// assert_eq!(s.max, 1000);
+/// // Bucketed percentiles over-approximate by at most 12.5 %.
+/// assert!(s.p50 >= 500 && s.p50 <= 563);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The percentile digest extracted from one [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// 50th percentile (bucket upper bound, clamped to the true max).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum sample.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index a value lands in. Monotone in `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < LINEAR_MAX {
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros();
+        let sub = (value >> (exp - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+        (LINEAR_MAX as u32 + ((exp - (SUB_BITS + 1)) << SUB_BITS) + sub as u32) as usize
+    }
+
+    /// The largest value that maps to bucket `index` (the reported bound
+    /// for any percentile landing in that bucket).
+    pub fn bucket_upper(index: usize) -> u64 {
+        if index < LINEAR_MAX as usize {
+            return index as u64;
+        }
+        let off = (index - LINEAR_MAX as usize) as u32;
+        let exp = (off >> SUB_BITS) + SUB_BITS + 1;
+        let sub = (off & ((1 << SUB_BITS) - 1)) as u64;
+        let width = 1u64 << (exp - SUB_BITS);
+        let lower = (1u64 << exp) + sub * width;
+        lower.saturating_add(width - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every sample of `other` into `self` (element-wise; the layout
+    /// is fixed, so merge is exact and associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact maximum sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the sample of rank `ceil(q·count)`, clamped to the
+    /// exact maximum. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The p50/p90/p99/max digest.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_range_is_exact() {
+        let mut h = Histogram::new();
+        for v in 0..LINEAR_MAX {
+            h.record(v);
+            assert_eq!(Histogram::bucket_index(v), v as usize);
+            assert_eq!(Histogram::bucket_upper(v as usize), v);
+        }
+        assert_eq!(h.count(), LINEAR_MAX);
+    }
+
+    #[test]
+    fn bucket_bounds_cover_all_u64() {
+        for v in [16u64, 17, 127, 128, 1000, 1 << 20, u64::MAX / 2, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            assert!(Histogram::bucket_upper(i) >= v);
+            if i > 0 {
+                assert!(Histogram::bucket_upper(i - 1) < v);
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for v in [20u64, 100, 999, 12345, 1 << 30] {
+            let upper = Histogram::bucket_upper(Histogram::bucket_index(v));
+            assert!(upper >= v);
+            assert!(upper as f64 <= v as f64 * 1.125 + 1.0, "{v} -> {upper}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.summary(), HistSummary::default());
+    }
+
+    #[test]
+    fn percentiles_track_uniform_stream() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert!(s.p50 >= 5_000 && s.p50 as f64 <= 5_000.0 * 1.125 + 1.0);
+        assert!(s.p99 >= 9_900 && s.p99 as f64 <= 9_900.0 * 1.125 + 1.0);
+        assert_eq!(s.max, 10_000);
+        assert_eq!(h.percentile(1.0), 10_000);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 7);
+            both.record(v * 7);
+        }
+        for v in 0..300u64 {
+            b.record(v * 13 + 1);
+            both.record(v * 13 + 1);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

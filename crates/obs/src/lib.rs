@@ -1,0 +1,180 @@
+//! # sft-obs
+//!
+//! Zero-dependency observability for the SFT stack: a [`Recorder`]
+//! trait with a free no-op default, an in-process [`Registry`] of named
+//! counters and log-bucketed [`Histogram`]s, nanosecond [`PhaseTimer`]s
+//! and sim-vs-wall [`ObsClock`] spans, and a crash-safe NDJSON
+//! [`TraceSink`] for per-event timelines.
+//!
+//! ## Design
+//!
+//! Instrumented code holds a [`SharedRecorder`] (an `Arc<dyn
+//! Recorder>`) and calls `add` / `observe` / `trace` on the hot path.
+//! The default [`NoopRecorder`] makes each of those a virtual call to an
+//! empty body, and timers gate their clock reads on
+//! [`Recorder::enabled`], so instrumentation costs nothing measurable
+//! when recording is off — the CI perf gate holds the proof. When a
+//! harness turns recording on (`SimConfig::with_recording`,
+//! `sft-node --trace-out`), the same call sites feed a [`Registry`]
+//! whose [`MetricsSnapshot`] lands in `BENCH_*.json` and whose trace
+//! events reconstruct a crash-recovery timeline.
+//!
+//! ## Units
+//!
+//! Two time bases coexist, distinguished by metric-name suffix:
+//!
+//! - `*_ns` — wall-clock nanoseconds from [`PhaseTimer`]. Processing
+//!   phases must use wall time: simulated time only advances *between*
+//!   events, so every phase would measure as zero virtual time.
+//! - `*_us` — protocol-clock microseconds (virtual under the simulator,
+//!   wall under real sockets), for protocol-visible latencies like
+//!   proposal-to-commit.
+//!
+//! The full metric catalog lives in [`names`].
+
+#![deny(missing_docs)]
+
+mod clock;
+mod hist;
+mod recorder;
+mod registry;
+mod trace;
+
+pub use clock::{ObsClock, PhaseTimer, Span};
+pub use hist::{HistSummary, Histogram};
+pub use recorder::{noop, NoopRecorder, Recorder, RecorderCell, SharedRecorder};
+pub use registry::{MetricsSnapshot, Registry};
+pub use trace::{read_trace, OwnedTraceEvent, TraceEvent, TraceSink};
+
+/// Every metric name the stack records, one documented constant each.
+///
+/// Histograms additionally surface as `<name>_{count,p50,p90,p99,max}`
+/// scalars in `BENCH_*.json` (see [`MetricsSnapshot::flat_fields`]).
+pub mod names {
+    // ---- run_engine phase timings (histograms, wall nanoseconds) ----
+
+    /// Decoding one inbound envelope into a protocol message.
+    pub const PHASE_DECODE_NS: &str = "phase_decode_ns";
+    /// One full `ReplicaEngine::on_envelope` step (decode included).
+    pub const PHASE_ON_ENVELOPE_NS: &str = "phase_on_envelope_ns";
+    /// Appending one step's `persist` records to durable storage
+    /// (WAL append + any due fsync under `sft-node`).
+    pub const PHASE_PERSIST_NS: &str = "phase_persist_ns";
+    /// Routing one step's outbound messages (send/broadcast calls).
+    pub const PHASE_ROUTE_NS: &str = "phase_route_ns";
+    /// One `ReplicaEngine::on_tick` deadline firing.
+    pub const PHASE_ON_TICK_NS: &str = "phase_on_tick_ns";
+
+    // ---- per-round consensus events (protocol microseconds) ----
+
+    /// Proposal-seen → standard commit latency, per committed round.
+    pub const ROUND_COMMIT_US: &str = "round_commit_us";
+    /// Proposal-seen → own-vote-cast latency, per voted round.
+    pub const CONSENSUS_VOTE_US: &str = "consensus_vote_us";
+    /// Proposal-seen → QC-formed latency, per certified round.
+    pub const CONSENSUS_QC_US: &str = "consensus_qc_us";
+    /// Proposal-seen → strength-level-`x` latency histograms, keyed by
+    /// the strengthened level `x` reached (see `strength_level_name`).
+    pub const STRENGTH_US: [&str; 9] = [
+        "strength_x0_us",
+        "strength_x1_us",
+        "strength_x2_us",
+        "strength_x3_us",
+        "strength_x4_us",
+        "strength_x5_us",
+        "strength_x6_us",
+        "strength_x7_us",
+        "strength_x8_us",
+    ];
+
+    /// The `strength_x<level>_us` histogram for a strength level,
+    /// clamping levels past 8 into the last bucket.
+    #[must_use]
+    pub fn strength_level_name(level: u64) -> &'static str {
+        STRENGTH_US[(level as usize).min(STRENGTH_US.len() - 1)]
+    }
+
+    // ---- consensus counters ----
+
+    /// Proposals accepted into the engine (first sight per round).
+    pub const CONSENSUS_PROPOSALS_SEEN: &str = "consensus_proposals_seen";
+    /// Own votes cast.
+    pub const CONSENSUS_VOTES_CAST: &str = "consensus_votes_cast";
+    /// Quorum certificates newly formed or adopted (one per distinct QC).
+    pub const CONSENSUS_QC_FORMED: &str = "consensus_qc_formed";
+    /// Standard commits observed (first commit-log entry per round).
+    pub const CONSENSUS_COMMITS: &str = "consensus_commits";
+
+    // ---- block-sync (SyncManager) ----
+
+    /// Request-sent → response-admitted latency (protocol µs).
+    pub const SYNC_RESPONSE_US: &str = "sync_response_us";
+    /// Fetches re-sent after an earlier attempt went unanswered.
+    pub const SYNC_RETRIES: &str = "sync_retries";
+
+    // ---- transport counters, split per MsgKind ----
+
+    /// Messages sent, split per `MsgKind`: `net_msgs_<kind>`.
+    pub const NET_MSGS: [&str; 5] = [
+        "net_msgs_proposal",
+        "net_msgs_vote",
+        "net_msgs_timeout",
+        "net_msgs_sync_request",
+        "net_msgs_sync_response",
+    ];
+    /// Payload bytes sent, per kind: `net_bytes_<kind>`.
+    pub const NET_BYTES: [&str; 5] = [
+        "net_bytes_proposal",
+        "net_bytes_vote",
+        "net_bytes_timeout",
+        "net_bytes_sync_request",
+        "net_bytes_sync_response",
+    ];
+
+    /// Wire frames enqueued toward peers (`TcpCluster` / `NodeTransport`,
+    /// framing overhead included in `net_frame_bytes`).
+    pub const NET_FRAMES_SENT: &str = "net_frames_sent";
+    /// Total framed bytes enqueued toward peers.
+    pub const NET_FRAME_BYTES: &str = "net_frame_bytes";
+
+    // ---- real-socket transport health ----
+
+    /// TCP connect attempts by reconnecting peer writers.
+    pub const NET_RECONNECT_ATTEMPTS: &str = "net_reconnect_attempts";
+    /// Exponential-backoff sleeps taken by peer writers.
+    pub const NET_BACKOFF_SLEEPS: &str = "net_backoff_sleeps";
+    /// Total milliseconds slept in backoff.
+    pub const NET_BACKOFF_SLEEP_MS: &str = "net_backoff_sleep_ms";
+
+    // ---- trace event names (NDJSON `"ev"` values) ----
+
+    /// A node process came up (fields: `id`).
+    pub const EV_NODE_START: &str = "node_start";
+    /// WAL replay finished before the first tick (fields: `records`).
+    pub const EV_WAL_REPLAY_DONE: &str = "wal_replay_done";
+    /// A proposal was first seen for a round (fields: `round`).
+    pub const EV_PROPOSAL: &str = "proposal";
+    /// This replica cast a vote (fields: `round`).
+    pub const EV_VOTE: &str = "vote";
+    /// A QC formed locally (fields: `round`).
+    pub const EV_QC: &str = "qc";
+    /// A round reached standard commit (fields: `round`, `height`).
+    pub const EV_COMMIT: &str = "commit";
+    /// A committed round's strength level rose (fields: `round`,
+    /// `level`).
+    pub const EV_STRENGTH: &str = "strength";
+    /// A node finished and flushed its state (fields: `round`).
+    pub const EV_NODE_STOP: &str = "node_stop";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::names;
+
+    #[test]
+    fn strength_names_clamp() {
+        assert_eq!(names::strength_level_name(0), "strength_x0_us");
+        assert_eq!(names::strength_level_name(8), "strength_x8_us");
+        assert_eq!(names::strength_level_name(40), "strength_x8_us");
+    }
+}

@@ -1,0 +1,305 @@
+//! NDJSON trace-event sink with crash-safe line framing.
+//!
+//! Every event is one flat JSON object on one line, written with a
+//! *single* `write_all` that includes the trailing newline — so a
+//! `kill -9` can tear at most the final line, never interleave two.
+//! Reopening in append mode first checks whether the file ends with a
+//! newline: if a previous incarnation died mid-line, one is appended so
+//! the torn fragment becomes its own (unparseable, skipped) line and the
+//! new stream starts clean. [`read_trace`] is the matching lenient
+//! reader: it parses what it can and silently drops torn or foreign
+//! lines, which is exactly what a post-mortem timeline wants.
+//!
+//! ```text
+//! {"ev":"node_start","ts_us":0,"id":1}
+//! {"ev":"wal_replay_done","ts_us":183,"records":24}
+//! {"ev":"vote","ts_us":2107,"round":9}
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Default rotation threshold: large enough that crash drills and CI
+/// runs never rotate, small enough to bound a runaway long-lived node.
+const DEFAULT_ROTATE_AT: u64 = 64 * 1024 * 1024;
+
+/// One trace event: a static name, a microsecond timestamp, and flat
+/// numeric fields. Borrowed so the no-op path never allocates.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent<'a> {
+    /// Event name (the `"ev"` key).
+    pub name: &'static str,
+    /// Microseconds since the run's clock origin (the `"ts_us"` key).
+    pub ts_us: u64,
+    /// Additional `"key":value` pairs, in order.
+    pub fields: &'a [(&'static str, u64)],
+}
+
+impl<'a> TraceEvent<'a> {
+    /// Builds an event.
+    pub fn new(name: &'static str, ts_us: u64, fields: &'a [(&'static str, u64)]) -> Self {
+        Self {
+            name,
+            ts_us,
+            fields,
+        }
+    }
+}
+
+/// An append-only NDJSON event log with size-based rotation.
+#[derive(Debug)]
+pub struct TraceSink {
+    path: PathBuf,
+    file: File,
+    written: u64,
+    rotate_at: u64,
+    line: String,
+}
+
+impl TraceSink {
+    /// Opens (or creates) the log at `path` in append mode, healing a
+    /// torn tail left by a crashed predecessor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors from open/seek/write.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path = path.into();
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)?;
+        let mut written = file.metadata()?.len();
+        if written > 0 {
+            // Heal a torn tail: if the last byte is not '\n', terminate
+            // the fragment so it parses (and is skipped) as its own line.
+            let mut last = [0u8; 1];
+            file.seek(SeekFrom::End(-1))?;
+            file.read_exact(&mut last)?;
+            if last[0] != b'\n' {
+                file.write_all(b"\n")?;
+                written += 1;
+            }
+        }
+        Ok(Self {
+            path,
+            file,
+            written,
+            rotate_at: DEFAULT_ROTATE_AT,
+            line: String::with_capacity(128),
+        })
+    }
+
+    /// Overrides the rotation threshold (bytes).
+    pub fn with_rotate_at(mut self, bytes: u64) -> Self {
+        self.rotate_at = bytes.max(1);
+        self
+    }
+
+    /// Appends one event as one line. The line (newline included) goes
+    /// down in a single `write_all`, so a crash can only ever tear the
+    /// final line of the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write and rotation failures.
+    pub fn emit(&mut self, event: &TraceEvent<'_>) -> io::Result<()> {
+        use std::fmt::Write as _;
+        self.line.clear();
+        let _ = write!(
+            self.line,
+            "{{\"ev\":\"{}\",\"ts_us\":{}",
+            event.name, event.ts_us
+        );
+        for (key, value) in event.fields {
+            let _ = write!(self.line, ",\"{key}\":{value}");
+        }
+        self.line.push_str("}\n");
+        self.file.write_all(self.line.as_bytes())?;
+        self.written += self.line.len() as u64;
+        if self.written >= self.rotate_at {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered OS state for the current segment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+
+    /// Renames the full segment to `<path>.1` (clobbering any previous
+    /// rollover) and starts a fresh file at `path`.
+    fn rotate(&mut self) -> io::Result<()> {
+        let mut rolled = self.path.clone().into_os_string();
+        rolled.push(".1");
+        std::fs::rename(&self.path, &rolled)?;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        self.written = 0;
+        Ok(())
+    }
+}
+
+/// One parsed trace line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedTraceEvent {
+    /// Event name (`"ev"`).
+    pub name: String,
+    /// Microsecond timestamp (`"ts_us"`).
+    pub ts_us: u64,
+    /// Remaining numeric fields, in file order.
+    pub fields: Vec<(String, u64)>,
+}
+
+impl OwnedTraceEvent {
+    /// Looks up a numeric field by name.
+    pub fn get(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+}
+
+/// Reads a trace file, in file order, skipping torn or unparseable
+/// lines (a crashed writer leaves at most one).
+///
+/// # Errors
+///
+/// Fails only if the file itself cannot be read.
+pub fn read_trace(path: impl AsRef<Path>) -> io::Result<Vec<OwnedTraceEvent>> {
+    let body = std::fs::read_to_string(path)?;
+    Ok(body.lines().filter_map(parse_line).collect())
+}
+
+/// Parses one flat `{"k":v,...}` line; `None` on anything malformed.
+fn parse_line(line: &str) -> Option<OwnedTraceEvent> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut name = None;
+    let mut ts_us = None;
+    let mut fields = Vec::new();
+    for part in split_top_level(inner) {
+        let (raw_key, raw_value) = part.split_once(':')?;
+        let key = raw_key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let value = raw_value.trim();
+        match key {
+            "ev" => name = Some(value.strip_prefix('"')?.strip_suffix('"')?.to_string()),
+            "ts_us" => ts_us = Some(value.parse().ok()?),
+            _ => fields.push((key.to_string(), value.parse().ok()?)),
+        }
+    }
+    Some(OwnedTraceEvent {
+        name: name?,
+        ts_us: ts_us?,
+        fields,
+    })
+}
+
+/// Splits on commas outside of string literals.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    for (i, ch) in s.char_indices() {
+        match ch {
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sft-obs-trace-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("trace.ndjson")
+    }
+
+    #[test]
+    fn round_trips_events() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = TraceSink::open(&path).unwrap();
+        sink.emit(&TraceEvent::new(
+            "commit",
+            120,
+            &[("round", 4), ("level", 2)],
+        ))
+        .unwrap();
+        sink.emit(&TraceEvent::new("vote", 130, &[])).unwrap();
+        drop(sink);
+        let events = read_trace(&path).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "commit");
+        assert_eq!(events[0].ts_us, 120);
+        assert_eq!(events[0].get("round"), Some(4));
+        assert_eq!(events[0].get("level"), Some(2));
+        assert_eq!(events[1].name, "vote");
+    }
+
+    #[test]
+    fn torn_tail_is_healed_on_reopen_and_skipped_by_reader() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut sink = TraceSink::open(&path).unwrap();
+        sink.emit(&TraceEvent::new("a", 1, &[])).unwrap();
+        drop(sink);
+        // Simulate a crash mid-write: a fragment with no newline.
+        {
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(b"{\"ev\":\"torn\",\"ts").unwrap();
+        }
+        let mut sink = TraceSink::open(&path).unwrap();
+        sink.emit(&TraceEvent::new("b", 2, &[])).unwrap();
+        drop(sink);
+        let events = read_trace(&path).unwrap();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"], "torn fragment must be skipped");
+    }
+
+    #[test]
+    fn rotation_rolls_to_dot_one() {
+        let path = temp_path("rotate");
+        let _ = std::fs::remove_file(&path);
+        let rolled = {
+            let mut p = path.clone().into_os_string();
+            p.push(".1");
+            PathBuf::from(p)
+        };
+        let _ = std::fs::remove_file(&rolled);
+        let mut sink = TraceSink::open(&path).unwrap().with_rotate_at(64);
+        for i in 0..10 {
+            sink.emit(&TraceEvent::new("tick", i, &[])).unwrap();
+        }
+        drop(sink);
+        assert!(rolled.exists(), "rotation must produce <path>.1");
+        assert!(!read_trace(&rolled).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reader_skips_foreign_lines() {
+        assert!(parse_line("not json").is_none());
+        assert!(parse_line("{\"ev\":\"x\"}").is_none(), "ts_us required");
+        assert!(parse_line("{\"ts_us\":4}").is_none(), "ev required");
+        let ev = parse_line("{\"ev\":\"ok\",\"ts_us\":4,\"n\":7}").unwrap();
+        assert_eq!(
+            (ev.name.as_str(), ev.ts_us, ev.get("n")),
+            ("ok", 4, Some(7))
+        );
+    }
+}

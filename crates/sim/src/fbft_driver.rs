@@ -156,7 +156,7 @@ impl FbftSimulation {
             net = net.with_faults(faults.clone());
         }
         let transport = SimTransport::new(net, config.n);
-        let runner = EngineRunner::new(
+        let mut runner = EngineRunner::new(
             engines,
             config.behaviors.clone(),
             transport,
@@ -168,6 +168,9 @@ impl FbftSimulation {
                 drain_step: config.delay,
             },
         );
+        if config.recording {
+            runner.set_recorder(std::sync::Arc::new(sft_obs::Registry::new()));
+        }
         Self { runner, protocol }
     }
 

@@ -170,6 +170,10 @@ pub struct SimConfig {
     /// used to hard-code; it tracks later `with_delay` /
     /// `with_base_timeout` calls unless explicitly overridden.
     pub run_horizon: SimDuration,
+    /// Record run-loop phase timings, per-round consensus latencies, and
+    /// per-kind traffic counters into [`SimReport::metrics`]. Off by
+    /// default: the no-op recorder keeps the hot path free.
+    pub recording: bool,
 }
 
 /// The default post-schedule drain bound for a run of `epochs`.
@@ -207,7 +211,14 @@ impl SimConfig {
             faults: None,
             drain_sync_bound: default_drain_bound(epochs),
             run_horizon: default_horizon(base_timeout, epochs),
+            recording: false,
         }
+    }
+
+    /// Turns metric recording on or off (see [`SimConfig::recording`]).
+    pub fn with_recording(mut self, recording: bool) -> Self {
+        self.recording = recording;
+        self
     }
 
     /// Selects the protocol the replicas run.
@@ -399,31 +410,55 @@ impl Default for TcpPacing {
 pub fn run_over_tcp(config: &SimConfig, pacing: TcpPacing) -> std::io::Result<SimReport> {
     let behaviors = config.behaviors.clone();
     let horizon = SimTime::ZERO + pacing.horizon;
+    // One registry serves the transport's frame counters and the
+    // runner's phase timings alike, so the report's metrics are whole.
+    let recorder = config
+        .recording
+        .then(|| std::sync::Arc::new(sft_obs::Registry::new()) as sft_obs::SharedRecorder);
+    let cluster = |tag| -> std::io::Result<TcpCluster> {
+        let mut cluster = TcpCluster::loopback(config.n, tag)?;
+        if let Some(recorder) = &recorder {
+            cluster.set_recorder(std::sync::Arc::clone(recorder));
+        }
+        Ok(cluster)
+    };
     Ok(match config.protocol {
-        Protocol::Streamlet => run_engine(
-            build_streamlet_engines(config, pacing.delta * 2),
-            behaviors,
-            TcpCluster::loopback(config.n, ProtocolTag::Streamlet)?,
-            NoMischief,
-            RunnerConfig {
-                plan: RunPlan::UntilQuiescent,
-                horizon,
-                drain_bound: config.drain_sync_bound,
-                drain_step: pacing.delta,
-            },
-        ),
-        Protocol::Fbft => run_engine(
-            build_fbft_engines(config, pacing.base_timeout),
-            behaviors,
-            TcpCluster::loopback(config.n, ProtocolTag::Fbft)?,
-            NoMischief,
-            RunnerConfig {
-                plan: RunPlan::PastRound(Round::new(config.epochs)),
-                horizon,
-                drain_bound: config.drain_sync_bound,
-                drain_step: pacing.delta,
-            },
-        ),
+        Protocol::Streamlet => {
+            let mut runner = EngineRunner::new(
+                build_streamlet_engines(config, pacing.delta * 2),
+                behaviors,
+                cluster(ProtocolTag::Streamlet)?,
+                NoMischief,
+                RunnerConfig {
+                    plan: RunPlan::UntilQuiescent,
+                    horizon,
+                    drain_bound: config.drain_sync_bound,
+                    drain_step: pacing.delta,
+                },
+            );
+            if let Some(recorder) = recorder {
+                runner.set_recorder(recorder);
+            }
+            runner.run()
+        }
+        Protocol::Fbft => {
+            let mut runner = EngineRunner::new(
+                build_fbft_engines(config, pacing.base_timeout),
+                behaviors,
+                cluster(ProtocolTag::Fbft)?,
+                NoMischief,
+                RunnerConfig {
+                    plan: RunPlan::PastRound(Round::new(config.epochs)),
+                    horizon,
+                    drain_bound: config.drain_sync_bound,
+                    drain_step: pacing.delta,
+                },
+            );
+            if let Some(recorder) = recorder {
+                runner.set_recorder(recorder);
+            }
+            runner.run()
+        }
     })
 }
 
@@ -458,6 +493,14 @@ pub struct SimReport {
     /// Replicas that fell behind, fetched blocks via sync, and ended the
     /// run with a non-empty committed chain — the catch-up success count.
     pub recovered_replicas: usize,
+    /// Total endorsement-walk steps across all replicas — how much work
+    /// the §3 ancestor walk did while grading commits (0 when the engine
+    /// does not expose the tracker).
+    pub walk_steps: u64,
+    /// Counters and latency histograms recorded during the run. Empty
+    /// unless the run was built with [`SimConfig::with_recording`] (or a
+    /// recorder was installed on the runner directly).
+    pub metrics: sft_obs::MetricsSnapshot,
 }
 
 /// Aggregates per-replica sync counters into the three report metrics:
@@ -610,6 +653,51 @@ mod tests {
         assert_eq!(a.chains, b.chains);
         assert_eq!(a.commit_logs, b.commit_logs);
         assert_eq!(a.net, b.net);
+    }
+
+    #[test]
+    fn recording_off_keeps_metrics_empty() {
+        let report = SimConfig::new(4, 4).run();
+        assert!(report.metrics.is_empty());
+    }
+
+    #[test]
+    fn recording_captures_phases_and_round_latencies() {
+        use sft_obs::names;
+        for protocol in [Protocol::Streamlet, Protocol::Fbft] {
+            let report = SimConfig::new(4, 6)
+                .with_protocol(protocol)
+                .with_recording(true)
+                .run();
+            let metrics = &report.metrics;
+            for phase in [
+                names::PHASE_ON_ENVELOPE_NS,
+                names::PHASE_PERSIST_NS,
+                names::PHASE_ROUTE_NS,
+            ] {
+                let hist = metrics.hist(phase).unwrap_or_else(|| {
+                    panic!("{protocol:?} missing {phase}");
+                });
+                assert!(hist.p50 > 0 && hist.p99 > 0, "{protocol:?} {phase}");
+            }
+            let commit = metrics
+                .hist(names::ROUND_COMMIT_US)
+                .expect("commit latency");
+            assert!(commit.count > 0 && commit.p50 > 0, "{protocol:?} commits");
+            assert!(metrics.counter(names::CONSENSUS_VOTES_CAST).unwrap_or(0) > 0);
+            assert!(metrics.counter(names::CONSENSUS_QC_FORMED).unwrap_or(0) > 0);
+            assert!(metrics.counter(names::NET_MSGS[0]).unwrap_or(0) > 0);
+            assert!(metrics.counter(names::NET_BYTES[1]).unwrap_or(0) > 0);
+        }
+        // Streamlet's epoch clock fires deadlines, so tick timing shows up.
+        let report = SimConfig::new(4, 4).with_recording(true).run();
+        assert!(report.metrics.hist(names::PHASE_ON_TICK_NS).is_some());
+    }
+
+    #[test]
+    fn walk_steps_are_reported() {
+        let report = SimConfig::new(4, 6).run();
+        assert!(report.walk_steps > 0, "honest runs grade endorsements");
     }
 
     #[test]

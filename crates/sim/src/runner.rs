@@ -31,9 +31,22 @@ use std::sync::Arc;
 
 use sft_core::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route, WalRecord};
 use sft_network::Transport;
+use sft_obs::{names, PhaseTimer, SharedRecorder};
 use sft_types::{ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
 
 use crate::{Behavior, SimReport};
+
+/// Index of a [`MsgKind`] into the per-kind [`names::NET_MSGS`] /
+/// [`names::NET_BYTES`] counter tables.
+fn kind_index(kind: MsgKind) -> usize {
+    match kind {
+        MsgKind::Proposal => 0,
+        MsgKind::Vote => 1,
+        MsgKind::Timeout => 2,
+        MsgKind::SyncRequest => 3,
+        MsgKind::SyncResponse => 4,
+    }
+}
 
 /// How a run decides it is finished.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -121,6 +134,9 @@ pub struct EngineRunner<E: ReplicaEngine, T: Transport, M: Mischief<E>> {
     /// the in-memory stand-in for the on-disk WAL a real node keeps.
     persisted: Vec<Vec<WalRecord>>,
     drain_used: u64,
+    /// Where run-loop phase timings and per-kind traffic counters go;
+    /// the no-op recorder by default, so instrumentation is free.
+    recorder: SharedRecorder,
 }
 
 impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
@@ -153,7 +169,18 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             timelines: vec![Vec::new(); n],
             persisted: vec![Vec::new(); n],
             drain_used: 0,
+            recorder: sft_obs::noop(),
         }
+    }
+
+    /// Installs a live recorder: the run loop starts timing its phases
+    /// and counting per-kind traffic, and every engine starts reporting
+    /// its per-round consensus events into the same registry.
+    pub fn set_recorder(&mut self, recorder: SharedRecorder) {
+        for engine in &mut self.engines {
+            engine.set_recorder(Arc::clone(&recorder));
+        }
+        self.recorder = recorder;
     }
 
     /// Immutable access to engine `i`, for tests and benches.
@@ -302,7 +329,9 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
         if self.behaviors[i] == Behavior::Silent {
             return;
         }
+        let timer = PhaseTimer::start(&*self.recorder);
         let step = self.engines[i].on_envelope(from, &bytes, now);
+        timer.finish(&*self.recorder, names::PHASE_ON_ENVELOPE_NS);
         // An equivocator votes for every proposal it sees — with a forged
         // clean-history marker, in place of the honest vote the policy
         // below discards.
@@ -320,11 +349,15 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
         // Write-ahead discipline: durable records land in the log before
         // any message they justify is routed, so a crash after a send can
         // never find the log missing the vote that went out.
+        let persist = PhaseTimer::start(&*self.recorder);
         self.persisted[i].extend(step.persist);
+        persist.finish(&*self.recorder, names::PHASE_PERSIST_NS);
         self.timelines[i].extend(step.updates.into_iter().map(|u| (now, u)));
+        let route = PhaseTimer::start(&*self.recorder);
         for out in step.outbound {
             self.route_filtered(i, out, inbox);
         }
+        route.finish(&*self.recorder, names::PHASE_ROUTE_NS);
     }
 
     /// Behavior policy for one outbound message — see the module docs.
@@ -347,6 +380,18 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
     /// immediately; point-to-point sends pay the transport delay.
     fn route(&mut self, i: usize, out: OutboundMsg, inbox: &mut Inbox) {
         let from = self.engines[i].id();
+        if self.recorder.enabled() {
+            // One message per transport recipient, mirroring the
+            // aggregate NetworkStats accounting but split per kind.
+            let recipients = match out.route {
+                Route::Broadcast => (self.engines.len() - 1) as u64,
+                Route::To(_) => 1,
+            };
+            let kind = kind_index(out.kind);
+            self.recorder.add(names::NET_MSGS[kind], recipients);
+            self.recorder
+                .add(names::NET_BYTES[kind], recipients * out.bytes.len() as u64);
+        }
         match out.route {
             Route::Broadcast => {
                 self.transport.broadcast(from, Arc::clone(&out.bytes));
@@ -392,7 +437,9 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             }
             if self.engines[i].next_deadline().is_some_and(|d| d <= now) {
                 fired = true;
+                let timer = PhaseTimer::start(&*self.recorder);
                 let step = self.engines[i].on_tick(now);
+                timer.finish(&*self.recorder, names::PHASE_ON_TICK_NS);
                 self.absorb(i, step, now, inbox);
             }
         }
@@ -475,6 +522,11 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
                 .iter()
                 .map(|e| (e.sync_stats(), e.committed_chain())),
         );
+        let walk_steps = self
+            .engines
+            .iter()
+            .map(ReplicaEngine::endorsement_walk_steps)
+            .sum();
         SimReport {
             chains,
             commit_logs,
@@ -487,6 +539,8 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             sync_requests,
             sync_blocks_fetched,
             recovered_replicas,
+            walk_steps,
+            metrics: self.recorder.snapshot(),
         }
     }
 }

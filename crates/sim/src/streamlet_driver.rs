@@ -142,7 +142,7 @@ impl Simulation {
             net = net.with_faults(faults.clone());
         }
         let transport = SimTransport::new(net, config.n);
-        let runner = EngineRunner::new(
+        let mut runner = EngineRunner::new(
             engines,
             config.behaviors.clone(),
             transport,
@@ -154,6 +154,9 @@ impl Simulation {
                 drain_step: config.delay,
             },
         );
+        if config.recording {
+            runner.set_recorder(std::sync::Arc::new(sft_obs::Registry::new()));
+        }
         Self {
             runner,
             protocol,

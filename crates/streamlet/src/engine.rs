@@ -9,8 +9,11 @@
 //! the self-pacing SFT-DiemBFT — and lets the clock be wall time when the
 //! engine runs over sockets.
 
-use sft_core::{BlockStore, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord};
+use sft_core::{
+    BlockStore, EngineObs, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord,
+};
 use sft_crypto::HashValue;
+use sft_obs::{names, PhaseTimer, SharedRecorder};
 use sft_types::{Decode, Encode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
 
 use crate::message::Message;
@@ -41,6 +44,7 @@ pub struct StreamletEngine {
     max_epochs: u64,
     /// Next epoch to open (1-based).
     next_epoch: u64,
+    obs: EngineObs,
 }
 
 impl StreamletEngine {
@@ -52,6 +56,7 @@ impl StreamletEngine {
             period,
             max_epochs,
             next_epoch: 1,
+            obs: EngineObs::new(),
         }
     }
 
@@ -75,14 +80,19 @@ impl ReplicaEngine for StreamletEngine {
         self.replica.id()
     }
 
-    fn on_envelope(&mut self, _from: ReplicaId, payload: &[u8], _now: SimTime) -> EngineStep {
-        let Ok(msg) = Message::from_bytes(payload) else {
+    fn on_envelope(&mut self, _from: ReplicaId, payload: &[u8], now: SimTime) -> EngineStep {
+        let decode = PhaseTimer::start(&**self.obs.recorder());
+        let decoded = Message::from_bytes(payload);
+        decode.finish(&**self.obs.recorder(), names::PHASE_DECODE_NS);
+        let Ok(msg) = decoded else {
             return EngineStep::empty(); // transports can carry garbage
         };
         let mut step = EngineStep::empty();
         match msg {
             Message::Proposal(proposal) => {
+                self.obs.proposal_seen(proposal.block().round(), now);
                 if let Some(vote) = self.replica.on_proposal(&proposal) {
+                    self.obs.voted(vote.round(), now);
                     step.outbound.push(OutboundMsg::broadcast(
                         MsgKind::Vote,
                         Message::Vote(vote).to_bytes(),
@@ -102,10 +112,12 @@ impl ReplicaEngine for StreamletEngine {
                 }
             }
             Message::SyncResponse(response) => {
-                step.updates = self.replica.on_sync_response(&response);
+                step.updates = self.replica.on_sync_response(&response, now);
             }
         }
         step.persist = self.replica.drain_wal();
+        self.obs.wal_records(&step.persist, now);
+        self.obs.updates(&step.updates, now);
         step
     }
 
@@ -128,6 +140,7 @@ impl ReplicaEngine for StreamletEngine {
             }
         }
         step.persist = self.replica.drain_wal();
+        self.obs.wal_records(&step.persist, now);
         step
     }
 
@@ -148,6 +161,15 @@ impl ReplicaEngine for StreamletEngine {
             ));
         }
         step
+    }
+
+    fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.replica.set_recorder(recorder.clone());
+        self.obs.set_recorder(recorder);
+    }
+
+    fn endorsement_walk_steps(&self) -> u64 {
+        self.replica.walk_steps()
     }
 
     fn round(&self) -> Round {

@@ -626,8 +626,12 @@ impl Replica {
     /// the same structural trust granted to a proposal's embedded QC to
     /// the serving peer. Authenticated (threshold-signed) certificates
     /// replace that assumption when real networking lands.
-    pub fn on_sync_response(&mut self, response: &BlockResponse) -> Vec<StrongCommitUpdate> {
-        let admitted = self.sync.on_response(response, &mut self.store);
+    pub fn on_sync_response(
+        &mut self,
+        response: &BlockResponse,
+        now: SimTime,
+    ) -> Vec<StrongCommitUpdate> {
+        let admitted = self.sync.on_response_timed(response, &mut self.store, now);
         // The response's certificate may notarize a block this replica
         // already held (a certificate-want): process it alongside the
         // admitted blocks so the notarized set re-converges.
@@ -686,6 +690,17 @@ impl Replica {
     /// Block-sync counters (requests sent, blocks recovered, …).
     pub fn sync_stats(&self) -> SyncStats {
         self.sync.stats()
+    }
+
+    /// Total endorsement-frontier walk steps taken — the amortization
+    /// counter the bench gate watches.
+    pub fn walk_steps(&self) -> u64 {
+        self.endorsements.walk_steps()
+    }
+
+    /// Installs the recorder block-sync timing flows into.
+    pub fn set_recorder(&mut self, recorder: sft_obs::SharedRecorder) {
+        self.sync.set_recorder(recorder);
     }
 
     /// True while this replica is still chasing missing blocks.
