@@ -402,6 +402,8 @@ fn summary_json(
     field("recovered_replicas", report.recovered_replicas.to_string());
     field("disconnects", report.net.disconnects.to_string());
     field("walk_steps", report.walk_steps.to_string());
+    field("sig_verifications", report.sig_verifications.to_string());
+    field("batch_verify_calls", report.batch_verify_calls.to_string());
     // Recorded counters and histogram digests, one scalar per line so the
     // gate's flat line scanner picks every one of them up individually.
     let flat = report.metrics.flat_fields();
@@ -420,13 +422,15 @@ fn summary_json(
         .map(|e| {
             let r = &e.report;
             format!(
-                "    {{\"n\": {}, \"delay_us\": {}, \"txns_committed\": {}, \"txns_per_sec\": {:.3}, \"elapsed_us\": {}, \"messages\": {}}}",
+                "    {{\"n\": {}, \"delay_us\": {}, \"txns_committed\": {}, \"txns_per_sec\": {:.3}, \"elapsed_us\": {}, \"messages\": {}, \"sig_verifications\": {}, \"batch_verify_calls\": {}}}",
                 e.n,
                 e.delay_us,
                 r.txns_committed,
                 r.txns_per_sec(),
                 r.elapsed.as_micros(),
-                r.net.messages
+                r.net.messages,
+                r.sig_verifications,
+                r.batch_verify_calls
             )
         })
         .collect();
@@ -504,6 +508,10 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
         "\nnetwork: {} messages, {} bytes, elapsed {}",
         report.net.messages, report.net.bytes, report.elapsed
     );
+    println!(
+        "signatures: {} verified across {} batch checks",
+        report.sig_verifications, report.batch_verify_calls
+    );
     if report.equivocators_detected > 0 {
         println!("equivocators detected: {}", report.equivocators_detected);
     }
@@ -547,11 +555,12 @@ fn run_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
         let r = configure(args, protocol, n, args.batch_size, None).run();
         validate(&r, args.scenario)?;
         println!(
-            "sweep n={n}: {} committed, {} txns ({:.1} txns/s), {} msgs, elapsed {}",
+            "sweep n={n}: {} committed, {} txns ({:.1} txns/s), {} msgs, {} sig verifies, elapsed {}",
             r.max_committed(),
             r.txns_committed,
             r.txns_per_sec(),
             r.net.messages,
+            r.sig_verifications,
             r.elapsed
         );
         sweep.push(SweepEntry {
@@ -827,8 +836,12 @@ fn run_tcp_protocol(args: &Args, protocol: Protocol) -> Result<(), String> {
     let sim_report = config.clone().run();
     validate(&sim_report, args.scenario)?;
 
-    let tcp_report =
-        run_over_tcp(&config, TcpPacing::default()).map_err(|e| format!("tcp mesh: {e}"))?;
+    // One process hosts every replica, so per-epoch engine work grows
+    // with n while the wall-clock epoch does not: widen the pacing unit
+    // for large meshes or proposals stop landing inside their epochs.
+    let mut pacing = TcpPacing::default();
+    pacing.delta = pacing.delta * (1 + args.n as u64 / 8);
+    let tcp_report = run_over_tcp(&config, pacing).map_err(|e| format!("tcp mesh: {e}"))?;
 
     if !tcp_report.agreement() || tcp_report.safety_violations > 0 {
         return Err("tcp replicas disagree".to_string());

@@ -125,8 +125,10 @@ const WALL: f64 = 60.0;
 /// The metrics the gate holds every run to: commit latency, throughput,
 /// message/byte complexity, the block-sync catch-up cost (request and
 /// fetch counts should only shrink for a fixed scenario; recovered
-/// replicas should never drop), endorsement-walk work, and — when the run
-/// recorded them — per-round latency digests and hot-path phase timings.
+/// replicas should never drop), endorsement-walk work, signature-check
+/// work (both the verification count — the O(n²)→O(n) batching win — and
+/// the number of batch calls), and — when the run recorded them —
+/// per-round latency digests and hot-path phase timings.
 pub const GATED_METRICS: &[Metric] = &[
     Metric {
         field: "first_commit_us",
@@ -165,6 +167,16 @@ pub const GATED_METRICS: &[Metric] = &[
     },
     Metric {
         field: "walk_steps",
+        better: Better::Lower,
+        slack: EXACT,
+    },
+    Metric {
+        field: "sig_verifications",
+        better: Better::Lower,
+        slack: EXACT,
+    },
+    Metric {
+        field: "batch_verify_calls",
         better: Better::Lower,
         slack: EXACT,
     },
@@ -336,6 +348,22 @@ mod tests {
         let result = compare(&recovering, &broken, 0.05);
         assert!(!result.passed());
         assert!(result.regressions[0].contains("recovered_replicas"));
+    }
+
+    #[test]
+    fn signature_work_growth_fails() {
+        // Losing the batching win (verifications creeping back toward
+        // O(n²)) must trip the gate even when every other metric holds.
+        let base = Summary::parse(
+            "{\n  \"protocol\": \"fbft\",\n  \"sig_verifications\": 1200,\n  \"batch_verify_calls\": 40\n}\n",
+        );
+        assert!(compare(&base, &base.clone(), 0.05).passed());
+        let worse = Summary::parse(
+            "{\n  \"protocol\": \"fbft\",\n  \"sig_verifications\": 9600,\n  \"batch_verify_calls\": 40\n}\n",
+        );
+        let result = compare(&base, &worse, 0.05);
+        assert!(!result.passed());
+        assert!(result.regressions[0].contains("sig_verifications"));
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub const PLOT_METRICS: &[&str] = &[
     "phase_on_envelope_ns_p99",
     "phase_persist_ns_p99",
     "phase_route_ns_p99",
+    "phase_batch_verify_ns_p99",
     "walk_steps",
+    "sig_verifications",
+    "batch_verify_calls",
 ];
 
 /// One named curve: `(x, y)` points in draw order.

@@ -12,8 +12,11 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
-use sft_crypto::{HashValue, Hasher, KeyRegistry};
-use sft_types::{Decode, DecodeError, Encode, ReplicaId, Round, SignerSet, StrongVote, VoteData};
+use sft_crypto::{BatchItem, HashValue, Hasher, KeyRegistry, SigStats};
+use sft_types::{
+    vote_signing_digest_with, Decode, DecodeError, Encode, ReplicaId, Round, SignerSet, StrongVote,
+    VerifyPolicy, VoteData,
+};
 
 use crate::{Block, ProtocolConfig};
 
@@ -175,6 +178,7 @@ pub enum VoteOutcome {
 pub struct VoteTracker {
     config: ProtocolConfig,
     registry: KeyRegistry,
+    policy: VerifyPolicy,
     /// Votes aggregated per block id. The signer set is behind an `Arc` so
     /// certification hands the set to the [`QuorumCertificate`] by sharing;
     /// `Arc::make_mut` keeps later inserts copy-free until (at most once) a
@@ -187,24 +191,94 @@ pub struct VoteTracker {
     first_vote: HashMap<(Round, ReplicaId), HashValue>,
     /// Replicas caught voting for two blocks in one round.
     equivocators: Vec<ReplicaId>,
+    /// Under [`VerifyPolicy::OnQuorum`]: every counted vote, keyed by
+    /// (block, author), with its deferred-verification state. Unused (and
+    /// empty) under [`VerifyPolicy::OnArrival`].
+    stored: HashMap<(HashValue, ReplicaId), StoredVote>,
+    /// Votes accepted *and verified* since the last
+    /// [`take_newly_verified`](Self::take_newly_verified) call — the feed
+    /// the endorsement tracker consumes, so endorsements are only ever
+    /// credited to signatures that actually checked out.
+    newly_verified: Vec<StrongVote>,
+    stats: SigStats,
+    /// Claimed authors of signatures a batch check rejected.
+    forged: Vec<ReplicaId>,
+}
+
+/// A counted vote held until (and after) its signature is checked.
+#[derive(Clone, Debug)]
+struct StoredVote {
+    vote: StrongVote,
+    verified: bool,
 }
 
 impl VoteTracker {
-    /// Creates a tracker for the given configuration and PKI.
+    /// Creates a tracker for the given configuration and PKI, verifying
+    /// signatures on arrival.
     pub fn new(config: ProtocolConfig, registry: KeyRegistry) -> Self {
         Self {
             config,
             registry,
+            policy: VerifyPolicy::OnArrival,
             by_block: HashMap::new(),
             certified: HashSet::new(),
             first_vote: HashMap::new(),
             equivocators: Vec::new(),
+            stored: HashMap::new(),
+            newly_verified: Vec::new(),
+            stats: SigStats::default(),
+            forged: Vec::new(),
         }
     }
 
-    /// Verifies and counts one vote. See [`VoteOutcome`] for the cases.
+    /// Selects when this tracker checks signatures (see
+    /// [`VerifyPolicy`]).
+    pub fn with_policy(mut self, policy: VerifyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The verification policy in effect.
+    pub fn policy(&self) -> VerifyPolicy {
+        self.policy
+    }
+
+    /// Signature-verification work counters for this tracker.
+    pub fn sig_stats(&self) -> SigStats {
+        self.stats
+    }
+
+    /// Claimed authors of signatures a batch check rejected — the output
+    /// of the bisection over a bad batch.
+    pub fn forged_signers(&self) -> &[ReplicaId] {
+        &self.forged
+    }
+
+    /// Drains the votes accepted *and signature-verified* since the last
+    /// call, in acceptance order (batch survivors surface in signer-index
+    /// order when their quorum's check runs). Endorsement recording feeds
+    /// from this instead of from raw arrivals, so deferred verification
+    /// can never credit an endorsement to an unchecked signature.
+    pub fn take_newly_verified(&mut self) -> Vec<StrongVote> {
+        std::mem::take(&mut self.newly_verified)
+    }
+
+    /// Counts one vote, verifying per [`VerifyPolicy`]. See
+    /// [`VoteOutcome`] for the cases.
     pub fn add_vote(&mut self, vote: &StrongVote) -> VoteOutcome {
-        if !vote.verify(&self.registry) {
+        match self.policy {
+            VerifyPolicy::OnArrival => self.add_on_arrival(vote),
+            VerifyPolicy::OnQuorum => self.add_on_quorum(vote),
+        }
+    }
+
+    fn verify_one(&mut self, vote: &StrongVote) -> bool {
+        self.stats.count_verify();
+        vote.verify(&self.registry)
+    }
+
+    fn add_on_arrival(&mut self, vote: &StrongVote) -> VoteOutcome {
+        if !self.verify_one(vote) {
             return VoteOutcome::BadSignature;
         }
         let block_id = vote.data().block_id();
@@ -232,11 +306,230 @@ impl VoteTracker {
             return VoteOutcome::Duplicate;
         }
         let count = signers.len();
+        self.newly_verified.push(vote.clone());
         if count >= self.config.quorum() && self.certified.insert(block_id) {
             let (data, signers) = &self.by_block[&block_id];
             return VoteOutcome::Certified(QuorumCertificate::new(*data, Arc::clone(signers)));
         }
         VoteOutcome::Counted(count)
+    }
+
+    fn add_on_quorum(&mut self, vote: &StrongVote) -> VoteOutcome {
+        let block_id = vote.data().block_id();
+        let author = vote.author();
+        if let Some(&first_block) = self.first_vote.get(&(vote.round(), author)) {
+            if first_block == block_id {
+                return self.settle_same_block(vote);
+            }
+            // Conflicting blocks under one author in one round. Settle the
+            // stored first vote's signature before judging: a forger must
+            // not be able to frame an honest replica as an equivocator,
+            // nor keep a forged first vote counted.
+            let stored_state = self
+                .stored
+                .get(&(first_block, author))
+                .map(|s| (s.vote.clone(), s.verified));
+            if let Some((stored_vote, verified)) = stored_state {
+                if verified || self.verify_one(&stored_vote) {
+                    if !verified {
+                        self.stored
+                            .get_mut(&(first_block, author))
+                            .expect("entry exists")
+                            .verified = true;
+                        self.newly_verified.push(stored_vote);
+                    }
+                    return self.settle_equivocation(vote);
+                }
+                // The stored first vote was forged: roll it back and treat
+                // the arriving vote as the author's real first vote.
+                self.rollback(first_block, author);
+            } else {
+                return self.settle_equivocation(vote);
+            }
+        }
+        self.insert_fresh(vote)
+    }
+
+    /// The author re-voted for its first block: deduplicate, lazily
+    /// settling signatures when the copies differ in content.
+    fn settle_same_block(&mut self, vote: &StrongVote) -> VoteOutcome {
+        let block_id = vote.data().block_id();
+        let author = vote.author();
+        let stored_state = self
+            .stored
+            .get(&(block_id, author))
+            .map(|s| (s.vote.clone(), s.verified));
+        let Some((stored_vote, verified)) = stored_state else {
+            // No stored copy (defensive): treat as a plain duplicate.
+            return if self.verify_one(vote) {
+                VoteOutcome::Duplicate
+            } else {
+                VoteOutcome::BadSignature
+            };
+        };
+        if stored_vote == *vote {
+            // Byte-identical retransmission: deduplicated without ever
+            // touching the signature — the common case deferral makes free.
+            return VoteOutcome::Duplicate;
+        }
+        if verified || self.verify_one(&stored_vote) {
+            if !verified {
+                self.stored
+                    .get_mut(&(block_id, author))
+                    .expect("entry exists")
+                    .verified = true;
+                self.newly_verified.push(stored_vote);
+            }
+            return if self.verify_one(vote) {
+                VoteOutcome::Duplicate
+            } else {
+                VoteOutcome::BadSignature
+            };
+        }
+        // The stored copy was forged; the arriving vote takes the slot.
+        self.rollback(block_id, author);
+        self.insert_fresh(vote)
+    }
+
+    /// The arriving vote conflicts with a *valid* first vote: verify it,
+    /// and record the author as an equivocator only on a valid signature
+    /// (matching the on-arrival path — forged conflicts are not evidence).
+    fn settle_equivocation(&mut self, vote: &StrongVote) -> VoteOutcome {
+        if !self.verify_one(vote) {
+            return VoteOutcome::BadSignature;
+        }
+        let author = vote.author();
+        if !self.equivocators.contains(&author) {
+            self.equivocators.push(author);
+        }
+        VoteOutcome::Equivocation
+    }
+
+    /// Counts a vote with no prior state for its (block, author) slot.
+    fn insert_fresh(&mut self, vote: &StrongVote) -> VoteOutcome {
+        let block_id = vote.data().block_id();
+        let author = vote.author();
+        let already_certified = self.certified.contains(&block_id);
+        if already_certified && !self.verify_one(vote) {
+            // Post-certification stragglers verify individually: they can
+            // still upgrade endorsement strength, so their signatures
+            // cannot wait for a batch that will never run.
+            return VoteOutcome::BadSignature;
+        }
+        let n = self.config.n();
+        let (_, signers) = self
+            .by_block
+            .entry(block_id)
+            .or_insert_with(|| (*vote.data(), Arc::new(SignerSet::new(n))));
+        if !Arc::make_mut(signers).insert(author) {
+            return VoteOutcome::Duplicate;
+        }
+        let count = signers.len();
+        self.first_vote.insert((vote.round(), author), block_id);
+        self.stored.insert(
+            (block_id, author),
+            StoredVote {
+                vote: vote.clone(),
+                verified: already_certified,
+            },
+        );
+        if already_certified {
+            self.newly_verified.push(vote.clone());
+            return VoteOutcome::Counted(count);
+        }
+        if count >= self.config.quorum() {
+            if let Some(qc) = self.try_certify(block_id) {
+                return VoteOutcome::Certified(qc);
+            }
+            if !self.stored.contains_key(&(block_id, author)) {
+                // The arriving vote itself was exposed as forged by the
+                // batch check it triggered.
+                return VoteOutcome::BadSignature;
+            }
+            return VoteOutcome::Counted(self.votes_for(block_id));
+        }
+        VoteOutcome::Counted(count)
+    }
+
+    /// Certifies `block_id` if it (still) holds a verified quorum,
+    /// batch-checking any deferred signatures first. Emits at most once.
+    ///
+    /// All votes of a forming QC certify the same [`VoteData`], so its
+    /// digest is hashed once and shared across every signing preimage in
+    /// the batch — the precompute half of the batched path.
+    fn try_certify(&mut self, block_id: HashValue) -> Option<QuorumCertificate> {
+        if self.certified.contains(&block_id) {
+            return None;
+        }
+        let (data, signers) = self.by_block.get(&block_id)?;
+        if signers.len() < self.config.quorum() {
+            return None;
+        }
+        // Signer-set iteration is index-ordered, so the batch (and with
+        // it every downstream count) is deterministic.
+        let unverified: Vec<ReplicaId> = signers
+            .iter()
+            .filter(|author| !self.stored[&(block_id, *author)].verified)
+            .collect();
+        if !unverified.is_empty() {
+            let data_digest = data.digest();
+            let digests: Vec<HashValue> = unverified
+                .iter()
+                .map(|author| {
+                    let stored = &self.stored[&(block_id, *author)];
+                    vote_signing_digest_with(data_digest, stored.vote.endorse())
+                })
+                .collect();
+            let items: Vec<BatchItem<'_>> = unverified
+                .iter()
+                .zip(&digests)
+                .map(|(author, digest)| {
+                    BatchItem::new(
+                        author.as_u64(),
+                        digest.as_ref(),
+                        self.stored[&(block_id, *author)].vote.signature(),
+                    )
+                })
+                .collect();
+            let result = self.registry.verify_batch(&items);
+            drop(items);
+            self.stats.count_batch(unverified.len(), result.is_err());
+            let forged_indices = result.err().unwrap_or_default();
+            let mut forged_iter = forged_indices.iter().peekable();
+            for (index, author) in unverified.iter().enumerate() {
+                if forged_iter.peek() == Some(&&index) {
+                    forged_iter.next();
+                    self.rollback(block_id, *author);
+                } else {
+                    let stored = self
+                        .stored
+                        .get_mut(&(block_id, *author))
+                        .expect("entry exists");
+                    stored.verified = true;
+                    self.newly_verified.push(stored.vote.clone());
+                }
+            }
+        }
+        let (data, signers) = self.by_block.get(&block_id)?;
+        if signers.len() < self.config.quorum() {
+            return None;
+        }
+        self.certified.insert(block_id);
+        Some(QuorumCertificate::new(*data, Arc::clone(signers)))
+    }
+
+    /// Removes a forged vote's traces: the signer-set count, the
+    /// first-vote record, and the stored copy.
+    fn rollback(&mut self, block_id: HashValue, author: ReplicaId) {
+        if let Some((data, signers)) = self.by_block.get_mut(&block_id) {
+            Arc::make_mut(signers).remove(author);
+            let key = (data.block_round(), author);
+            if self.first_vote.get(&key) == Some(&block_id) {
+                self.first_vote.remove(&key);
+            }
+        }
+        self.stored.remove(&(block_id, author));
+        self.forged.push(author);
     }
 
     /// Number of verified votes currently counted for `block_id`.
@@ -440,6 +733,151 @@ mod tests {
         assert_eq!(back.digest(), qc.digest());
         let other = QuorumCertificate::new(d, SignerSet::new(4));
         assert_ne!(qc.digest(), other.digest(), "digest covers the signers");
+    }
+
+    fn setup_deferred() -> (ProtocolConfig, KeyRegistry, VoteTracker) {
+        let cfg = ProtocolConfig::for_replicas(4);
+        let registry = KeyRegistry::deterministic(4);
+        let tracker = VoteTracker::new(cfg, registry.clone()).with_policy(VerifyPolicy::OnQuorum);
+        (cfg, registry, tracker)
+    }
+
+    #[test]
+    fn deferred_quorum_certifies_with_one_batch_pass() {
+        let (_, registry, mut tracker) = setup_deferred();
+        assert_eq!(tracker.policy(), VerifyPolicy::OnQuorum);
+        let d = data(b"B", 1);
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 0, d)),
+            VoteOutcome::Counted(1)
+        );
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 1, d)),
+            VoteOutcome::Counted(2)
+        );
+        assert!(
+            tracker.take_newly_verified().is_empty(),
+            "nothing verified before quorum"
+        );
+        let VoteOutcome::Certified(qc) = tracker.add_vote(&vote(&registry, 2, d)) else {
+            panic!("third vote certifies");
+        };
+        assert_eq!(qc.signers().len(), 3);
+        let stats = tracker.sig_stats();
+        assert_eq!(stats.verifications, 0);
+        assert_eq!(stats.batch_calls, 1);
+        assert_eq!(stats.batch_verified, 3);
+        let verified = tracker.take_newly_verified();
+        assert_eq!(verified.len(), 3, "batch survivors surface together");
+        assert!(verified.iter().all(|v| v.data().block_id() == d.block_id()));
+    }
+
+    #[test]
+    fn deferred_retransmission_never_verifies() {
+        let (_, registry, mut tracker) = setup_deferred();
+        let d = data(b"B", 1);
+        let v = vote(&registry, 0, d);
+        tracker.add_vote(&v);
+        assert_eq!(tracker.add_vote(&v), VoteOutcome::Duplicate);
+        let stats = tracker.sig_stats();
+        assert_eq!(stats.verifications + stats.batch_verified, 0);
+    }
+
+    #[test]
+    fn deferred_bisection_rolls_back_forged_vote() {
+        let (_, registry, mut tracker) = setup_deferred();
+        let d = data(b"B", 1);
+        // A forged vote claiming replica 3 is counted optimistically.
+        let honest = vote(&registry, 0, d);
+        let forged = StrongVote::from_parts(
+            d,
+            EndorseInfo::Marker(Round::ZERO),
+            ReplicaId::new(3),
+            *honest.signature(),
+        );
+        assert_eq!(tracker.add_vote(&forged), VoteOutcome::Counted(1));
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 1, d)),
+            VoteOutcome::Counted(2)
+        );
+        // The batch check at quorum exposes it: count rolls back, no QC.
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 2, d)),
+            VoteOutcome::Counted(2)
+        );
+        assert!(!tracker.is_certified(d.block_id()));
+        assert_eq!(tracker.forged_signers(), &[ReplicaId::new(3)]);
+        assert_eq!(tracker.sig_stats().batch_rejects, 1);
+        // Only the two valid survivors were credited.
+        assert_eq!(tracker.take_newly_verified().len(), 2);
+        // The real replica 3 vote is not blocked by the forgery.
+        let VoteOutcome::Certified(qc) = tracker.add_vote(&vote(&registry, 3, d)) else {
+            panic!("honest quorum certifies");
+        };
+        assert_eq!(qc.signers().len(), 3);
+    }
+
+    #[test]
+    fn deferred_equivocation_still_detected() {
+        let (_, registry, mut tracker) = setup_deferred();
+        let a = data(b"A", 1);
+        let b = data(b"B", 1);
+        tracker.add_vote(&vote(&registry, 0, a));
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 0, b)),
+            VoteOutcome::Equivocation
+        );
+        assert_eq!(tracker.equivocators(), &[ReplicaId::new(0)]);
+        // Settling the conflict verified the stored first vote: it now
+        // counts as verified and feeds the endorsement tracker.
+        let verified = tracker.take_newly_verified();
+        assert_eq!(verified.len(), 1);
+        assert_eq!(verified[0].data().block_id(), a.block_id());
+    }
+
+    #[test]
+    fn deferred_forged_conflict_does_not_frame_the_author() {
+        let (_, registry, mut tracker) = setup_deferred();
+        let a = data(b"A", 1);
+        let b = data(b"B", 1);
+        // A forged vote squats on replica 0's round-1 slot for block A.
+        let honest_b = vote(&registry, 0, b);
+        let forged = StrongVote::from_parts(
+            a,
+            EndorseInfo::Marker(Round::ZERO),
+            ReplicaId::new(0),
+            *honest_b.signature(),
+        );
+        assert_eq!(tracker.add_vote(&forged), VoteOutcome::Counted(1));
+        // The author's real vote evicts the forgery instead of branding
+        // the author an equivocator.
+        assert_eq!(tracker.add_vote(&honest_b), VoteOutcome::Counted(1));
+        assert!(tracker.equivocators().is_empty());
+        assert_eq!(tracker.votes_for(a.block_id()), 0);
+        assert_eq!(tracker.votes_for(b.block_id()), 1);
+        assert_eq!(tracker.forged_signers(), &[ReplicaId::new(0)]);
+    }
+
+    #[test]
+    fn deferred_straggler_verifies_individually_after_qc() {
+        let (_, registry, mut tracker) = setup_deferred();
+        let d = data(b"B", 1);
+        for signer in 0..3 {
+            tracker.add_vote(&vote(&registry, signer, d));
+        }
+        assert!(tracker.is_certified(d.block_id()));
+        tracker.take_newly_verified();
+        assert_eq!(
+            tracker.add_vote(&vote(&registry, 3, d)),
+            VoteOutcome::Counted(4)
+        );
+        assert_eq!(tracker.sig_stats().verifications, 1);
+        assert_eq!(tracker.take_newly_verified().len(), 1);
+        // A forged straggler is rejected on the spot.
+        let honest = vote(&registry, 2, d);
+        let forged =
+            StrongVote::from_parts(d, EndorseInfo::None, ReplicaId::new(2), *honest.signature());
+        assert_eq!(tracker.add_vote(&forged), VoteOutcome::BadSignature);
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl SecretKey {
         Self(crate::sha256::Sha256::digest(&bytes))
     }
 
-    fn mac(&self, message: &[u8]) -> [u8; 32] {
+    pub(crate) fn mac(&self, message: &[u8]) -> [u8; 32] {
         hmac_sha256(&self.0, message)
     }
 }
@@ -136,6 +136,11 @@ impl KeyRegistry {
         self.secrets
             .get(signer as usize)
             .map(|secret| KeyPair::new(signer, secret.clone()))
+    }
+
+    /// Looks up `signer`'s verification material, if registered.
+    pub(crate) fn secret(&self, signer: u64) -> Option<&SecretKey> {
+        self.secrets.get(signer as usize)
     }
 
     /// Verifies that `sig` is `signer`'s signature over `message`.

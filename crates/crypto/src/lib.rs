@@ -26,6 +26,7 @@
 
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod hash;
 pub mod hmac;
 pub mod keys;
@@ -33,6 +34,7 @@ pub mod rng;
 pub mod sha256;
 pub mod signature;
 
+pub use batch::{BatchItem, SigStats};
 pub use hash::{HashValue, Hasher};
 pub use keys::{KeyPair, KeyRegistry, SecretKey};
 pub use rng::{RngCore, SplitMix64};

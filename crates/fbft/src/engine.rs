@@ -11,7 +11,7 @@
 use sft_core::{
     BlockStore, EngineObs, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord,
 };
-use sft_crypto::HashValue;
+use sft_crypto::{HashValue, SigStats};
 use sft_obs::{names, PhaseTimer, SharedRecorder};
 use sft_types::{Decode, Encode, ReplicaId, Round, SimTime, StrongCommitUpdate};
 
@@ -121,7 +121,15 @@ impl ReplicaEngine for FbftEngine {
                 self.absorb(out, now)
             }
             FbftMessage::Vote(vote) => {
+                // Time vote-ingest steps that ran a deferred batch check:
+                // the batch dominates such a step, so its duration is the
+                // batch-verify phase.
+                let batches = self.replica.sig_stats().batch_calls;
+                let verify = PhaseTimer::start(&**self.obs.recorder());
                 let out = self.replica.on_vote(&vote, now);
+                if self.replica.sig_stats().batch_calls > batches {
+                    verify.finish(&**self.obs.recorder(), names::PHASE_BATCH_VERIFY_NS);
+                }
                 self.absorb(out, now)
             }
             FbftMessage::Timeout(timeout) => {
@@ -189,6 +197,10 @@ impl ReplicaEngine for FbftEngine {
 
     fn endorsement_walk_steps(&self) -> u64 {
         self.replica.walk_steps()
+    }
+
+    fn sig_stats(&self) -> SigStats {
+        self.replica.sig_stats()
     }
 
     fn round(&self) -> Round {

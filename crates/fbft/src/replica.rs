@@ -8,10 +8,11 @@ use sft_core::{
     PayloadSource, ProtocolConfig, QuorumCertificate, SyncManager, SyncStats, VoteOutcome,
     VoteTracker, WalRecord,
 };
-use sft_crypto::{HashValue, KeyPair, KeyRegistry};
+use sft_crypto::{HashValue, KeyPair, KeyRegistry, SigStats};
 use sft_types::{
     BlockRequest, EndorseMode, Payload, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate,
     StrongVote, TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome, Transaction,
+    VerifyPolicy,
 };
 
 pub use sft_core::BlockResponse;
@@ -225,6 +226,16 @@ impl FbftReplica {
     /// round it leads returns the next proposal in its [`StepOutcome`].
     pub fn with_payload_source(mut self, source: PayloadSource) -> Self {
         self.payload_source = Some(source);
+        self
+    }
+
+    /// Switches vote and timeout aggregation to `policy` — verify every
+    /// signature on arrival (the default) or defer to one batched check at
+    /// quorum. Call right after construction, before any message is
+    /// ingested.
+    pub fn with_verify_policy(mut self, policy: VerifyPolicy) -> Self {
+        self.votes = self.votes.with_policy(policy);
+        self.timeouts = self.timeouts.with_policy(policy);
         self
     }
 
@@ -450,16 +461,17 @@ impl FbftReplica {
     fn absorb_vote(&mut self, vote: &StrongVote, now: SimTime) -> StepOutcome {
         let mut out = StepOutcome::default();
         let outcome = self.votes.add_vote(vote);
-        let certified = match outcome {
-            VoteOutcome::BadSignature | VoteOutcome::Equivocation | VoteOutcome::Duplicate => {
-                return out;
-            }
-            VoteOutcome::Certified(qc) => Some(qc),
-            VoteOutcome::Counted(_) => None,
-        };
-        let grown = self.endorsements.record_vote(vote, &self.store);
+        // Endorsements are credited only from verified votes: the drain
+        // returns the vote just accepted under verify-on-arrival, and the
+        // whole batch the quorum check validated under verify-on-quorum
+        // (nothing before that — optimistically counted votes carry no
+        // endorsement weight until their signatures clear).
+        let mut grown = Vec::new();
+        for verified in self.votes.take_newly_verified() {
+            grown.extend(self.endorsements.record_vote(&verified, &self.store));
+        }
 
-        if let Some(qc) = certified {
+        if let VoteOutcome::Certified(qc) = outcome {
             out.updates.extend(self.process_qc(&qc, now));
         }
         // Endorsements may have raised the strength of blocks committed
@@ -581,6 +593,15 @@ impl FbftReplica {
     /// counter the bench gate watches.
     pub fn walk_steps(&self) -> u64 {
         self.endorsements.walk_steps()
+    }
+
+    /// Signature-verification counters across vote and timeout
+    /// aggregation — the evidence behind the verify-on-quorum scaling
+    /// claim.
+    pub fn sig_stats(&self) -> SigStats {
+        let mut stats = self.votes.sig_stats();
+        stats.merge(self.timeouts.sig_stats());
+        stats
     }
 
     /// Installs the recorder block-sync timing flows into.

@@ -48,7 +48,9 @@
 
 #![deny(missing_docs)]
 
+mod frame;
 pub mod node;
+mod outbox;
 pub mod tcp;
 
 use std::collections::VecDeque;

@@ -10,9 +10,10 @@
 //!   each by its hello frame (same validation as the cluster readers);
 //! - one **reconnecting writer thread per peer** dials the peer's address
 //!   with capped exponential backoff, re-dials (and re-sends the hello)
-//!   whenever a write fails, and keeps draining its frame channel in the
-//!   meantime — so a peer's crash never wedges the consensus loop, and
-//!   its restart is picked up without any coordination;
+//!   whenever a write fails, and keeps draining its outbound ring (the
+//!   same `OutRing` the cluster's writer flushes) in
+//!   the meantime — so a peer's crash never wedges the consensus loop,
+//!   and its restart is picked up without any coordination;
 //! - every lost connection, inbound or outbound, is a counted
 //!   [`disconnect`](crate::NetworkStats::disconnects), not a silent
 //!   thread exit.
@@ -22,10 +23,10 @@
 //! plus a write-ahead log.
 
 use std::collections::VecDeque;
-use std::io::{self, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,13 +34,9 @@ use std::time::{Duration, Instant};
 use sft_obs::{names, SharedRecorder};
 use sft_types::{Envelope, ProtocolTag, ReplicaId, SimTime};
 
-use crate::tcp::spawn_reader;
+use crate::frame::FrameDecoder;
+use crate::outbox::OutRing;
 use crate::{Delivery, NetworkStats, Transport};
-
-/// Per-peer writer queue depth. Bounded so a long-dead peer costs a fixed
-/// amount of memory; sends beyond it are counted drops (the peer will
-/// block-sync what it missed, exactly as after a partition).
-const WRITER_QUEUE_DEPTH: usize = 1024;
 
 /// First reconnect delay; doubles per failed attempt up to
 /// [`BACKOFF_CAP`].
@@ -48,9 +45,12 @@ const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
 /// Ceiling on the reconnect backoff.
 const BACKOFF_CAP: Duration = Duration::from_secs(2);
 
-/// One peer's outbound side: the channel its reconnecting writer drains.
+/// One peer's outbound side: the ring its reconnecting writer drains.
+/// The ring is bounded, so a long-dead peer costs a fixed amount of
+/// memory; sends beyond the bound are counted drops (the peer will
+/// block-sync what it missed, exactly as after a partition).
 struct PeerOut {
-    frames: SyncSender<Arc<[u8]>>,
+    ring: Arc<OutRing>,
     writer: Option<JoinHandle<()>>,
 }
 
@@ -168,18 +168,19 @@ impl NodeTransport {
             }
             let hello =
                 Envelope::to_peer(id, ReplicaId::new(peer as u16), protocol, Vec::new()).to_frame();
-            let (frames, rx) = mpsc::sync_channel::<Arc<[u8]>>(WRITER_QUEUE_DEPTH);
+            let ring = OutRing::new();
             let writer = std::thread::Builder::new()
                 .name(format!("sft-node-writer-{}-{peer}", id.as_u16()))
                 .spawn({
                     let addr = *addr;
+                    let ring = Arc::clone(&ring);
                     let disconnects = Arc::clone(&disconnects);
                     let shutdown = Arc::clone(&shutdown);
                     let recorder = Arc::clone(&recorder);
-                    move || peer_writer_loop(addr, hello, rx, disconnects, shutdown, recorder)
+                    move || peer_writer_loop(addr, hello, &ring, &disconnects, &shutdown, &recorder)
                 })?;
             outs.push(Some(PeerOut {
-                frames,
+                ring,
                 writer: Some(writer),
             }));
         }
@@ -233,7 +234,7 @@ impl NodeTransport {
     }
 
     /// Enqueues one pre-framed buffer toward `to`. A full or closed
-    /// channel is a counted drop — the writer is down or hopelessly
+    /// ring is a counted drop — the writer is down or hopelessly
     /// behind, and the peer will block-sync what it missed.
     fn enqueue(&mut self, to: ReplicaId, frame: Arc<[u8]>, payload_len: usize) {
         self.stats.messages += 1;
@@ -247,11 +248,8 @@ impl NodeTransport {
             self.stats.dropped += 1;
             return;
         };
-        match peer.frames.try_send(frame) {
-            Ok(()) => {}
-            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
-                self.stats.dropped += 1;
-            }
+        if !peer.ring.push(frame) {
+            self.stats.dropped += 1;
         }
     }
 
@@ -340,13 +338,9 @@ impl Transport for NodeTransport {
 impl Drop for NodeTransport {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Closing the frame channels ends the writer loops.
-        for peer in self.peers.iter_mut().flatten() {
-            let (closed, _) = mpsc::sync_channel(1);
-            peer.frames = closed;
-        }
+        // Closing the rings ends the writer loops once they drain.
         for peer in std::mem::take(&mut self.peers).into_iter().flatten() {
-            drop(peer.frames);
+            peer.ring.close();
             if let Some(handle) = peer.writer {
                 let _ = handle.join();
             }
@@ -360,9 +354,9 @@ impl Drop for NodeTransport {
 }
 
 /// Accepts inbound peer connections for `owner` until shutdown, handing
-/// each to a detached reader (the same validating reader the cluster
-/// transport uses). Reader threads exit on their own at EOF — each exit
-/// bumps `disconnects`.
+/// each to a detached blocking reader over the same validating
+/// [`FrameDecoder`] the cluster's multiplexing readers use. Reader
+/// threads exit on their own at EOF — each exit bumps `disconnects`.
 fn accept_loop(
     listener: TcpListener,
     owner: ReplicaId,
@@ -378,28 +372,64 @@ fn accept_loop(
         }
         let Ok(stream) = conn else { continue };
         let _ = stream.set_nodelay(true);
-        let _ = spawn_reader(
-            stream,
-            owner,
-            protocol,
-            inbound.clone(),
-            Arc::clone(&received),
-            Arc::clone(&disconnects),
-        );
+        let _ = std::thread::Builder::new()
+            .name(format!("sft-node-reader-{}", owner.as_u16()))
+            .spawn({
+                let inbound = inbound.clone();
+                let received = Arc::clone(&received);
+                let disconnects = Arc::clone(&disconnects);
+                move || {
+                    reader_loop(stream, owner, protocol, &inbound, &received);
+                    disconnects.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+    }
+}
+
+/// Blocking reader for one inbound connection: reads until EOF, error,
+/// or protocol violation, pushing validated deliveries into the shared
+/// inbound queue.
+fn reader_loop(
+    mut stream: TcpStream,
+    owner: ReplicaId,
+    protocol: ProtocolTag,
+    inbound: &Sender<Delivery>,
+    received: &AtomicU64,
+) {
+    let mut decoder = FrameDecoder::new(owner, protocol);
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut decoded = Vec::new();
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return, // EOF or error: peer closed
+            Ok(read) => {
+                if decoder.ingest(&chunk[..read], &mut decoded).is_err() {
+                    return; // protocol violation: refuse the peer
+                }
+                for delivery in decoded.drain(..) {
+                    received.fetch_add(1, Ordering::SeqCst);
+                    if inbound.send(delivery).is_err() {
+                        return; // transport gone
+                    }
+                }
+            }
+        }
     }
 }
 
 /// The reconnecting writer toward one peer: dials with capped exponential
 /// backoff, leads every (re)connection with the hello frame, and re-dials
-/// on any write failure — counting each lost connection. Exits when the
-/// frame channel closes or shutdown is flagged.
+/// on any write failure — counting each lost connection. The ring is
+/// drained peek-then-pop, so a frame that failed mid-write is retried
+/// whole on the next connection. Exits when the ring closes (and its
+/// remaining frames drain) or shutdown is flagged.
 fn peer_writer_loop(
     addr: SocketAddr,
     hello: Vec<u8>,
-    frames: Receiver<Arc<[u8]>>,
-    disconnects: Arc<AtomicU64>,
-    shutdown: Arc<AtomicBool>,
-    recorder: SharedRecorder,
+    ring: &OutRing,
+    disconnects: &AtomicU64,
+    shutdown: &AtomicBool,
+    recorder: &SharedRecorder,
 ) {
     let mut stream: Option<TcpStream> = None;
     let mut backoff = BACKOFF_FLOOR;
@@ -408,7 +438,7 @@ fn peer_writer_loop(
         recorder.add(names::NET_BACKOFF_SLEEP_MS, backoff.as_millis() as u64);
         std::thread::sleep(backoff);
     };
-    'frames: while let Ok(frame) = frames.recv() {
+    'frames: while let Some(frame) = ring.front_blocking() {
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return;
@@ -437,6 +467,7 @@ fn peer_writer_loop(
             }
             let connected = stream.as_mut().expect("just connected");
             if connected.write_all(&frame).is_ok() {
+                ring.advance();
                 continue 'frames;
             }
             // The peer died mid-stream: count it, drop the socket, and

@@ -1,0 +1,382 @@
+//! Outbound-ring machinery shared by the socket transports.
+//!
+//! Both real-socket transports queue pre-framed buffers per peer and
+//! drain them from writer threads. The queue used to be an `mpsc`
+//! channel with one dedicated writer thread per connection — `n(n − 1)`
+//! threads for the in-process mesh, which stops scaling long before the
+//! paper's larger replica counts (n = 121 would need ~14k writer
+//! threads). An [`OutRing`] is the channel's replacement: a bounded
+//! `VecDeque` under a mutex, with a condvar for the blocking consumers
+//! and a partial-write cursor so a *single* non-blocking writer thread
+//! can round-robin every connection and resume a half-written frame
+//! where it left off.
+//!
+//! Two drain styles share the type:
+//!
+//! - [`OutRing::flush_nonblocking`] — the cluster's one writer thread
+//!   flushes each ring onto its non-blocking socket until it would
+//!   block, then moves to the next connection;
+//! - [`OutRing::front_blocking`] / [`OutRing::advance`] — a
+//!   [`NodeTransport`](crate::NodeTransport) per-peer writer peeks the
+//!   front frame, blocking-writes it on its reconnecting socket, and
+//!   pops it only once fully sent (a failed write retries the same
+//!   frame on the next connection).
+//!
+//! A [`Notifier`] is the single wake-up channel of the cluster's writer
+//! thread: every enqueue on any ring signals it, so the thread sleeps —
+//! not spins — while the mesh is quiet.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Per-connection ring depth. Deep enough that a burst of pipelined
+/// rounds never stalls the consensus loop; bounded so a dead peer
+/// exerts backpressure (cluster) or costs fixed memory (node) instead
+/// of growing without bound.
+pub(crate) const RING_DEPTH: usize = 1024;
+
+/// What one non-blocking flush pass over a ring concluded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Flush {
+    /// Ring drained; more frames may arrive later.
+    Clean,
+    /// The socket would block with frames still queued; retry later.
+    Blocked,
+    /// Ring drained *and* closed: no frame will ever follow. The caller
+    /// should shut the connection down and forget it.
+    Done,
+    /// The socket failed mid-write; the connection is gone.
+    Dead,
+}
+
+/// The guarded interior of an [`OutRing`].
+struct RingState {
+    queue: VecDeque<Arc<[u8]>>,
+    /// Bytes of the front frame already written (the partial-write
+    /// cursor of the non-blocking flush path).
+    offset: usize,
+    /// No further frames will be accepted; consumers drain and stop.
+    closed: bool,
+}
+
+/// One peer connection's bounded outbound frame queue. See the
+/// [module docs](self) for how the two transports drain it.
+pub(crate) struct OutRing {
+    state: Mutex<RingState>,
+    /// Woken on every push, pop, and close — producers wait here for
+    /// space, blocking consumers for frames.
+    wake: Condvar,
+}
+
+impl OutRing {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(RingState {
+                queue: VecDeque::new(),
+                offset: 0,
+                closed: false,
+            }),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Enqueues without blocking. `false` — the caller counts a drop —
+    /// when the ring is closed or full.
+    pub(crate) fn push(&self, frame: Arc<[u8]>) -> bool {
+        let mut state = self.state.lock().expect("ring lock");
+        if state.closed || state.queue.len() >= RING_DEPTH {
+            return false;
+        }
+        state.queue.push_back(frame);
+        self.wake.notify_all();
+        true
+    }
+
+    /// Enqueues, waiting for space while the ring is full — the
+    /// backpressure of a producer that must not silently lose frames.
+    /// `false` only when the ring is (or gets) closed.
+    pub(crate) fn push_blocking(&self, frame: Arc<[u8]>) -> bool {
+        let mut state = self.state.lock().expect("ring lock");
+        while !state.closed && state.queue.len() >= RING_DEPTH {
+            state = self.wake.wait(state).expect("ring lock");
+        }
+        if state.closed {
+            return false;
+        }
+        state.queue.push_back(frame);
+        self.wake.notify_all();
+        true
+    }
+
+    /// Marks the ring closed: pushes fail from now on, and consumers
+    /// stop once the remaining frames are drained.
+    pub(crate) fn close(&self) {
+        let mut state = self.state.lock().expect("ring lock");
+        state.closed = true;
+        self.wake.notify_all();
+    }
+
+    /// Waits until a frame is available and returns a handle to the
+    /// front one *without* popping it, or `None` once the ring is
+    /// closed and drained. Pair with [`advance`](Self::advance) after a
+    /// successful write; not popping first is what lets a reconnecting
+    /// writer retry the same frame on a fresh connection.
+    pub(crate) fn front_blocking(&self) -> Option<Arc<[u8]>> {
+        let mut state = self.state.lock().expect("ring lock");
+        loop {
+            if let Some(front) = state.queue.front() {
+                return Some(Arc::clone(front));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.wake.wait(state).expect("ring lock");
+        }
+    }
+
+    /// Pops the front frame (fully written by a blocking writer).
+    pub(crate) fn advance(&self) {
+        let mut state = self.state.lock().expect("ring lock");
+        state.queue.pop_front();
+        self.wake.notify_all();
+    }
+
+    /// Writes queued frames onto a non-blocking `stream` until the ring
+    /// drains or the socket pushes back, resuming any half-written
+    /// frame at its cursor. Returns whether any bytes were written and
+    /// the resulting [`Flush`] status. The lock is never held across a
+    /// write syscall.
+    pub(crate) fn flush_nonblocking(&self, stream: &mut TcpStream) -> (bool, Flush) {
+        let mut wrote = false;
+        loop {
+            let (frame, offset) = {
+                let state = self.state.lock().expect("ring lock");
+                match state.queue.front() {
+                    Some(front) => (Arc::clone(front), state.offset),
+                    None => {
+                        let status = if state.closed {
+                            Flush::Done
+                        } else {
+                            Flush::Clean
+                        };
+                        return (wrote, status);
+                    }
+                }
+            };
+            match stream.write(&frame[offset..]) {
+                Ok(0) => return (wrote, Flush::Dead),
+                Ok(written) => {
+                    wrote = true;
+                    let mut state = self.state.lock().expect("ring lock");
+                    state.offset += written;
+                    if state.offset >= frame.len() {
+                        state.queue.pop_front();
+                        state.offset = 0;
+                        self.wake.notify_all();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return (wrote, Flush::Blocked),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return (wrote, Flush::Dead),
+            }
+        }
+    }
+}
+
+/// The cluster writer thread's wake-up line: a level-triggered dirty
+/// flag under a mutex + condvar. Producers [`signal`](Self::signal)
+/// after every enqueue; the writer [`wait`](Self::wait)s when it has
+/// nothing to do (with a timeout while some socket is pushing back, so
+/// kernel buffers draining — which no enqueue announces — are retried).
+pub(crate) struct Notifier {
+    dirty: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl Notifier {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Self {
+            dirty: Mutex::new(false),
+            wake: Condvar::new(),
+        })
+    }
+
+    /// Raises the flag and wakes the writer.
+    pub(crate) fn signal(&self) {
+        let mut dirty = self.dirty.lock().expect("notifier lock");
+        *dirty = true;
+        self.wake.notify_one();
+    }
+
+    /// Sleeps until signalled (or `timeout`, when given) and lowers the
+    /// flag. A signal raised since the last wait returns immediately —
+    /// the flag is level-triggered, so no enqueue is ever missed.
+    pub(crate) fn wait(&self, timeout: Option<Duration>) {
+        let mut dirty = self.dirty.lock().expect("notifier lock");
+        match timeout {
+            Some(limit) => {
+                if !*dirty {
+                    let (guard, _) = self.wake.wait_timeout(dirty, limit).expect("notifier lock");
+                    dirty = guard;
+                }
+            }
+            None => {
+                while !*dirty {
+                    dirty = self.wake.wait(dirty).expect("notifier lock");
+                }
+            }
+        }
+        *dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    fn frame(byte: u8, len: usize) -> Arc<[u8]> {
+        vec![byte; len].into()
+    }
+
+    /// A connected non-blocking loopback pair.
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        client.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn push_respects_depth_and_close() {
+        let ring = OutRing::new();
+        for _ in 0..RING_DEPTH {
+            assert!(ring.push(frame(1, 4)));
+        }
+        assert!(!ring.push(frame(1, 4)), "full ring rejects");
+        ring.close();
+        assert!(!ring.push_blocking(frame(1, 4)), "closed ring rejects");
+    }
+
+    #[test]
+    fn front_blocking_peeks_and_advance_pops() {
+        let ring = OutRing::new();
+        assert!(ring.push(frame(7, 3)));
+        let first = ring.front_blocking().unwrap();
+        assert_eq!(first[..], [7, 7, 7]);
+        // Still the front: a failed write would retry the same frame.
+        assert_eq!(ring.front_blocking().unwrap()[..], [7, 7, 7]);
+        ring.advance();
+        ring.close();
+        assert_eq!(ring.front_blocking(), None, "closed and drained");
+    }
+
+    #[test]
+    fn flush_drains_frames_onto_the_socket() {
+        let (mut tx, mut rx) = socket_pair();
+        let ring = OutRing::new();
+        assert!(ring.push(frame(1, 3)));
+        assert!(ring.push(frame(2, 2)));
+        let (wrote, status) = ring.flush_nonblocking(&mut tx);
+        assert!(wrote);
+        assert_eq!(status, Flush::Clean);
+        let mut got = [0u8; 5];
+        rx.read_exact(&mut got).unwrap();
+        assert_eq!(got, [1, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn flush_resumes_a_partial_write_after_blocking() {
+        let (mut tx, mut rx) = socket_pair();
+        let ring = OutRing::new();
+        // A frame far larger than loopback socket buffers: the first
+        // flush must hit WouldBlock partway through.
+        let big = frame(9, 32 * 1024 * 1024);
+        assert!(ring.push(Arc::clone(&big)));
+        let (wrote, status) = ring.flush_nonblocking(&mut tx);
+        assert!(wrote);
+        assert_eq!(status, Flush::Blocked, "kernel buffer filled mid-frame");
+        // Drain the receiving side, then resume: the cursor picks up
+        // exactly where the first pass stopped.
+        let mut total = Vec::new();
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            let read = rx.read(&mut chunk).unwrap();
+            total.extend_from_slice(&chunk[..read]);
+            if total.len() >= big.len() {
+                break;
+            }
+            match ring.flush_nonblocking(&mut tx) {
+                (_, Flush::Blocked) | (_, Flush::Clean) => {}
+                (_, other) => panic!("unexpected flush status {other:?}"),
+            }
+        }
+        assert_eq!(total.len(), big.len());
+        assert!(total.iter().all(|b| *b == 9), "no bytes torn or reordered");
+        assert_eq!(ring.flush_nonblocking(&mut tx).1, Flush::Clean);
+    }
+
+    #[test]
+    fn flush_reports_done_when_closed_and_drained() {
+        let (mut tx, _rx) = socket_pair();
+        let ring = OutRing::new();
+        assert!(ring.push(frame(4, 2)));
+        ring.close();
+        let (wrote, status) = ring.flush_nonblocking(&mut tx);
+        assert!(wrote, "close drains queued frames before reporting done");
+        assert_eq!(status, Flush::Done);
+    }
+
+    #[test]
+    fn flush_reports_dead_on_a_broken_socket() {
+        let (mut tx, rx) = socket_pair();
+        drop(rx);
+        let ring = OutRing::new();
+        // Large enough to overrun the kernel buffer of a closed peer.
+        assert!(ring.push(frame(1, 32 * 1024 * 1024)));
+        // The first write may land in the kernel buffer; keep flushing
+        // until the broken pipe surfaces.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            match ring.flush_nonblocking(&mut tx).1 {
+                Flush::Dead => break,
+                _ if std::time::Instant::now() > deadline => {
+                    panic!("broken socket never reported dead")
+                }
+                _ => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
+    }
+
+    #[test]
+    fn push_blocking_waits_for_space() {
+        let ring = OutRing::new();
+        for _ in 0..RING_DEPTH {
+            assert!(ring.push(frame(1, 1)));
+        }
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || ring.push_blocking(frame(2, 1)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        ring.advance(); // consumer frees one slot
+        assert!(producer.join().unwrap(), "blocked push lands after a pop");
+    }
+
+    #[test]
+    fn notifier_is_level_triggered() {
+        let notifier = Notifier::new();
+        notifier.signal();
+        // A signal before the wait is not lost.
+        notifier.wait(Some(Duration::from_secs(5)));
+        // And the flag was consumed: the next timed wait expires.
+        let start = std::time::Instant::now();
+        notifier.wait(Some(Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+}

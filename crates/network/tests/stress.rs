@@ -1,0 +1,63 @@
+//! Scale stress for the loopback TCP mesh: the event-driven thread model
+//! must hold its O(n) thread budget and lose nothing under an
+//! all-to-all broadcast storm at n = 31 (f = 10, the first of the
+//! paper's large sweep sizes).
+
+use std::sync::Arc;
+
+use sft_network::{ProtocolTag, TcpCluster, Transport};
+use sft_types::{ReplicaId, SimDuration};
+
+/// Threads currently alive in this process (Linux; test-only).
+#[cfg(target_os = "linux")]
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").unwrap().count()
+}
+
+#[test]
+fn n31_broadcast_storm_loses_nothing_on_an_o_n_thread_budget() {
+    const N: usize = 31;
+    const ROUNDS: usize = 8;
+
+    #[cfg(target_os = "linux")]
+    let before = thread_count();
+
+    let mut cluster = TcpCluster::loopback(N, ProtocolTag::Streamlet).unwrap();
+
+    // The whole point of the rewrite: n reader threads + 1 writer, not
+    // n(n − 1) writers + n(n − 1) readers (~1.9k threads at n = 31).
+    #[cfg(target_os = "linux")]
+    {
+        let spawned = thread_count().saturating_sub(before);
+        assert!(
+            spawned <= N + 2,
+            "mesh construction spawned {spawned} threads; budget is n + 2"
+        );
+    }
+
+    // Every replica broadcasts every round: n × rounds × (n − 1)
+    // deliveries in flight through one writer thread and n readers.
+    let mut expected = 0usize;
+    for round in 0..ROUNDS {
+        for from in 0..N as u16 {
+            let payload: Arc<[u8]> = vec![round as u8, from as u8, 0xee].into();
+            cluster.broadcast(ReplicaId::new(from), payload);
+            expected += N - 1;
+        }
+    }
+
+    let mut got = 0usize;
+    let deadline = cluster.now() + SimDuration::from_secs(30);
+    while got < expected && cluster.now() < deadline {
+        got += cluster
+            .poll_deliver(cluster.now() + SimDuration::from_millis(100))
+            .len();
+    }
+    assert_eq!(got, expected, "every frame of the storm arrives");
+
+    let stats = cluster.stats();
+    assert_eq!(stats.messages as usize, expected);
+    assert_eq!(stats.dropped, 0, "backpressure, not loss");
+    assert_eq!(stats.disconnects, 0, "no connection died under load");
+    assert!(cluster.is_idle());
+}

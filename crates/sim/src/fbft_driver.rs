@@ -117,7 +117,8 @@ pub fn build_fbft_engines(
                 config.endorse_mode,
                 base_timeout,
                 SimTime::ZERO,
-            );
+            )
+            .with_verify_policy(config.verify_policy);
             if behavior != Behavior::StallLeader {
                 replica = replica.with_payload_source(source);
             }

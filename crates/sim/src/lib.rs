@@ -66,7 +66,7 @@ use sft_crypto::HashValue;
 use sft_network::{NetworkStats, ProtocolTag};
 use sft_types::{
     BatchConfig, EndorseMode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate,
-    Transaction,
+    Transaction, VerifyPolicy,
 };
 
 pub use fbft_driver::{build_fbft_engines, FbftMischief, FbftSimulation};
@@ -174,6 +174,13 @@ pub struct SimConfig {
     /// per-kind traffic counters into [`SimReport::metrics`]. Off by
     /// default: the no-op recorder keeps the hot path free.
     pub recording: bool,
+    /// When replicas verify vote/timeout signatures. Defaults to
+    /// [`VerifyPolicy::OnQuorum`]: count optimistically and run one
+    /// batched check when the quorum closes, dropping per-replica
+    /// verifications per certified round from O(n²) to O(n) — the knob
+    /// that makes n = 31/61/121 sweeps tractable. Set
+    /// [`VerifyPolicy::OnArrival`] to restore eager per-message checking.
+    pub verify_policy: VerifyPolicy,
 }
 
 /// The default post-schedule drain bound for a run of `epochs`.
@@ -212,12 +219,20 @@ impl SimConfig {
             drain_sync_bound: default_drain_bound(epochs),
             run_horizon: default_horizon(base_timeout, epochs),
             recording: false,
+            verify_policy: VerifyPolicy::OnQuorum,
         }
     }
 
     /// Turns metric recording on or off (see [`SimConfig::recording`]).
     pub fn with_recording(mut self, recording: bool) -> Self {
         self.recording = recording;
+        self
+    }
+
+    /// Selects when replicas verify vote/timeout signatures (see
+    /// [`SimConfig::verify_policy`]).
+    pub fn with_verify_policy(mut self, policy: VerifyPolicy) -> Self {
+        self.verify_policy = policy;
         self
     }
 
@@ -497,6 +512,16 @@ pub struct SimReport {
     /// the §3 ancestor walk did while grading commits (0 when the engine
     /// does not expose the tracker).
     pub walk_steps: u64,
+    /// Individual signature verifications across all replicas (eager
+    /// checks, deferred-path probes, and post-QC stragglers). Under
+    /// [`VerifyPolicy::OnQuorum`] this stays O(n) per certified round;
+    /// under [`VerifyPolicy::OnArrival`] it is O(n²) — the drop the bench
+    /// gate bands.
+    pub sig_verifications: u64,
+    /// Batched quorum verifications run across all replicas (one per
+    /// certificate formed under [`VerifyPolicy::OnQuorum`]; 0 under
+    /// [`VerifyPolicy::OnArrival`]).
+    pub batch_verify_calls: u64,
     /// Counters and latency histograms recorded during the run. Empty
     /// unless the run was built with [`SimConfig::with_recording`] (or a
     /// recorder was installed on the runner directly).

@@ -527,6 +527,10 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             .iter()
             .map(ReplicaEngine::endorsement_walk_steps)
             .sum();
+        let mut sig_stats = sft_crypto::SigStats::default();
+        for engine in &self.engines {
+            sig_stats.merge(engine.sig_stats());
+        }
         SimReport {
             chains,
             commit_logs,
@@ -540,6 +544,8 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             sync_blocks_fetched,
             recovered_replicas,
             walk_steps,
+            sig_verifications: sig_stats.verifications,
+            batch_verify_calls: sig_stats.batch_calls,
             metrics: self.recorder.snapshot(),
         }
     }

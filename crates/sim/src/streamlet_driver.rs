@@ -99,6 +99,7 @@ pub fn build_streamlet_engines(
         .map(|id| {
             let behavior = config.behaviors[id as usize];
             let mut replica = Replica::new(id, protocol, registry.clone(), config.endorse_mode)
+                .with_verify_policy(config.verify_policy)
                 // Two epochs of silence before re-asking another peer.
                 .with_sync_retry(config.delay * 4);
             if behavior != Behavior::StallLeader {

@@ -38,6 +38,29 @@ fn streamlet_over_tcp_commits_the_sim_prefix() {
     tcp_matches_sim(Protocol::Streamlet);
 }
 
+/// The same parity claim at the first large sweep size. n = 31 means
+/// 930 live connections through one writer thread and 31 endpoint
+/// readers — the scale the event-driven mesh exists for. Epochs are few:
+/// the point is that a wide mesh agrees with the simulator, not a long
+/// chain.
+#[test]
+fn n31_over_tcp_commits_the_sim_prefix() {
+    let config = SimConfig::new(31, 4)
+        .with_protocol(Protocol::Streamlet)
+        .with_batch_size(4);
+    let sim_report = config.clone().run();
+    assert!(sim_report.agreement());
+    assert!(sim_report.max_committed() >= 1);
+
+    let tcp_report = run_over_tcp(&config, TcpPacing::default()).expect("loopback mesh");
+    assert!(tcp_report.agreement(), "n=31 tcp replicas agree");
+    assert_eq!(tcp_report.safety_violations, 0);
+    assert_eq!(tcp_report.net.dropped, 0, "backpressure, not loss");
+    tcp_report
+        .check_committed_prefix_of(&sim_report)
+        .unwrap_or_else(|e| panic!("n=31: {e}"));
+}
+
 #[test]
 fn fbft_over_tcp_commits_the_sim_prefix() {
     tcp_matches_sim(Protocol::Fbft);

@@ -12,7 +12,7 @@
 use sft_core::{
     BlockStore, EngineObs, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord,
 };
-use sft_crypto::HashValue;
+use sft_crypto::{HashValue, SigStats};
 use sft_obs::{names, PhaseTimer, SharedRecorder};
 use sft_types::{Decode, Encode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
 
@@ -100,7 +100,15 @@ impl ReplicaEngine for StreamletEngine {
                 }
             }
             Message::Vote(vote) => {
+                // Time vote-ingest steps that ran a deferred batch check:
+                // the batch dominates such a step, so its duration is the
+                // batch-verify phase.
+                let batches = self.replica.sig_stats().batch_calls;
+                let verify = PhaseTimer::start(&**self.obs.recorder());
                 step.updates = self.replica.on_vote(&vote);
+                if self.replica.sig_stats().batch_calls > batches {
+                    verify.finish(&**self.obs.recorder(), names::PHASE_BATCH_VERIFY_NS);
+                }
             }
             Message::SyncRequest(request) => {
                 if let Some(response) = self.replica.on_sync_request(&request) {
@@ -170,6 +178,10 @@ impl ReplicaEngine for StreamletEngine {
 
     fn endorsement_walk_steps(&self) -> u64 {
         self.replica.walk_steps()
+    }
+
+    fn sig_stats(&self) -> SigStats {
+        self.replica.sig_stats()
     }
 
     fn round(&self) -> Round {

@@ -8,10 +8,10 @@ use sft_core::{
     Mempool, PayloadSource, ProtocolConfig, SyncManager, SyncStats, VoteOutcome, VoteTracker,
     WalRecord,
 };
-use sft_crypto::{HashValue, KeyPair, KeyRegistry};
+use sft_crypto::{HashValue, KeyPair, KeyRegistry, SigStats};
 use sft_types::{
     BlockRequest, EndorseMode, Payload, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate,
-    StrongVote, Transaction,
+    StrongVote, Transaction, VerifyPolicy,
 };
 
 use crate::message::Proposal;
@@ -169,6 +169,14 @@ impl Replica {
     /// mempool).
     pub fn with_payload_source(mut self, source: PayloadSource) -> Self {
         self.payload_source = Some(source);
+        self
+    }
+
+    /// Switches vote aggregation to `policy` — verify every signature on
+    /// arrival (the default) or defer to one batched check at quorum.
+    /// Call right after construction, before any vote is ingested.
+    pub fn with_verify_policy(mut self, policy: VerifyPolicy) -> Self {
+        self.votes = self.votes.with_policy(policy);
         self
     }
 
@@ -357,10 +365,17 @@ impl Replica {
     /// at strength ≥ `f` and strengthened-level increases up to `2f`.
     pub fn on_vote(&mut self, vote: &StrongVote) -> Vec<StrongCommitUpdate> {
         let outcome = self.votes.add_vote(vote);
+        // Endorsements are credited only from verified votes: the drain
+        // returns the vote just accepted under verify-on-arrival, and the
+        // whole batch the quorum check validated under verify-on-quorum
+        // (optimistically counted votes carry no endorsement weight until
+        // their signatures clear).
+        let mut grown = Vec::new();
+        for verified in self.votes.take_newly_verified() {
+            grown.extend(self.endorsements.record_vote(&verified, &self.store));
+        }
         let newly_certified = match outcome {
-            VoteOutcome::BadSignature | VoteOutcome::Equivocation | VoteOutcome::Duplicate => {
-                return Vec::new();
-            }
+            VoteOutcome::BadSignature | VoteOutcome::Equivocation | VoteOutcome::Duplicate => None,
             VoteOutcome::Certified(qc) => {
                 // Votes are broadcast, so a replica can certify a block it
                 // never received (a lost proposal): the sync manager
@@ -373,7 +388,6 @@ impl Replica {
             }
             VoteOutcome::Counted(_) => None,
         };
-        let grown = self.endorsements.record_vote(vote, &self.store);
 
         let mut updates = Vec::new();
         if let Some(block_id) = newly_certified {
@@ -696,6 +710,12 @@ impl Replica {
     /// counter the bench gate watches.
     pub fn walk_steps(&self) -> u64 {
         self.endorsements.walk_steps()
+    }
+
+    /// Signature-verification counters from vote aggregation — the
+    /// evidence behind the verify-on-quorum scaling claim.
+    pub fn sig_stats(&self) -> SigStats {
+        self.votes.sig_stats()
     }
 
     /// Installs the recorder block-sync timing flows into.

@@ -79,6 +79,22 @@ impl SignerSet {
         fresh
     }
 
+    /// Removes `id` from the set. Returns `true` if it was present —
+    /// the rollback path deferred verification takes when a batched
+    /// quorum check exposes a forged signer that was counted
+    /// optimistically.
+    pub fn remove(&mut self, id: ReplicaId) -> bool {
+        let idx = id.as_usize();
+        if idx >= self.capacity {
+            return false;
+        }
+        let word = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
     /// True if `id` is in the set. Out-of-range ids are never present.
     pub fn contains(&self, id: ReplicaId) -> bool {
         let idx = id.as_usize();
@@ -239,6 +255,17 @@ mod tests {
     #[should_panic(expected = "out of capacity")]
     fn insert_out_of_range_panics() {
         SignerSet::new(4).insert(ReplicaId::new(4));
+    }
+
+    #[test]
+    fn remove_rolls_back_inserts() {
+        let mut set = SignerSet::from_iter_with_capacity(130, ids(&[2, 64, 129]));
+        assert!(set.remove(ReplicaId::new(64)));
+        assert!(!set.remove(ReplicaId::new(64)), "second remove is a no-op");
+        assert!(!set.remove(ReplicaId::new(500)), "out of range is absent");
+        assert_eq!(set.len(), 2);
+        assert!(!set.contains(ReplicaId::new(64)));
+        assert!(set.contains(ReplicaId::new(129)));
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub use sync::BlockRequest;
 pub use time::{SimDuration, SimTime};
 pub use timeout::{
     timeout_signing_digest, TimeoutAggregator, TimeoutCertificate, TimeoutMsg, TimeoutOutcome,
+    VerifyPolicy,
 };
 pub use transaction::{BatchConfig, Payload, Transaction};
-pub use vote::{vote_signing_digest, EndorseInfo, EndorseMode, StrongVote, VoteData};
+pub use vote::{
+    vote_signing_digest, vote_signing_digest_with, EndorseInfo, EndorseMode, StrongVote, VoteData,
+};

@@ -10,15 +10,39 @@
 //!
 //! The [`TimeoutAggregator`] mirrors [`VoteTracker`](../sft_core) at the
 //! timeout layer: it verifies signatures, deduplicates authors per round,
-//! and emits each round's certificate exactly once.
+//! and emits each round's certificate exactly once. Under
+//! [`VerifyPolicy::OnQuorum`] it defers signature checks until a quorum
+//! forms, batch-verifying the whole forming certificate in one pass —
+//! see [`VerifyPolicy`] for the semantics.
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
-use sft_crypto::{HashValue, Hasher, KeyPair, KeyRegistry, Signature};
+use sft_crypto::{BatchItem, HashValue, Hasher, KeyPair, KeyRegistry, SigStats, Signature};
 
 use crate::codec::{Decode, DecodeError, Encode};
 use crate::{ReplicaId, Round, SignerSet};
+
+/// When a vote/timeout aggregator checks signatures.
+///
+/// The protocol only ever *acts* on a quorum, so per-message verification
+/// at arrival is `O(n)` checks per replica per round — `O(n²)` across the
+/// system — most of which are spent on messages that merely raise a count.
+/// Deferring to quorum formation turns that into one amortized batch pass
+/// per certificate and never verifies byte-identical retransmissions at
+/// all. The trade: a forged message can inflate a count until the batch
+/// check at quorum exposes it (the aggregate comparison fails, the
+/// bisection names the forged signer, and the count rolls back), so
+/// certificates are exactly as trustworthy either way — only transient
+/// counts can differ.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VerifyPolicy {
+    /// Check every signature when its message arrives (the classic path).
+    #[default]
+    OnArrival,
+    /// Count optimistically, batch-verify when a quorum forms.
+    OnQuorum,
+}
 
 /// Signing preimage for a timeout message: binds the timed-out round and
 /// the sender's highest QC round under one signature.
@@ -276,14 +300,29 @@ pub struct TimeoutAggregator {
     n: usize,
     quorum: usize,
     registry: KeyRegistry,
-    /// Per round: the distinct signers and the max `high_qc_round` seen.
-    by_round: HashMap<Round, (SignerSet, Round)>,
+    policy: VerifyPolicy,
+    /// Per round, per author: the message content and whether its
+    /// signature has been checked yet (always `true` under
+    /// [`VerifyPolicy::OnArrival`]).
+    by_round: HashMap<Round, HashMap<ReplicaId, PendingTimeout>>,
     /// Rounds that already produced a certificate (emit-once).
     certified: HashSet<Round>,
+    stats: SigStats,
+    /// Claimed authors of signatures a batch check rejected.
+    forged: Vec<ReplicaId>,
+}
+
+/// A counted timeout, stored until (and after) its signature is checked.
+#[derive(Clone, Debug)]
+struct PendingTimeout {
+    high_qc_round: Round,
+    signature: Signature,
+    verified: bool,
 }
 
 impl TimeoutAggregator {
-    /// Creates an aggregator for `n` replicas with the given quorum count.
+    /// Creates an aggregator for `n` replicas with the given quorum count,
+    /// verifying signatures on arrival.
     ///
     /// # Panics
     ///
@@ -294,40 +333,195 @@ impl TimeoutAggregator {
             n,
             quorum,
             registry,
+            policy: VerifyPolicy::OnArrival,
             by_round: HashMap::new(),
             certified: HashSet::new(),
+            stats: SigStats::default(),
+            forged: Vec::new(),
         }
     }
 
-    /// Verifies and counts one timeout message. See [`TimeoutOutcome`].
+    /// Selects when this aggregator checks signatures.
+    pub fn with_policy(mut self, policy: VerifyPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The verification policy in effect.
+    pub fn policy(&self) -> VerifyPolicy {
+        self.policy
+    }
+
+    /// Signature-verification work counters for this aggregator.
+    pub fn sig_stats(&self) -> SigStats {
+        self.stats
+    }
+
+    /// Claimed authors of signatures a batch check rejected — the output
+    /// of the bisection over a bad batch.
+    pub fn forged_signers(&self) -> &[ReplicaId] {
+        &self.forged
+    }
+
+    /// Counts one timeout message, verifying per [`VerifyPolicy`]. See
+    /// [`TimeoutOutcome`].
     pub fn add(&mut self, msg: &TimeoutMsg) -> TimeoutOutcome {
-        if !msg.verify(&self.registry) {
+        match self.policy {
+            VerifyPolicy::OnArrival => self.add_on_arrival(msg),
+            VerifyPolicy::OnQuorum => self.add_on_quorum(msg),
+        }
+    }
+
+    fn verify_one(&mut self, msg: &TimeoutMsg) -> bool {
+        self.stats.count_verify();
+        msg.verify(&self.registry)
+    }
+
+    fn add_on_arrival(&mut self, msg: &TimeoutMsg) -> TimeoutOutcome {
+        if !self.verify_one(msg) {
             return TimeoutOutcome::BadSignature;
         }
-        let n = self.n;
-        let (signers, max_high) = self
-            .by_round
-            .entry(msg.round())
-            .or_insert_with(|| (SignerSet::new(n), Round::ZERO));
-        if !signers.insert(msg.author()) {
+        let entries = self.by_round.entry(msg.round()).or_default();
+        if entries.contains_key(&msg.author()) {
             return TimeoutOutcome::Duplicate;
         }
-        *max_high = (*max_high).max(msg.high_qc_round());
-        let count = signers.len();
-        if count >= self.quorum && self.certified.insert(msg.round()) {
-            let (signers, max_high) = &self.by_round[&msg.round()];
-            return TimeoutOutcome::Certified(TimeoutCertificate::new(
-                msg.round(),
-                *max_high,
-                signers.clone(),
-            ));
+        entries.insert(
+            msg.author(),
+            PendingTimeout {
+                high_qc_round: msg.high_qc_round(),
+                signature: *msg.signature(),
+                verified: true,
+            },
+        );
+        let count = entries.len();
+        if count >= self.quorum {
+            if let Some(tc) = self.try_certify(msg.round()) {
+                return TimeoutOutcome::Certified(tc);
+            }
         }
         TimeoutOutcome::Counted(count)
     }
 
-    /// Number of distinct replicas that timed out in `round` so far.
+    fn add_on_quorum(&mut self, msg: &TimeoutMsg) -> TimeoutOutcome {
+        let stored = self
+            .by_round
+            .entry(msg.round())
+            .or_default()
+            .get(&msg.author())
+            .map(|p| (p.high_qc_round, p.signature, p.verified));
+        if let Some((stored_high, stored_sig, stored_verified)) = stored {
+            // Byte-identical retransmission: deduplicated without ever
+            // touching the signature — the common case deferral makes free.
+            if stored_high == msg.high_qc_round() && stored_sig == *msg.signature() {
+                return TimeoutOutcome::Duplicate;
+            }
+            // Conflicting content under one author: settle the stored
+            // message's signature now so a forger cannot frame an honest
+            // replica out of the round (nor an honest first message be
+            // displaced by a forged second one).
+            let probe = TimeoutMsg::from_parts(msg.round(), stored_high, msg.author(), stored_sig);
+            if stored_verified || self.verify_one(&probe) {
+                self.by_round
+                    .get_mut(&msg.round())
+                    .and_then(|e| e.get_mut(&msg.author()))
+                    .expect("entry exists")
+                    .verified = true;
+                return if self.verify_one(msg) {
+                    TimeoutOutcome::Duplicate
+                } else {
+                    TimeoutOutcome::BadSignature
+                };
+            }
+            // The stored message was forged: roll it back and let the
+            // arriving one take the slot (still unverified).
+            self.forged.push(msg.author());
+        }
+        let entries = self.by_round.get_mut(&msg.round()).expect("entry exists");
+        entries.insert(
+            msg.author(),
+            PendingTimeout {
+                high_qc_round: msg.high_qc_round(),
+                signature: *msg.signature(),
+                verified: false,
+            },
+        );
+        if entries.len() >= self.quorum {
+            if let Some(tc) = self.try_certify(msg.round()) {
+                return TimeoutOutcome::Certified(tc);
+            }
+        }
+        if !self.by_round[&msg.round()].contains_key(&msg.author()) {
+            // The arriving message itself was exposed as forged by the
+            // batch check it triggered.
+            return TimeoutOutcome::BadSignature;
+        }
+        TimeoutOutcome::Counted(self.timeouts_for(msg.round()))
+    }
+
+    /// Certifies `round` if it (still) holds a verified quorum,
+    /// batch-checking any deferred signatures first. Emits at most once.
+    fn try_certify(&mut self, round: Round) -> Option<TimeoutCertificate> {
+        if self.certified.contains(&round) {
+            return None;
+        }
+        let entries = self.by_round.get(&round)?;
+        if entries.len() < self.quorum {
+            return None;
+        }
+        let mut unverified: Vec<ReplicaId> = entries
+            .iter()
+            .filter(|(_, p)| !p.verified)
+            .map(|(author, _)| *author)
+            .collect();
+        // Deterministic batch order regardless of hash-map iteration.
+        unverified.sort_unstable();
+        if !unverified.is_empty() {
+            let digests: Vec<HashValue> = unverified
+                .iter()
+                .map(|author| timeout_signing_digest(round, entries[author].high_qc_round))
+                .collect();
+            let items: Vec<BatchItem<'_>> = unverified
+                .iter()
+                .zip(&digests)
+                .map(|(author, digest)| {
+                    BatchItem::new(author.as_u64(), digest.as_ref(), &entries[author].signature)
+                })
+                .collect();
+            let result = self.registry.verify_batch(&items);
+            drop(items);
+            self.stats.count_batch(unverified.len(), result.is_err());
+            let forged_indices = result.err().unwrap_or_default();
+            let entries = self.by_round.get_mut(&round).expect("entry exists");
+            let mut forged_iter = forged_indices.iter().peekable();
+            for (index, author) in unverified.iter().enumerate() {
+                if forged_iter.peek() == Some(&&index) {
+                    forged_iter.next();
+                    entries.remove(author);
+                    self.forged.push(*author);
+                } else {
+                    entries.get_mut(author).expect("entry exists").verified = true;
+                }
+            }
+        }
+        let entries = self.by_round.get(&round).expect("entry exists");
+        if entries.len() < self.quorum {
+            return None;
+        }
+        self.certified.insert(round);
+        let max_high = entries
+            .values()
+            .map(|p| p.high_qc_round)
+            .max()
+            .unwrap_or(Round::ZERO);
+        let signers = SignerSet::from_iter_with_capacity(self.n, entries.keys().copied());
+        Some(TimeoutCertificate::new(round, max_high, signers))
+    }
+
+    /// Number of distinct replicas that timed out in `round` so far
+    /// (under [`VerifyPolicy::OnQuorum`], optimistically counted ones
+    /// included until a batch check settles them).
     pub fn timeouts_for(&self, round: Round) -> usize {
-        self.by_round.get(&round).map_or(0, |(s, _)| s.len())
+        self.by_round.get(&round).map_or(0, HashMap::len)
     }
 
     /// True if `round` already produced a certificate.
@@ -471,5 +665,167 @@ mod tests {
     #[should_panic(expected = "bad quorum")]
     fn zero_quorum_panics() {
         TimeoutAggregator::new(4, 0, KeyRegistry::deterministic(4));
+    }
+
+    fn setup_deferred() -> (KeyRegistry, TimeoutAggregator) {
+        let registry = KeyRegistry::deterministic(4);
+        let agg =
+            TimeoutAggregator::new(4, 3, registry.clone()).with_policy(VerifyPolicy::OnQuorum);
+        (registry, agg)
+    }
+
+    #[test]
+    fn on_quorum_certifies_with_one_batch_pass() {
+        let (registry, mut agg) = setup_deferred();
+        assert_eq!(agg.policy(), VerifyPolicy::OnQuorum);
+        assert_eq!(
+            agg.add(&msg(&registry, 0, 2, 0)),
+            TimeoutOutcome::Counted(1)
+        );
+        assert_eq!(
+            agg.add(&msg(&registry, 1, 2, 1)),
+            TimeoutOutcome::Counted(2)
+        );
+        let TimeoutOutcome::Certified(tc) = agg.add(&msg(&registry, 2, 2, 0)) else {
+            panic!("third timeout certifies");
+        };
+        assert_eq!(tc.round(), Round::new(2));
+        assert_eq!(tc.max_high_qc_round(), Round::new(1));
+        assert_eq!(tc.signers().len(), 3);
+        let stats = agg.sig_stats();
+        assert_eq!(stats.verifications, 0, "nothing verified before quorum");
+        assert_eq!(stats.batch_calls, 1);
+        assert_eq!(stats.batch_verified, 3);
+        assert_eq!(stats.batch_rejects, 0);
+    }
+
+    #[test]
+    fn on_quorum_retransmission_never_verifies() {
+        let (registry, mut agg) = setup_deferred();
+        let m = msg(&registry, 0, 1, 0);
+        agg.add(&m);
+        assert_eq!(agg.add(&m), TimeoutOutcome::Duplicate);
+        let stats = agg.sig_stats();
+        assert_eq!(stats.verifications + stats.batch_verified, 0);
+    }
+
+    #[test]
+    fn on_quorum_bisection_rolls_back_forged_count() {
+        let (registry, mut agg) = setup_deferred();
+        // A forged message claiming replica 3 is counted optimistically...
+        let forged = TimeoutMsg::from_parts(
+            Round::new(1),
+            Round::ZERO,
+            ReplicaId::new(3),
+            sft_crypto::Signature::from_tag(3, [0x5a; 32]),
+        );
+        assert_eq!(agg.add(&forged), TimeoutOutcome::Counted(1));
+        assert_eq!(
+            agg.add(&msg(&registry, 0, 1, 0)),
+            TimeoutOutcome::Counted(2)
+        );
+        // ...until the batch check at quorum exposes it: the count rolls
+        // back and no certificate forms.
+        assert_eq!(
+            agg.add(&msg(&registry, 1, 1, 2)),
+            TimeoutOutcome::Counted(2)
+        );
+        assert!(!agg.is_certified(Round::new(1)));
+        assert_eq!(agg.forged_signers(), &[ReplicaId::new(3)]);
+        assert_eq!(agg.sig_stats().batch_rejects, 1);
+        // A third honest replica restores the quorum; the earlier
+        // survivors are not re-verified.
+        let TimeoutOutcome::Certified(tc) = agg.add(&msg(&registry, 2, 1, 1)) else {
+            panic!("honest quorum certifies");
+        };
+        assert_eq!(tc.max_high_qc_round(), Round::new(2));
+        assert!(!tc.signers().contains(ReplicaId::new(3)));
+        assert_eq!(agg.sig_stats().batch_verified, 3 + 1);
+    }
+
+    #[test]
+    fn on_quorum_forged_trigger_message_is_rejected() {
+        let (registry, mut agg) = setup_deferred();
+        agg.add(&msg(&registry, 0, 1, 0));
+        agg.add(&msg(&registry, 1, 1, 0));
+        let forged = TimeoutMsg::from_parts(
+            Round::new(1),
+            Round::ZERO,
+            ReplicaId::new(2),
+            sft_crypto::Signature::from_tag(2, [0x11; 32]),
+        );
+        assert_eq!(agg.add(&forged), TimeoutOutcome::BadSignature);
+        assert!(!agg.is_certified(Round::new(1)));
+        assert_eq!(agg.timeouts_for(Round::new(1)), 2);
+    }
+
+    #[test]
+    fn on_quorum_forger_cannot_displace_honest_message() {
+        let (registry, mut agg) = setup_deferred();
+        let honest = msg(&registry, 0, 1, 2);
+        agg.add(&honest);
+        // A forged variant under the same author resolves the stored
+        // message (valid) and rejects the imposter.
+        let forged = TimeoutMsg::from_parts(
+            Round::new(1),
+            Round::new(9),
+            ReplicaId::new(0),
+            sft_crypto::Signature::from_tag(0, [0x77; 32]),
+        );
+        assert_eq!(agg.add(&forged), TimeoutOutcome::BadSignature);
+        agg.add(&msg(&registry, 1, 1, 0));
+        let TimeoutOutcome::Certified(tc) = agg.add(&msg(&registry, 2, 1, 0)) else {
+            panic!("quorum certifies");
+        };
+        assert_eq!(
+            tc.max_high_qc_round(),
+            Round::new(2),
+            "honest high survives"
+        );
+    }
+
+    #[test]
+    fn on_quorum_forged_slot_is_reclaimed_by_honest_message() {
+        let (registry, mut agg) = setup_deferred();
+        // Forged message squats on replica 0's slot...
+        let forged = TimeoutMsg::from_parts(
+            Round::new(1),
+            Round::new(9),
+            ReplicaId::new(0),
+            sft_crypto::Signature::from_tag(0, [0x77; 32]),
+        );
+        assert_eq!(agg.add(&forged), TimeoutOutcome::Counted(1));
+        // ...but the honest original evicts it on arrival.
+        assert_eq!(
+            agg.add(&msg(&registry, 0, 1, 2)),
+            TimeoutOutcome::Counted(1)
+        );
+        assert_eq!(agg.forged_signers(), &[ReplicaId::new(0)]);
+        agg.add(&msg(&registry, 1, 1, 0));
+        let TimeoutOutcome::Certified(tc) = agg.add(&msg(&registry, 2, 1, 0)) else {
+            panic!("quorum certifies");
+        };
+        assert_eq!(tc.max_high_qc_round(), Round::new(2));
+    }
+
+    #[test]
+    fn policies_agree_on_certificates() {
+        let registry = KeyRegistry::deterministic(4);
+        let mut arrival = TimeoutAggregator::new(4, 3, registry.clone());
+        let mut quorum =
+            TimeoutAggregator::new(4, 3, registry.clone()).with_policy(VerifyPolicy::OnQuorum);
+        let mut tcs = (None, None);
+        for s in 0..4 {
+            let m = msg(&registry, s, 3, s);
+            if let TimeoutOutcome::Certified(tc) = arrival.add(&m) {
+                tcs.0 = Some(tc);
+            }
+            if let TimeoutOutcome::Certified(tc) = quorum.add(&m) {
+                tcs.1 = Some(tc);
+            }
+        }
+        assert_eq!(tcs.0, tcs.1);
+        assert!(tcs.0.is_some());
+        assert!(arrival.sig_stats().verifications > quorum.sig_stats().verifications);
     }
 }

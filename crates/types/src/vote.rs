@@ -254,8 +254,17 @@ impl Decode for EndorseInfo {
 /// Signing preimage for a (strong-)vote: binds the vote data and the
 /// endorsement info under one signature.
 pub fn vote_signing_digest(data: &VoteData, endorse: &EndorseInfo) -> HashValue {
+    vote_signing_digest_with(data.digest(), endorse)
+}
+
+/// [`vote_signing_digest`] with the vote-data digest already in hand.
+/// Every vote of a forming quorum certifies the *same* [`VoteData`], so
+/// a batch verifier hashes the data once and reuses it across all
+/// `2f + 1` preimages — the shared-precomputation half of the batched
+/// verification path.
+pub fn vote_signing_digest_with(data_digest: HashValue, endorse: &EndorseInfo) -> HashValue {
     Hasher::new("strong-vote")
-        .field(data.digest().as_ref())
+        .field(data_digest.as_ref())
         .field(&endorse.to_bytes())
         .finish()
 }
