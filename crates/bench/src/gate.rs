@@ -186,6 +186,40 @@ pub const GATED_METRICS: &[Metric] = &[
         slack: EXACT,
     },
     Metric {
+        // Client plane (loadgen summaries): every submission must come
+        // back as some ack — lost acks are a protocol bug, not noise.
+        field: "lost_acks",
+        better: Better::Lower,
+        slack: EXACT,
+    },
+    Metric {
+        field: "acks_committed",
+        better: Better::Higher,
+        slack: EXACT,
+    },
+    Metric {
+        field: "client_rejected",
+        better: Better::Lower,
+        slack: EXACT,
+    },
+    Metric {
+        // Closed-loop end-to-end ack latency over real sockets: wall
+        // clock, so only order-of-magnitude regressions trip it.
+        field: "e2e_ack_p50_us",
+        better: Better::Lower,
+        slack: WALL,
+    },
+    Metric {
+        field: "e2e_ack_p99_us",
+        better: Better::Lower,
+        slack: WALL,
+    },
+    Metric {
+        field: "e2e_txns_per_sec",
+        better: Better::Higher,
+        slack: WALL,
+    },
+    Metric {
         field: "round_commit_us_p50",
         better: Better::Lower,
         slack: BUCKETED,

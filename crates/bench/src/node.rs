@@ -21,7 +21,7 @@
 //!                         written atomically at exit
 //! ```
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -31,7 +31,7 @@ use sft_core::{EngineStep, ReplicaEngine, Route, WalStore};
 use sft_network::{NodeTransport, ProtocolTag, Transport};
 use sft_obs::{names, PhaseTimer, Recorder, Registry, SharedRecorder, TraceEvent, TraceSink};
 use sft_sim::{build_fbft_engines, build_streamlet_engines, Protocol, SimConfig};
-use sft_types::{ReplicaId, Round, SimDuration, SimTime};
+use sft_types::{ClientFrame, Decode, Encode, ReplicaId, Round, SimDuration, SimTime};
 
 /// Everything that parameterizes one node process. Parsed from the
 /// `sft-node` command line; constructed directly by in-process tests.
@@ -203,6 +203,8 @@ fn drive<E: ReplicaEngine>(
     let linger = SimDuration::from_micros(opts.linger.as_micros() as u64);
     let mut done_at: Option<SimTime> = None;
     let mut inbox: Inbox = VecDeque::new();
+    // Which client connection awaits each admitted transaction's ack.
+    let mut ack_routes: HashMap<sft_crypto::HashValue, u64> = HashMap::new();
 
     loop {
         let now = transport.now();
@@ -229,6 +231,24 @@ fn drive<E: ReplicaEngine>(
             inbox.push_back((d.from, d.payload));
         }
         let now = transport.now();
+        // Client gateway ingress: submissions admitted now are eligible
+        // for the next proposal this node builds; Busy/Duplicate verdicts
+        // are answered on the spot.
+        for c in transport.poll_clients() {
+            let Ok(ClientFrame::Request(req)) = ClientFrame::from_bytes(&c.payload) else {
+                continue;
+            };
+            let txn_id = req.txn_id();
+            match engine.submit(&req, now) {
+                Some(verdict) => {
+                    let bytes: Arc<[u8]> = ClientFrame::Ack(verdict).to_bytes().into();
+                    transport.send_client(c.conn, id, bytes);
+                }
+                None => {
+                    ack_routes.insert(txn_id, c.conn);
+                }
+            }
+        }
         loop {
             while let Some((from, bytes)) = inbox.pop_front() {
                 let timer = PhaseTimer::start(&*recorder);
@@ -251,6 +271,13 @@ fn drive<E: ReplicaEngine>(
             absorb(step, id, &mut wal, &mut transport, &mut inbox, &*recorder)?;
             if inbox.is_empty() {
                 break;
+            }
+        }
+        // Stream newly ready strength-graded acks back to their clients.
+        for ack in engine.drain_acks() {
+            if let Some(conn) = ack_routes.remove(&ack.txn_id()) {
+                let bytes: Arc<[u8]> = ClientFrame::Ack(ack).to_bytes().into();
+                transport.send_client(conn, id, bytes);
             }
         }
     }

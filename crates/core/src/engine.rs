@@ -25,7 +25,7 @@
 use std::sync::Arc;
 
 use sft_crypto::{HashValue, SigStats};
-use sft_types::{ReplicaId, Round, SimTime, StrongCommitUpdate};
+use sft_types::{ClientAck, ClientRequest, ReplicaId, Round, SimTime, StrongCommitUpdate};
 
 use crate::wal::WalRecord;
 use crate::{BlockStore, SyncStats};
@@ -146,6 +146,30 @@ pub trait ReplicaEngine {
     fn poll_sync(&mut self, now: SimTime) -> EngineStep {
         let _ = now;
         EngineStep::empty()
+    }
+
+    /// Submits one client transaction at `now` — the public ingestion API
+    /// every harness and transport feeds (the driver-side mempool pre-feed
+    /// this replaces is gone).
+    ///
+    /// Returns `None` when the transaction was admitted (the strength-graded
+    /// [`ClientAck::Committed`] arrives later via
+    /// [`drain_acks`](Self::drain_acks)), or an immediate
+    /// [`ClientAck::Busy`] / [`ClientAck::Duplicate`] rejection. The default
+    /// is an engine without a mempool: every submission bounces `Busy`.
+    fn submit(&mut self, req: &ClientRequest, now: SimTime) -> Option<ClientAck> {
+        let _ = now;
+        Some(ClientAck::Busy {
+            txn_id: req.txn_id(),
+        })
+    }
+
+    /// Takes the strength-graded commit acks emitted since the last drain:
+    /// one [`ClientAck::Committed`] per admitted submission, fired the
+    /// moment its block's strong-commit level reached the requested
+    /// `ack_at`. Engines without client ingestion emit none.
+    fn drain_acks(&mut self) -> Vec<ClientAck> {
+        Vec::new()
     }
 
     /// Re-applies one recovered write-ahead-log record at restart instant

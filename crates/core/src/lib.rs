@@ -41,6 +41,7 @@
 
 #![deny(missing_docs)]
 
+pub mod acks;
 pub mod block;
 pub mod config;
 pub mod endorse;
@@ -52,12 +53,13 @@ pub mod qc;
 pub mod sync;
 pub mod wal;
 
+pub use acks::AckTracker;
 pub use block::{Ancestors, Block, BlockStore, BlockStoreError};
 pub use config::ProtocolConfig;
 pub use endorse::{honest_endorse_info, EndorsementTracker};
 pub use engine::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route};
 pub use ledger::CommitLedger;
-pub use mempool::{Mempool, PayloadSource};
+pub use mempool::{Admission, Mempool, PayloadSource};
 pub use obs::EngineObs;
 pub use qc::{QuorumCertificate, VoteOutcome, VoteTracker};
 pub use sync::{BlockResponse, SyncConfig, SyncManager, SyncStats};

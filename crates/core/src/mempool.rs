@@ -52,12 +52,29 @@ impl PayloadSource {
     }
 }
 
-/// A deterministic FIFO transaction pool with id-level deduplication.
+/// The verdict of one admission attempt (see [`Mempool::try_submit`]).
+///
+/// Every outcome is explicit so it can flow back to the submitting client
+/// as a [`sft_types::ClientAck`]: `Busy` is the backpressure signal of a
+/// pool at capacity, `Duplicate` the dedup signal of an id the replica
+/// already holds (or already committed).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Admitted into the pool; the transaction will ride a future batch.
+    Admitted,
+    /// The id was already submitted, drained, or observed in a block.
+    Duplicate,
+    /// The pool is at its count or byte cap — retry after commits drain it.
+    Busy,
+}
+
+/// A deterministic FIFO transaction pool with id-level deduplication and
+/// explicit admission control.
 ///
 /// # Examples
 ///
 /// ```
-/// use sft_core::Mempool;
+/// use sft_core::{Admission, Mempool};
 /// use sft_types::{BatchConfig, Transaction};
 ///
 /// let mut pool = Mempool::new();
@@ -69,9 +86,20 @@ impl PayloadSource {
 /// assert_eq!(payload.txn_count(), 4);
 /// assert_eq!(pool.len(), 6);
 /// // Drained transactions are never re-admitted.
-/// assert!(!pool.submit(Transaction::new(1, 0, vec![0; 16])));
+/// assert_eq!(
+///     pool.try_submit(Transaction::new(1, 0, vec![0; 16])),
+///     Admission::Duplicate
+/// );
+///
+/// // A capped pool pushes back instead of growing without bound.
+/// let mut small = Mempool::with_caps(1, u64::MAX);
+/// assert!(small.submit(Transaction::new(2, 0, vec![])));
+/// assert_eq!(
+///     small.try_submit(Transaction::new(2, 1, vec![])),
+///     Admission::Busy
+/// );
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Mempool {
     /// Submission-ordered queue. May contain transactions already removed
     /// via [`mark_included`](Self::mark_included); those are skipped lazily
@@ -81,12 +109,50 @@ pub struct Mempool {
     pending: HashSet<HashValue>,
     /// Ids ever drained or observed in a stored block — the dedup horizon.
     seen: HashSet<HashValue>,
+    /// Encoded bytes of pending transactions (tracks `pending`, not the
+    /// lazily trimmed `queue`).
+    pending_bytes: u64,
+    /// Admission cap on pending transaction count.
+    max_pending: usize,
+    /// Admission cap on pending encoded bytes.
+    max_pending_bytes: u64,
+}
+
+impl Default for Mempool {
+    fn default() -> Self {
+        Self {
+            queue: VecDeque::new(),
+            pending: HashSet::new(),
+            seen: HashSet::new(),
+            pending_bytes: 0,
+            max_pending: usize::MAX,
+            max_pending_bytes: u64::MAX,
+        }
+    }
 }
 
 impl Mempool {
-    /// Creates an empty pool.
+    /// Creates an empty, uncapped pool.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty pool that admits at most `max_pending` transactions
+    /// / `max_pending_bytes` encoded bytes at a time, answering `Busy`
+    /// beyond either cap until drains make room.
+    pub fn with_caps(max_pending: usize, max_pending_bytes: u64) -> Self {
+        Self {
+            max_pending,
+            max_pending_bytes,
+            ..Self::default()
+        }
+    }
+
+    /// Replaces the admission caps on a live pool (contents are kept; the
+    /// new caps bite on the next submission).
+    pub fn set_caps(&mut self, max_pending: usize, max_pending_bytes: u64) {
+        self.max_pending = max_pending;
+        self.max_pending_bytes = max_pending_bytes;
     }
 
     /// Number of transactions available for the next batches.
@@ -99,15 +165,36 @@ impl Mempool {
         self.pending.is_empty()
     }
 
-    /// Accepts `txn` unless its id was already submitted, drained, or
-    /// observed in a block. Returns whether the transaction was admitted.
-    pub fn submit(&mut self, txn: Transaction) -> bool {
+    /// Encoded bytes currently pending (the byte-cap accounting).
+    pub fn pending_bytes(&self) -> u64 {
+        self.pending_bytes
+    }
+
+    /// Attempts to admit `txn`, reporting the explicit [`Admission`]
+    /// verdict: `Duplicate` for an id already pending, drained, or observed
+    /// in a block; `Busy` when a cap is hit (the backpressure a client
+    /// gateway surfaces to the socket); `Admitted` otherwise.
+    pub fn try_submit(&mut self, txn: Transaction) -> Admission {
         let id = txn.id();
-        if self.seen.contains(&id) || !self.pending.insert(id) {
-            return false;
+        if self.seen.contains(&id) || self.pending.contains(&id) {
+            return Admission::Duplicate;
         }
+        let txn_bytes = sft_types::Encode::encoded_len(&txn) as u64;
+        if self.pending.len() >= self.max_pending
+            || self.pending_bytes.saturating_add(txn_bytes) > self.max_pending_bytes
+        {
+            return Admission::Busy;
+        }
+        self.pending.insert(id);
+        self.pending_bytes += txn_bytes;
         self.queue.push_back(txn);
-        true
+        Admission::Admitted
+    }
+
+    /// Accepts `txn` unless rejected ([`try_submit`](Self::try_submit) for
+    /// the reason). Returns whether the transaction was admitted.
+    pub fn submit(&mut self, txn: Transaction) -> bool {
+        self.try_submit(txn) == Admission::Admitted
     }
 
     /// Removes the ids of `txns` from the pool without draining them —
@@ -118,7 +205,11 @@ impl Mempool {
     pub fn mark_included<'a>(&mut self, txns: impl IntoIterator<Item = &'a Transaction>) {
         for txn in txns {
             let id = txn.id();
-            self.pending.remove(&id);
+            if self.pending.remove(&id) {
+                self.pending_bytes = self
+                    .pending_bytes
+                    .saturating_sub(sft_types::Encode::encoded_len(txn) as u64);
+            }
             self.seen.insert(id);
         }
     }
@@ -147,6 +238,7 @@ impl Mempool {
             let txn = self.queue.pop_front().expect("front checked");
             let id = txn.id();
             self.pending.remove(&id);
+            self.pending_bytes = self.pending_bytes.saturating_sub(txn_bytes);
             self.seen.insert(id);
             drained.push(txn);
         }
@@ -215,6 +307,45 @@ mod tests {
         // Marking an id never submitted still blocks later submission.
         pool.mark_included([txn(9, 8)].iter());
         assert!(!pool.submit(txn(9, 8)));
+    }
+
+    #[test]
+    fn count_cap_answers_busy_until_a_drain_makes_room() {
+        let mut pool = Mempool::with_caps(2, u64::MAX);
+        assert_eq!(pool.try_submit(txn(0, 8)), Admission::Admitted);
+        assert_eq!(pool.try_submit(txn(1, 8)), Admission::Admitted);
+        assert_eq!(pool.try_submit(txn(2, 8)), Admission::Busy);
+        // A duplicate of a pending txn reports Duplicate, not Busy.
+        assert_eq!(pool.try_submit(txn(0, 8)), Admission::Duplicate);
+        // Draining recovers admission capacity.
+        pool.next_batch(BatchConfig::with_max_txns(1));
+        assert_eq!(pool.try_submit(txn(2, 8)), Admission::Admitted);
+    }
+
+    #[test]
+    fn byte_cap_answers_busy_and_accounting_tracks_drains() {
+        // Each 100-byte-payload txn encodes to 124 B.
+        let mut pool = Mempool::with_caps(usize::MAX, 250);
+        assert_eq!(pool.try_submit(txn(0, 100)), Admission::Admitted);
+        assert_eq!(pool.try_submit(txn(1, 100)), Admission::Admitted);
+        assert_eq!(pool.pending_bytes(), 248);
+        assert_eq!(pool.try_submit(txn(2, 100)), Admission::Busy);
+        pool.next_batch(BatchConfig::with_max_txns(1));
+        assert_eq!(pool.pending_bytes(), 124);
+        assert_eq!(pool.try_submit(txn(2, 100)), Admission::Admitted);
+    }
+
+    #[test]
+    fn mark_included_releases_byte_accounting() {
+        let mut pool = Mempool::with_caps(usize::MAX, 130);
+        assert_eq!(pool.try_submit(txn(0, 100)), Admission::Admitted);
+        assert_eq!(pool.try_submit(txn(1, 100)), Admission::Busy);
+        pool.mark_included([txn(0, 100)].iter());
+        assert_eq!(pool.pending_bytes(), 0);
+        assert_eq!(pool.try_submit(txn(1, 100)), Admission::Admitted);
+        // Marking an id that was never pending does not underflow.
+        pool.mark_included([txn(9, 100)].iter());
+        assert_eq!(pool.pending_bytes(), 124);
     }
 
     #[test]

@@ -9,11 +9,14 @@
 //! (exactly what the old event-loop driver did by hand).
 
 use sft_core::{
-    BlockStore, EngineObs, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord,
+    AckTracker, Admission, BlockStore, EngineObs, EngineStep, MsgKind, OutboundMsg, ReplicaEngine,
+    SyncStats, WalRecord,
 };
 use sft_crypto::{HashValue, SigStats};
 use sft_obs::{names, PhaseTimer, SharedRecorder};
-use sft_types::{Decode, Encode, ReplicaId, Round, SimTime, StrongCommitUpdate};
+use sft_types::{
+    ClientAck, ClientRequest, Decode, Encode, ReplicaId, Round, SimTime, StrongCommitUpdate,
+};
 
 use crate::message::FbftMessage;
 use crate::replica::{FbftReplica, StepOutcome};
@@ -47,6 +50,8 @@ pub struct FbftEngine {
     replica: FbftReplica,
     booted: bool,
     obs: EngineObs,
+    /// Client submissions awaiting their strength-graded commit acks.
+    acks: AckTracker,
 }
 
 impl FbftEngine {
@@ -56,6 +61,7 @@ impl FbftEngine {
             replica,
             booted: false,
             obs: EngineObs::new(),
+            acks: AckTracker::new(),
         }
     }
 
@@ -98,6 +104,9 @@ impl FbftEngine {
         step.persist = self.replica.drain_wal();
         self.obs.wal_records(&step.persist, now);
         self.obs.updates(&step.updates, now);
+        for update in &step.updates {
+            self.acks.observe(update, self.replica.store(), now);
+        }
         step
     }
 }
@@ -190,8 +199,27 @@ impl ReplicaEngine for FbftEngine {
         self.replica.replay(record, now);
     }
 
+    fn submit(&mut self, req: &ClientRequest, now: SimTime) -> Option<ClientAck> {
+        let txn_id = req.txn_id();
+        let verdict = self.replica.submit(req.txn.clone());
+        self.acks.record_admission(verdict == Admission::Admitted);
+        match verdict {
+            Admission::Admitted => {
+                self.acks.register(txn_id, req.ack_at, now);
+                None
+            }
+            Admission::Duplicate => Some(ClientAck::Duplicate { txn_id }),
+            Admission::Busy => Some(ClientAck::Busy { txn_id }),
+        }
+    }
+
+    fn drain_acks(&mut self) -> Vec<ClientAck> {
+        self.acks.drain()
+    }
+
     fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.replica.set_recorder(recorder.clone());
+        self.acks.set_recorder(recorder.clone());
         self.obs.set_recorder(recorder);
     }
 

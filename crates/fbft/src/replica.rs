@@ -4,7 +4,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use sft_core::{
-    honest_endorse_info, Block, BlockStore, CommitLedger, EndorsementTracker, Mempool,
+    honest_endorse_info, Admission, Block, BlockStore, CommitLedger, EndorsementTracker, Mempool,
     PayloadSource, ProtocolConfig, QuorumCertificate, SyncManager, SyncStats, VoteOutcome,
     VoteTracker, WalRecord,
 };
@@ -239,10 +239,18 @@ impl FbftReplica {
         self
     }
 
-    /// Submits a client transaction to this replica's mempool. Returns
-    /// whether it was admitted (not a duplicate, not already on-chain).
-    pub fn submit_transaction(&mut self, txn: Transaction) -> bool {
-        self.mempool.submit(txn)
+    /// Submits a client transaction to this replica's mempool, reporting
+    /// the explicit [`Admission`] verdict (`Duplicate` for ids already
+    /// pending or on-chain, `Busy` past the admission caps).
+    pub fn submit(&mut self, txn: Transaction) -> Admission {
+        self.mempool.try_submit(txn)
+    }
+
+    /// Replaces the mempool's admission caps (count and encoded bytes);
+    /// submissions beyond either answer [`Admission::Busy`] until drains
+    /// make room.
+    pub fn set_mempool_caps(&mut self, max_pending: usize, max_pending_bytes: u64) {
+        self.mempool.set_caps(max_pending, max_pending_bytes);
     }
 
     /// The replica's transaction pool.
@@ -748,6 +756,11 @@ impl FbftReplica {
                     }
                     Err(_) => {}
                 }
+                // Replayed commits re-seed the dedup horizon, so a client
+                // re-submitting across the crash still gets `Duplicate`.
+                if let Payload::Transactions(txns) = block.payload() {
+                    self.mempool.mark_included(txns.iter());
+                }
                 let committed = self.ledger.finalize_through(&self.store, block.id());
                 for id in committed {
                     if let Some(update) = self.endorsements.take_level_update(id, &self.store) {
@@ -1029,7 +1042,10 @@ mod tests {
             .with_payload_source(PayloadSource::Mempool(BatchConfig::with_max_txns(8)));
         replicas.insert(2, r2);
         for seq in 0..8 {
-            assert!(replicas[2].submit_transaction(Transaction::new(5, seq, vec![0; 8])));
+            assert_eq!(
+                replicas[2].submit(Transaction::new(5, seq, vec![0; 8])),
+                Admission::Admitted
+            );
         }
         let proposal = replicas[1].try_propose(Payload::empty()).expect("leader");
         let votes: Vec<_> = [0usize, 1, 3]

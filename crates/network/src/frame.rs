@@ -39,6 +39,12 @@ impl FrameDecoder {
         }
     }
 
+    /// The peer identity the hello frame bound, once seen. Client
+    /// gateways use it to address acks back down the connection.
+    pub(crate) fn src(&self) -> Option<ReplicaId> {
+        self.claimed_src
+    }
+
     /// Buffers `bytes` and appends every complete, valid frame to `out`
     /// as a [`Delivery`] (with `deliver_at`/`seq` zeroed — the polling
     /// side stamps arrival). The first frame of a connection is the

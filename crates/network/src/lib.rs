@@ -104,6 +104,36 @@ pub trait Transport {
 
     /// Aggregate traffic counters since construction.
     fn stats(&self) -> NetworkStats;
+
+    /// Drains client-plane frames ([`ProtocolTag::Client`] submissions)
+    /// received since the last poll, attributing each to the connection it
+    /// arrived on and the replica it addressed. Non-blocking: a transport
+    /// with no client gateway (the simulator feeds clients through the
+    /// harness instead) returns nothing.
+    fn poll_clients(&mut self) -> Vec<ClientDelivery> {
+        Vec::new()
+    }
+
+    /// Sends an encoded client frame (an ack) from `replica` back down
+    /// client connection `conn`. Transports without a client gateway drop
+    /// it; a gateway drops it when the connection is gone (clients own
+    /// retries — acks are not replicated state).
+    fn send_client(&mut self, conn: u64, replica: ReplicaId, payload: Arc<[u8]>) {
+        let _ = (conn, replica, payload);
+    }
+}
+
+/// One client-plane frame a transport's gateway received: which accepted
+/// connection it came from (the routing key for acks back), which replica
+/// it addressed, and the encoded [`sft_types::ClientFrame`] payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientDelivery {
+    /// Gateway-assigned connection id (unique per accepted client socket).
+    pub conn: u64,
+    /// The replica the frame was addressed to.
+    pub replica: ReplicaId,
+    /// The encoded client frame.
+    pub payload: Arc<[u8]>,
 }
 
 /// A network partition: the `isolated` replicas cannot exchange messages

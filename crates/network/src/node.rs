@@ -22,12 +22,12 @@
 //! generic engine loop drives a replica here — `sft-node` is that loop
 //! plus a write-ahead log.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -36,7 +36,7 @@ use sft_types::{Envelope, ProtocolTag, ReplicaId, SimTime};
 
 use crate::frame::FrameDecoder;
 use crate::outbox::OutRing;
-use crate::{Delivery, NetworkStats, Transport};
+use crate::{ClientDelivery, Delivery, NetworkStats, Transport};
 
 /// First reconnect delay; doubles per failed attempt up to
 /// [`BACKOFF_CAP`].
@@ -44,6 +44,15 @@ const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
 
 /// Ceiling on the reconnect backoff.
 const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// How long an ack write may stall on a client that stopped reading
+/// before the connection is declared dead. Acks are not replicated
+/// state — clients own retries — so a stuck client costs at most this.
+const ACK_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Live client connections: write halves by gateway-assigned conn id,
+/// plus the identity each hello claimed (where acks are addressed).
+type ClientConns = Arc<Mutex<HashMap<u64, (TcpStream, ReplicaId)>>>;
 
 /// One peer's outbound side: the ring its reconnecting writer drains.
 /// The ring is bounded, so a long-dead peer costs a fixed amount of
@@ -75,6 +84,12 @@ pub struct NodeTransport {
     /// The local listener's address (waking the acceptor at drop).
     listen_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    /// Client-plane frames queued by client readers (the listener doubles
+    /// as the client gateway: a hello tagged [`ProtocolTag::Client`]
+    /// makes the connection a client, not a peer).
+    client_inbound: Receiver<ClientDelivery>,
+    /// Write halves of live client connections, for acks.
+    client_conns: ClientConns,
     /// Frame-level counters (no-op unless bound observed); writer
     /// threads hold their own clones for reconnect/backoff accounting.
     recorder: SharedRecorder,
@@ -136,6 +151,8 @@ impl NodeTransport {
         let listen_addr = listener.local_addr()?;
 
         let (inbound_tx, inbound) = mpsc::channel::<Delivery>();
+        let (client_tx, client_inbound) = mpsc::channel::<ClientDelivery>();
+        let client_conns: ClientConns = Arc::new(Mutex::new(HashMap::new()));
         let received = Arc::new(AtomicU64::new(0));
         let disconnects = Arc::new(AtomicU64::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -144,6 +161,7 @@ impl NodeTransport {
             .name(format!("sft-node-accept-{}", id.as_u16()))
             .spawn({
                 let inbound_tx = inbound_tx.clone();
+                let client_conns = Arc::clone(&client_conns);
                 let received = Arc::clone(&received);
                 let disconnects = Arc::clone(&disconnects);
                 let shutdown = Arc::clone(&shutdown);
@@ -153,6 +171,8 @@ impl NodeTransport {
                         id,
                         protocol,
                         inbound_tx,
+                        client_tx,
+                        client_conns,
                         received,
                         disconnects,
                         shutdown,
@@ -199,6 +219,8 @@ impl NodeTransport {
             shutdown,
             listen_addr,
             acceptor: Some(acceptor),
+            client_inbound,
+            client_conns,
             recorder,
         })
     }
@@ -333,6 +355,29 @@ impl Transport for NodeTransport {
         stats.disconnects = self.disconnects.load(Ordering::SeqCst);
         stats
     }
+
+    fn poll_clients(&mut self) -> Vec<ClientDelivery> {
+        let mut out = Vec::new();
+        while let Ok(d) = self.client_inbound.try_recv() {
+            out.push(d);
+        }
+        out
+    }
+
+    fn send_client(&mut self, conn: u64, replica: ReplicaId, payload: Arc<[u8]>) {
+        debug_assert_eq!(replica, self.id, "a node only acks as itself");
+        let mut conns = self.client_conns.lock().expect("client registry");
+        let Some((stream, dest)) = conns.get_mut(&conn) else {
+            return; // client gone; clients own retries
+        };
+        let frame = Envelope::to_peer(replica, *dest, ProtocolTag::Client, payload).to_frame();
+        if stream.write_all(&frame).is_err() {
+            // Dead or hopelessly stalled (past ACK_WRITE_TIMEOUT): drop
+            // the write half; the reader exits on its own at EOF.
+            conns.remove(&conn);
+            self.stats.dropped += 1;
+        }
+    }
 }
 
 impl Drop for NodeTransport {
@@ -353,19 +398,26 @@ impl Drop for NodeTransport {
     }
 }
 
-/// Accepts inbound peer connections for `owner` until shutdown, handing
-/// each to a detached blocking reader over the same validating
-/// [`FrameDecoder`] the cluster's multiplexing readers use. Reader
-/// threads exit on their own at EOF — each exit bumps `disconnects`.
+/// Accepts inbound connections for `owner` until shutdown, handing each
+/// to a detached blocking reader. The reader sniffs the hello's
+/// [`ProtocolTag`] to learn what the connection is: the replica protocol
+/// makes it a peer (same validating [`FrameDecoder`] path as the cluster
+/// readers), [`ProtocolTag::Client`] makes it a client served by the
+/// gateway half. Reader threads exit on their own at EOF — each peer
+/// exit bumps `disconnects`.
+#[allow(clippy::too_many_arguments)] // spawn plumbing, all one-way
 fn accept_loop(
     listener: TcpListener,
     owner: ReplicaId,
     protocol: ProtocolTag,
     inbound: Sender<Delivery>,
+    client_tx: Sender<ClientDelivery>,
+    client_conns: ClientConns,
     received: Arc<AtomicU64>,
     disconnects: Arc<AtomicU64>,
     shutdown: Arc<AtomicBool>,
 ) {
+    let next_conn = Arc::new(AtomicU64::new(0));
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             return;
@@ -376,21 +428,69 @@ fn accept_loop(
             .name(format!("sft-node-reader-{}", owner.as_u16()))
             .spawn({
                 let inbound = inbound.clone();
+                let client_tx = client_tx.clone();
+                let client_conns = Arc::clone(&client_conns);
+                let next_conn = Arc::clone(&next_conn);
                 let received = Arc::clone(&received);
                 let disconnects = Arc::clone(&disconnects);
                 move || {
-                    reader_loop(stream, owner, protocol, &inbound, &received);
-                    disconnects.fetch_add(1, Ordering::SeqCst);
+                    serve_inbound(
+                        stream,
+                        owner,
+                        protocol,
+                        &inbound,
+                        &client_tx,
+                        &client_conns,
+                        &next_conn,
+                        &received,
+                        &disconnects,
+                    );
                 }
             });
     }
 }
 
-/// Blocking reader for one inbound connection: reads until EOF, error,
-/// or protocol violation, pushing validated deliveries into the shared
-/// inbound queue.
+/// Reads until the first complete frame reveals what this connection is,
+/// then runs the matching reader loop with the already-buffered bytes.
+#[allow(clippy::too_many_arguments)] // spawn plumbing, all one-way
+fn serve_inbound(
+    mut stream: TcpStream,
+    owner: ReplicaId,
+    protocol: ProtocolTag,
+    inbound: &Sender<Delivery>,
+    client_tx: &Sender<ClientDelivery>,
+    client_conns: &ClientConns,
+    next_conn: &AtomicU64,
+    received: &AtomicU64,
+    disconnects: &AtomicU64,
+) {
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut buffered = Vec::new();
+    let tag = loop {
+        match Envelope::decode_frame(&buffered) {
+            Ok(Some((env, _))) => break env.protocol, // sniff only; not consumed
+            Ok(None) => {}
+            Err(_) => return, // malformed before it even said hello
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => return,
+            Ok(read) => buffered.extend_from_slice(&chunk[..read]),
+        }
+    };
+    if tag == ProtocolTag::Client {
+        client_reader_loop(stream, buffered, owner, client_tx, client_conns, next_conn);
+    } else {
+        reader_loop(stream, buffered, owner, protocol, inbound, received);
+        disconnects.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Blocking reader for one inbound peer connection: reads until EOF,
+/// error, or protocol violation, pushing validated deliveries into the
+/// shared inbound queue.
 fn reader_loop(
     mut stream: TcpStream,
+    buffered: Vec<u8>,
     owner: ReplicaId,
     protocol: ProtocolTag,
     inbound: &Sender<Delivery>,
@@ -399,22 +499,82 @@ fn reader_loop(
     let mut decoder = FrameDecoder::new(owner, protocol);
     let mut chunk = vec![0u8; 64 * 1024];
     let mut decoded = Vec::new();
+    if decoder.ingest(&buffered, &mut decoded).is_err() {
+        return; // hello carried the wrong protocol family
+    }
     loop {
+        for delivery in decoded.drain(..) {
+            received.fetch_add(1, Ordering::SeqCst);
+            if inbound.send(delivery).is_err() {
+                return; // transport gone
+            }
+        }
         match stream.read(&mut chunk) {
             Ok(0) | Err(_) => return, // EOF or error: peer closed
             Ok(read) => {
                 if decoder.ingest(&chunk[..read], &mut decoded).is_err() {
                     return; // protocol violation: refuse the peer
                 }
-                for delivery in decoded.drain(..) {
-                    received.fetch_add(1, Ordering::SeqCst);
-                    if inbound.send(delivery).is_err() {
-                        return; // transport gone
-                    }
+            }
+        }
+    }
+}
+
+/// Blocking reader for one client connection: registers the write half
+/// for acks once the hello binds an identity, then pushes every decoded
+/// client frame to the gateway queue. Deregisters itself on any exit so
+/// acks to a departed client become counted no-ops.
+fn client_reader_loop(
+    mut stream: TcpStream,
+    buffered: Vec<u8>,
+    owner: ReplicaId,
+    client_tx: &Sender<ClientDelivery>,
+    client_conns: &ClientConns,
+    next_conn: &AtomicU64,
+) {
+    let mut decoder = FrameDecoder::new(owner, ProtocolTag::Client);
+    let mut decoded = Vec::new();
+    if decoder.ingest(&buffered, &mut decoded).is_err() {
+        return; // violating hello: never registered
+    }
+    let Some(dest) = decoder.src() else {
+        return; // buffered bytes held a frame, so this cannot happen
+    };
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    // The timeout bounds how long send_client can stall on a client
+    // that stopped reading (the halves share the socket; reads are
+    // unaffected by SO_SNDTIMEO).
+    let _ = write_half.set_write_timeout(Some(ACK_WRITE_TIMEOUT));
+    let conn = next_conn.fetch_add(1, Ordering::SeqCst);
+    client_conns
+        .lock()
+        .expect("client registry")
+        .insert(conn, (write_half, dest));
+
+    let mut chunk = vec![0u8; 64 * 1024];
+    'serve: loop {
+        for delivery in decoded.drain(..) {
+            let frame = ClientDelivery {
+                conn,
+                replica: owner,
+                payload: delivery.payload,
+            };
+            if client_tx.send(frame).is_err() {
+                break 'serve; // transport gone
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break, // client hung up
+            Ok(read) => {
+                if decoder.ingest(&chunk[..read], &mut decoded).is_err() {
+                    break; // protocol violation: refuse the client
                 }
             }
         }
     }
+    client_conns.lock().expect("client registry").remove(&conn);
 }
 
 /// The reconnecting writer toward one peer: dials with capped exponential
@@ -518,6 +678,64 @@ mod tests {
         assert_eq!(at_b[0].payload[..], [1, 2]);
         assert_eq!(at_a.len(), 1);
         assert_eq!(at_a[0].payload[..], [3]);
+    }
+
+    #[test]
+    fn client_hello_routes_to_the_gateway_not_the_engine_path() {
+        let addrs = free_addrs(2);
+        let mut a =
+            NodeTransport::bind(ReplicaId::new(0), ProtocolTag::Fbft, addrs[0], &addrs).unwrap();
+        let _b =
+            NodeTransport::bind(ReplicaId::new(1), ProtocolTag::Fbft, addrs[1], &addrs).unwrap();
+
+        let mut sock = TcpStream::connect(a.listen_addr()).unwrap();
+        sock.set_nodelay(true).unwrap();
+        let me = ReplicaId::new(42);
+        let hello =
+            Envelope::to_peer(me, ReplicaId::new(0), ProtocolTag::Client, Vec::new()).to_frame();
+        sock.write_all(&hello).unwrap();
+        let request =
+            Envelope::to_peer(me, ReplicaId::new(0), ProtocolTag::Client, vec![9, 9]).to_frame();
+        sock.write_all(&request).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got = Vec::new();
+        while got.is_empty() && Instant::now() < deadline {
+            got = a.poll_clients();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].replica, ReplicaId::new(0));
+        assert_eq!(got[0].payload[..], [9, 9]);
+        // The client frame never entered the replica delivery path.
+        assert!(a
+            .poll_deliver(a.now() + SimDuration::from_millis(20))
+            .is_empty());
+
+        a.send_client(got[0].conn, ReplicaId::new(0), vec![0xAC].into());
+        sock.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = Vec::new();
+        let mut tmp = [0u8; 1024];
+        let env = loop {
+            let n = sock.read(&mut tmp).expect("ack within the timeout");
+            assert!(n > 0, "gateway closed instead of acking");
+            buf.extend_from_slice(&tmp[..n]);
+            if let Some((env, _)) = Envelope::decode_frame(&buf).unwrap() {
+                break env;
+            }
+        };
+        assert_eq!(env.src, ReplicaId::new(0));
+        assert_eq!(env.protocol, ProtocolTag::Client);
+        assert_eq!(env.payload[..], [0xAC]);
+
+        // After the client leaves, acks are silent no-ops — whether the
+        // write fails first or the reader deregistered the conn first.
+        drop(sock);
+        std::thread::sleep(Duration::from_millis(50));
+        a.send_client(got[0].conn, ReplicaId::new(0), vec![1].into());
+        a.send_client(got[0].conn, ReplicaId::new(0), vec![2].into());
+        a.send_client(999, ReplicaId::new(0), vec![3].into());
     }
 
     #[test]

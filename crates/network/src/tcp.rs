@@ -39,7 +39,7 @@
 //! construction, expressed as [`SimTime`] — engines built for the
 //! simulator run unchanged; only the meaning of a microsecond differs.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,7 +53,7 @@ use sft_types::{Envelope, ProtocolTag, ReplicaId, SimTime};
 
 use crate::frame::FrameDecoder;
 use crate::outbox::{Flush, Notifier, OutRing};
-use crate::{Delivery, NetworkStats, Transport};
+use crate::{ClientDelivery, Delivery, NetworkStats, Transport};
 
 /// Endpoint readers back off their poll sleep from here…
 const READ_IDLE_MIN: Duration = Duration::from_micros(10);
@@ -69,6 +69,18 @@ const FLUSH_RETRY: Duration = Duration::from_micros(200);
 struct WriterConn {
     stream: TcpStream,
     ring: Arc<OutRing>,
+}
+
+/// One accepted client connection, owned by the gateway and serviced
+/// from the run-loop thread (no thread of its own): the non-blocking
+/// socket, the [`ProtocolTag::Client`] decoder, the replica whose
+/// listener accepted it, and any ack bytes the kernel pushed back on.
+struct ClientConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    replica: ReplicaId,
+    /// Framed ack bytes not yet accepted by the socket.
+    unsent: VecDeque<u8>,
 }
 
 /// An `n`-endpoint loopback TCP mesh implementing [`Transport`]. See the
@@ -115,6 +127,14 @@ pub struct TcpCluster {
     delivered: u64,
     next_seq: u64,
     stats: NetworkStats,
+    /// The endpoints' listeners, retained (non-blocking) after mesh
+    /// construction: they double as the client gateway, with accepts and
+    /// reads serviced by [`Transport::poll_clients`] on the run-loop
+    /// thread — the gateway adds zero threads to the O(n) budget.
+    listeners: Vec<TcpListener>,
+    /// Accepted client connections by gateway-assigned id.
+    clients: HashMap<u64, ClientConn>,
+    next_conn: u64,
     /// One multiplexing reader per endpoint.
     readers: Vec<JoinHandle<()>>,
     /// The single writer thread draining every ring.
@@ -226,6 +246,12 @@ impl TcpCluster {
                 move || flush_loop(writer_conns, &notifier, &flush_recorder)
             })?;
 
+        // The mesh is fully connected; from here on the listeners serve
+        // clients only, polled non-blocking from the run-loop thread.
+        for listener in &listeners {
+            listener.set_nonblocking(true)?;
+        }
+
         Ok(Self {
             n,
             protocol,
@@ -239,11 +265,24 @@ impl TcpCluster {
             delivered: 0,
             next_seq: 0,
             stats: NetworkStats::default(),
+            listeners,
+            clients: HashMap::new(),
+            next_conn: 0,
             readers,
             writer: Some(writer),
             recorder: sft_obs::noop(),
             flush_recorder,
         })
+    }
+
+    /// The socket address clients dial to reach `replica`'s gateway —
+    /// the same listener the mesh was accepted on.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error raised while reading the local address.
+    pub fn client_addr(&self, replica: ReplicaId) -> io::Result<SocketAddr> {
+        self.listeners[replica.as_usize()].local_addr()
     }
 
     /// Installs a live recorder: every enqueued frame counts into
@@ -376,6 +415,102 @@ impl Transport for TcpCluster {
         stats.disconnects = self.disconnects.load(Ordering::SeqCst);
         stats
     }
+
+    fn poll_clients(&mut self) -> Vec<ClientDelivery> {
+        // Accept whoever dialed since the last poll.
+        for (replica, listener) in self.listeners.iter().enumerate() {
+            let replica = ReplicaId::new(replica as u16);
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nodelay(true).is_err()
+                            || stream.set_nonblocking(true).is_err()
+                        {
+                            continue; // died before it said anything
+                        }
+                        let conn = self.next_conn;
+                        self.next_conn += 1;
+                        self.clients.insert(
+                            conn,
+                            ClientConn {
+                                stream,
+                                decoder: FrameDecoder::new(replica, ProtocolTag::Client),
+                                replica,
+                                unsent: VecDeque::new(),
+                            },
+                        );
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+        // Service every connection: retry pushed-back acks, then read.
+        let mut out = Vec::new();
+        let mut chunk = vec![0u8; 64 * 1024];
+        let mut decoded = Vec::new();
+        self.clients.retain(|&conn, client| {
+            if !flush_client(client) {
+                return false;
+            }
+            loop {
+                match client.stream.read(&mut chunk) {
+                    Ok(0) => return false, // client hung up
+                    Ok(read) => {
+                        if client.decoder.ingest(&chunk[..read], &mut decoded).is_err() {
+                            decoded.clear();
+                            return false; // protocol violation
+                        }
+                        for delivery in decoded.drain(..) {
+                            out.push(ClientDelivery {
+                                conn,
+                                replica: client.replica,
+                                payload: delivery.payload,
+                            });
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            }
+        });
+        out
+    }
+
+    fn send_client(&mut self, conn: u64, replica: ReplicaId, payload: Arc<[u8]>) {
+        let Some(client) = self.clients.get_mut(&conn) else {
+            return; // connection gone; clients own retries
+        };
+        // Address the ack to the identity the client's hello claimed.
+        let Some(dest) = client.decoder.src() else {
+            return; // never said hello, nothing to address
+        };
+        let frame = Envelope::to_peer(replica, dest, ProtocolTag::Client, payload).to_frame();
+        client.unsent.extend(frame);
+        if !flush_client(client) {
+            self.clients.remove(&conn);
+        }
+    }
+}
+
+/// Pushes a client connection's queued ack bytes at its non-blocking
+/// socket. Returns false when the connection is dead.
+fn flush_client(client: &mut ClientConn) -> bool {
+    while !client.unsent.is_empty() {
+        let (head, _) = client.unsent.as_slices();
+        match client.stream.write(head) {
+            Ok(0) => return false,
+            Ok(wrote) => {
+                client.unsent.drain(..wrote);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    true
 }
 
 impl Drop for TcpCluster {
@@ -609,6 +744,103 @@ mod tests {
         let payloads: Vec<u8> = got.iter().map(|d| d.payload[0]).collect();
         assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
         assert!(got.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    /// Polls the gateway until it yields something or `secs` elapse.
+    fn poll_clients_until(cluster: &mut TcpCluster, secs: u64) -> Vec<ClientDelivery> {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        loop {
+            let got = cluster.poll_clients();
+            if !got.is_empty() || Instant::now() >= deadline {
+                return got;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn client_gateway_routes_requests_in_and_acks_back() {
+        let mut cluster = TcpCluster::loopback(2, ProtocolTag::Fbft).unwrap();
+        let replica = ReplicaId::new(1);
+        let mut sock = TcpStream::connect(cluster.client_addr(replica).unwrap()).unwrap();
+        sock.set_nodelay(true).unwrap();
+        // A client identity is just the u16 its hello claims — it shares
+        // the namespace with nothing (client frames never reach engines).
+        let me = ReplicaId::new(77);
+        let hello = Envelope::to_peer(me, replica, ProtocolTag::Client, Vec::new()).to_frame();
+        sock.write_all(&hello).unwrap();
+        let request = vec![0xAA, 0xBB, 0xCC];
+        let frame = Envelope::to_peer(me, replica, ProtocolTag::Client, request.clone()).to_frame();
+        sock.write_all(&frame).unwrap();
+
+        let got = poll_clients_until(&mut cluster, 5);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].replica, replica);
+        assert_eq!(got[0].payload[..], request[..]);
+
+        cluster.send_client(got[0].conn, replica, vec![0x5e].into());
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = Vec::new();
+        let mut tmp = [0u8; 1024];
+        let env = loop {
+            let n = sock.read(&mut tmp).expect("ack within the timeout");
+            assert!(n > 0, "gateway closed instead of acking");
+            buf.extend_from_slice(&tmp[..n]);
+            if let Some((env, _)) = Envelope::decode_frame(&buf).unwrap() {
+                break env;
+            }
+        };
+        assert_eq!(env.src, replica);
+        assert_eq!(env.protocol, ProtocolTag::Client);
+        assert_eq!(
+            env.payload[..],
+            [0x5e],
+            "ack addressed back to the claimant"
+        );
+        // Replica traffic and client traffic never mix queues.
+        assert!(cluster.is_idle());
+    }
+
+    #[test]
+    fn client_speaking_a_replica_protocol_is_disconnected() {
+        let mut cluster = TcpCluster::loopback(2, ProtocolTag::Fbft).unwrap();
+        let replica = ReplicaId::new(0);
+        let mut sock = TcpStream::connect(cluster.client_addr(replica).unwrap()).unwrap();
+        // Consensus-tagged frames through the client door are a
+        // violation: the gateway must never forward them to an engine.
+        let bogus =
+            Envelope::to_peer(ReplicaId::new(9), replica, ProtocolTag::Fbft, vec![1]).to_frame();
+        sock.write_all(&bogus).unwrap();
+        let got = poll_clients_until(&mut cluster, 2);
+        assert!(got.is_empty(), "violating frames yield no deliveries");
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut tmp = [0u8; 16];
+        assert_eq!(sock.read(&mut tmp).unwrap(), 0, "gateway hung up");
+    }
+
+    #[test]
+    fn acks_to_a_departed_client_are_dropped_not_fatal() {
+        let mut cluster = TcpCluster::loopback(2, ProtocolTag::Fbft).unwrap();
+        let replica = ReplicaId::new(0);
+        {
+            let mut sock = TcpStream::connect(cluster.client_addr(replica).unwrap()).unwrap();
+            let hello =
+                Envelope::to_peer(ReplicaId::new(5), replica, ProtocolTag::Client, Vec::new())
+                    .to_frame();
+            sock.write_all(&hello).unwrap();
+            let frame = Envelope::to_peer(ReplicaId::new(5), replica, ProtocolTag::Client, vec![7])
+                .to_frame();
+            sock.write_all(&frame).unwrap();
+            let got = poll_clients_until(&mut cluster, 5);
+            assert_eq!(got.len(), 1);
+            // Socket drops here.
+        }
+        // The conn id may briefly outlive the socket; both the stale-id
+        // and the already-reaped paths must be silent no-ops.
+        cluster.send_client(0, replica, vec![1].into());
+        cluster.poll_clients();
+        cluster.send_client(0, replica, vec![2].into());
+        cluster.send_client(999, replica, vec![3].into());
     }
 
     #[test]

@@ -100,6 +100,36 @@ pub mod names {
         STRENGTH_US[(level as usize).min(STRENGTH_US.len() - 1)]
     }
 
+    // ---- client plane (submission gateway + strength-graded acks) ----
+
+    /// Client submissions received (every admission verdict counts one).
+    pub const CLIENT_REQUESTS: &str = "client_requests";
+    /// Client submissions answered `Busy` or `Duplicate` instead of
+    /// admitted (admission-control backpressure).
+    pub const CLIENT_REJECTED: &str = "client_rejected";
+    /// Strength-graded commit acks emitted toward clients.
+    pub const ACKS_SENT: &str = "acks_sent";
+    /// Submission → ack latency histograms (protocol µs), keyed by the
+    /// strength level the ack was requested at (see `ack_level_name`).
+    pub const ACK_US: [&str; 9] = [
+        "ack_x0_us",
+        "ack_x1_us",
+        "ack_x2_us",
+        "ack_x3_us",
+        "ack_x4_us",
+        "ack_x5_us",
+        "ack_x6_us",
+        "ack_x7_us",
+        "ack_x8_us",
+    ];
+
+    /// The `ack_x<level>_us` histogram for a requested strength level,
+    /// clamping levels past 8 into the last bucket.
+    #[must_use]
+    pub fn ack_level_name(level: u64) -> &'static str {
+        ACK_US[(level as usize).min(ACK_US.len() - 1)]
+    }
+
     // ---- consensus counters ----
 
     /// Proposals accepted into the engine (first sight per round).
@@ -182,5 +212,12 @@ mod tests {
         assert_eq!(names::strength_level_name(0), "strength_x0_us");
         assert_eq!(names::strength_level_name(8), "strength_x8_us");
         assert_eq!(names::strength_level_name(40), "strength_x8_us");
+    }
+
+    #[test]
+    fn ack_names_clamp() {
+        assert_eq!(names::ack_level_name(0), "ack_x0_us");
+        assert_eq!(names::ack_level_name(2), "ack_x2_us");
+        assert_eq!(names::ack_level_name(40), "ack_x8_us");
     }
 }

@@ -91,8 +91,10 @@ impl Mischief<FbftEngine> for FbftMischief {
 
 /// Builds the SFT-DiemBFT engine set for `config`: one [`FbftEngine`] per
 /// replica with the configured payload source and the deterministic client
-/// workload pre-fed (the paper's "sufficiently many transactions"
-/// assumption, §4). Stalling leaders get no payload source, which disables
+/// workload fed through the mempool's admission path (the paper's
+/// "sufficiently many transactions" assumption, §4 — the same `submit`
+/// every live client goes through, minus the ack registration). Stalling
+/// leaders get no payload source, which disables
 /// their chaining path while every other part of the protocol runs
 /// normally.
 ///
@@ -122,8 +124,12 @@ pub fn build_fbft_engines(
             if behavior != Behavior::StallLeader {
                 replica = replica.with_payload_source(source);
             }
+            if let Some(cap) = config.mempool_txn_cap {
+                replica.set_mempool_caps(cap as usize, u64::MAX);
+            }
             for txn in &workload {
-                replica.submit_transaction(txn.clone());
+                let admitted = replica.submit(txn.clone());
+                debug_assert_eq!(admitted, sft_core::Admission::Admitted);
             }
             FbftEngine::new(replica)
         })

@@ -170,6 +170,17 @@ pub struct SimConfig {
     /// used to hard-code; it tracks later `with_delay` /
     /// `with_base_timeout` calls unless explicitly overridden.
     pub run_horizon: SimDuration,
+    /// Serve live clients instead of the driver-fed workload: in batched
+    /// mode (`batch_size > 0`), skip pre-feeding the deterministic client
+    /// stream so blocks carry exactly what real clients submit through
+    /// the transport's client gateway. Leaders still propose every slot
+    /// (an empty mempool makes an empty block), so the protocol paces
+    /// itself identically whether clients are quiet or flooding.
+    pub live_clients: bool,
+    /// Admission-control cap on every replica's mempool: at most this
+    /// many pending transactions before `submit` answers `Busy`.
+    /// `None` (the default) leaves admission unbounded.
+    pub mempool_txn_cap: Option<u32>,
     /// Record run-loop phase timings, per-round consensus latencies, and
     /// per-kind traffic counters into [`SimReport::metrics`]. Off by
     /// default: the no-op recorder keeps the hot path free.
@@ -218,9 +229,25 @@ impl SimConfig {
             faults: None,
             drain_sync_bound: default_drain_bound(epochs),
             run_horizon: default_horizon(base_timeout, epochs),
+            live_clients: false,
+            mempool_txn_cap: None,
             recording: false,
             verify_policy: VerifyPolicy::OnQuorum,
         }
+    }
+
+    /// Serves live clients instead of pre-feeding the deterministic
+    /// workload (see [`SimConfig::live_clients`]).
+    pub fn with_live_clients(mut self, live: bool) -> Self {
+        self.live_clients = live;
+        self
+    }
+
+    /// Caps every replica's mempool at `cap` pending transactions (see
+    /// [`SimConfig::mempool_txn_cap`]).
+    pub fn with_mempool_txn_cap(mut self, cap: u32) -> Self {
+        self.mempool_txn_cap = Some(cap);
+        self
     }
 
     /// Turns metric recording on or off (see [`SimConfig::recording`]).
@@ -361,7 +388,7 @@ impl SimConfig {
     /// can reach, identical on every replica (clients broadcast their
     /// transactions), empty in synthetic mode.
     pub(crate) fn client_workload(&self) -> Vec<Transaction> {
-        if self.batch_size == 0 {
+        if self.batch_size == 0 || self.live_clients {
             return Vec::new();
         }
         // One batch per round target, with slack for timeout-skipped rounds.
@@ -423,6 +450,28 @@ impl Default for TcpPacing {
 ///
 /// Returns any socket error raised while building the mesh.
 pub fn run_over_tcp(config: &SimConfig, pacing: TcpPacing) -> std::io::Result<SimReport> {
+    run_over_tcp_serving(config, pacing, |_| {})
+}
+
+/// [`run_over_tcp`] with a live client plane: once the mesh is up —
+/// but before the first round fires — `ready` receives one socket
+/// address per replica, each the client gateway of the corresponding
+/// replica's [`TcpCluster`] listener. Dial them with a
+/// [`ProtocolTag::Client`] hello frame (see the crate README's
+/// "Client API") and submit [`sft_types::ClientRequest`]s; the run
+/// loop serves admission and acks in-line with consensus. `ready` runs
+/// on the caller's thread, so spawn client threads from it rather than
+/// blocking — the replicas only start exchanging messages after it
+/// returns.
+///
+/// # Errors
+///
+/// Returns any socket error raised while building the mesh.
+pub fn run_over_tcp_serving(
+    config: &SimConfig,
+    pacing: TcpPacing,
+    ready: impl FnOnce(&[std::net::SocketAddr]),
+) -> std::io::Result<SimReport> {
     let behaviors = config.behaviors.clone();
     let horizon = SimTime::ZERO + pacing.horizon;
     // One registry serves the transport's frame counters and the
@@ -435,6 +484,10 @@ pub fn run_over_tcp(config: &SimConfig, pacing: TcpPacing) -> std::io::Result<Si
         if let Some(recorder) = &recorder {
             cluster.set_recorder(std::sync::Arc::clone(recorder));
         }
+        let addrs = (0..config.n as u16)
+            .map(|id| cluster.client_addr(ReplicaId::new(id)))
+            .collect::<std::io::Result<Vec<_>>>()?;
+        ready(&addrs);
         Ok(cluster)
     };
     Ok(match config.protocol {

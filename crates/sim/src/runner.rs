@@ -26,13 +26,16 @@
 //! Only the *contents* of the forged votes and twin proposals are
 //! protocol-specific; the [`Mischief`] hook supplies those.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use sft_core::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route, WalRecord};
+use sft_crypto::HashValue;
 use sft_network::Transport;
 use sft_obs::{names, PhaseTimer, SharedRecorder};
-use sft_types::{ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
+use sft_types::{
+    ClientFrame, Decode, Encode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate,
+};
 
 use crate::{Behavior, SimReport};
 
@@ -134,6 +137,11 @@ pub struct EngineRunner<E: ReplicaEngine, T: Transport, M: Mischief<E>> {
     /// the in-memory stand-in for the on-disk WAL a real node keeps.
     persisted: Vec<Vec<WalRecord>>,
     drain_used: u64,
+    /// Which client connection is waiting on each admitted transaction's
+    /// ack — the routing table from [`ReplicaEngine::drain_acks`] back to
+    /// [`Transport::send_client`]. Empty (and cost-free) on transports
+    /// without a client gateway.
+    ack_routes: HashMap<HashValue, u64>,
     /// Where run-loop phase timings and per-kind traffic counters go;
     /// the no-op recorder by default, so instrumentation is free.
     recorder: SharedRecorder,
@@ -169,6 +177,7 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             timelines: vec![Vec::new(); n],
             persisted: vec![Vec::new(); n],
             drain_used: 0,
+            ack_routes: HashMap::new(),
             recorder: sft_obs::noop(),
         }
     }
@@ -301,6 +310,9 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             .into_iter()
             .map(|d| (d.to, d.from, d.payload))
             .collect();
+        // Client ingress rides the same instant: submissions admitted here
+        // are eligible for the very proposals this instant builds.
+        self.serve_clients(now);
         loop {
             while let Some((to, from, bytes)) = inbox.pop_front() {
                 self.handle(to, from, bytes, now, &mut inbox);
@@ -311,6 +323,57 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             self.poll_sync(now, &mut inbox);
             if inbox.is_empty() {
                 break;
+            }
+        }
+        self.flush_acks();
+    }
+
+    /// The client-ingress leg: drains the transport's client gateway,
+    /// submits each request to the replica it addressed, and answers
+    /// immediate verdicts (`Busy`, `Duplicate`) on the spot. Admitted
+    /// requests are answered later, by [`flush_acks`](Self::flush_acks),
+    /// when their commit reaches the requested strength. A no-op (one
+    /// empty poll) on transports without a client gateway.
+    fn serve_clients(&mut self, now: SimTime) {
+        for delivery in self.transport.poll_clients() {
+            let i = delivery.replica.as_usize();
+            if i >= self.engines.len() || self.behaviors[i] == Behavior::Silent {
+                continue;
+            }
+            let Ok(ClientFrame::Request(req)) = ClientFrame::from_bytes(&delivery.payload) else {
+                continue; // unparseable interior, or an ack sent inward
+            };
+            let txn_id = req.txn_id();
+            match self.engines[i].submit(&req, now) {
+                Some(verdict) => {
+                    let bytes: Arc<[u8]> = ClientFrame::Ack(verdict).to_bytes().into();
+                    self.transport
+                        .send_client(delivery.conn, delivery.replica, bytes);
+                }
+                None => {
+                    self.ack_routes.insert(txn_id, delivery.conn);
+                }
+            }
+        }
+    }
+
+    /// Streams every newly ready strength-graded ack back down the client
+    /// connection that asked for it. Acks for transactions nobody is
+    /// waiting on (driver-fed workload, a departed client's re-submission
+    /// by someone else) are dropped — acks are a courtesy, not state.
+    fn flush_acks(&mut self) {
+        for i in 0..self.engines.len() {
+            let acks = self.engines[i].drain_acks();
+            if acks.is_empty() {
+                continue;
+            }
+            let replica = self.engines[i].id();
+            for ack in acks {
+                let Some(conn) = self.ack_routes.remove(&ack.txn_id()) else {
+                    continue;
+                };
+                let bytes: Arc<[u8]> = ClientFrame::Ack(ack).to_bytes().into();
+                self.transport.send_client(conn, replica, bytes);
             }
         }
     }

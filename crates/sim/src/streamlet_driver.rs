@@ -80,7 +80,9 @@ impl Mischief<StreamletEngine> for StreamletMischief {
 
 /// Builds the Streamlet engine set for `config`: one [`StreamletEngine`]
 /// per replica with the configured payload source and the deterministic
-/// client workload pre-fed. Stalling leaders get no payload source — their
+/// client workload fed through the mempool's admission path (the same
+/// `submit` every live client goes through, minus the ack registration —
+/// the harness is not waiting on acks). Stalling leaders get no payload source — their
 /// whole deviation is "never propose", and a source-less engine still
 /// follows the epoch clock (and votes) like everyone else.
 ///
@@ -105,8 +107,12 @@ pub fn build_streamlet_engines(
             if behavior != Behavior::StallLeader {
                 replica = replica.with_payload_source(source);
             }
+            if let Some(cap) = config.mempool_txn_cap {
+                replica.set_mempool_caps(cap as usize, u64::MAX);
+            }
             for txn in &workload {
-                replica.submit_transaction(txn.clone());
+                let admitted = replica.submit(txn.clone());
+                debug_assert_eq!(admitted, sft_core::Admission::Admitted);
             }
             StreamletEngine::new(replica, period, config.epochs)
         })

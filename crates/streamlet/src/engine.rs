@@ -10,11 +10,15 @@
 //! engine runs over sockets.
 
 use sft_core::{
-    BlockStore, EngineObs, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, SyncStats, WalRecord,
+    AckTracker, Admission, BlockStore, EngineObs, EngineStep, MsgKind, OutboundMsg, ReplicaEngine,
+    SyncStats, WalRecord,
 };
 use sft_crypto::{HashValue, SigStats};
 use sft_obs::{names, PhaseTimer, SharedRecorder};
-use sft_types::{Decode, Encode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate};
+use sft_types::{
+    ClientAck, ClientRequest, Decode, Encode, ReplicaId, Round, SimDuration, SimTime,
+    StrongCommitUpdate,
+};
 
 use crate::message::Message;
 use crate::replica::Replica;
@@ -45,6 +49,8 @@ pub struct StreamletEngine {
     /// Next epoch to open (1-based).
     next_epoch: u64,
     obs: EngineObs,
+    /// Client submissions awaiting their strength-graded commit acks.
+    acks: AckTracker,
 }
 
 impl StreamletEngine {
@@ -57,6 +63,7 @@ impl StreamletEngine {
             max_epochs,
             next_epoch: 1,
             obs: EngineObs::new(),
+            acks: AckTracker::new(),
         }
     }
 
@@ -126,6 +133,9 @@ impl ReplicaEngine for StreamletEngine {
         step.persist = self.replica.drain_wal();
         self.obs.wal_records(&step.persist, now);
         self.obs.updates(&step.updates, now);
+        for update in &step.updates {
+            self.acks.observe(update, self.replica.store(), now);
+        }
         step
     }
 
@@ -171,8 +181,27 @@ impl ReplicaEngine for StreamletEngine {
         step
     }
 
+    fn submit(&mut self, req: &ClientRequest, now: SimTime) -> Option<ClientAck> {
+        let txn_id = req.txn_id();
+        let verdict = self.replica.submit(req.txn.clone());
+        self.acks.record_admission(verdict == Admission::Admitted);
+        match verdict {
+            Admission::Admitted => {
+                self.acks.register(txn_id, req.ack_at, now);
+                None
+            }
+            Admission::Duplicate => Some(ClientAck::Duplicate { txn_id }),
+            Admission::Busy => Some(ClientAck::Busy { txn_id }),
+        }
+    }
+
+    fn drain_acks(&mut self) -> Vec<ClientAck> {
+        self.acks.drain()
+    }
+
     fn set_recorder(&mut self, recorder: SharedRecorder) {
         self.replica.set_recorder(recorder.clone());
+        self.acks.set_recorder(recorder.clone());
         self.obs.set_recorder(recorder);
     }
 

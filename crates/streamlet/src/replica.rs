@@ -4,9 +4,9 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use sft_core::{
-    honest_endorse_info, Block, BlockStore, BlockStoreError, CommitLedger, EndorsementTracker,
-    Mempool, PayloadSource, ProtocolConfig, SyncManager, SyncStats, VoteOutcome, VoteTracker,
-    WalRecord,
+    honest_endorse_info, Admission, Block, BlockStore, BlockStoreError, CommitLedger,
+    EndorsementTracker, Mempool, PayloadSource, ProtocolConfig, SyncManager, SyncStats,
+    VoteOutcome, VoteTracker, WalRecord,
 };
 use sft_crypto::{HashValue, KeyPair, KeyRegistry, SigStats};
 use sft_types::{
@@ -180,10 +180,18 @@ impl Replica {
         self
     }
 
-    /// Submits a client transaction to this replica's mempool. Returns
-    /// whether it was admitted (not a duplicate, not already on-chain).
-    pub fn submit_transaction(&mut self, txn: Transaction) -> bool {
-        self.mempool.submit(txn)
+    /// Submits a client transaction to this replica's mempool, reporting
+    /// the explicit [`Admission`] verdict (`Duplicate` for ids already
+    /// pending or on-chain, `Busy` past the admission caps).
+    pub fn submit(&mut self, txn: Transaction) -> Admission {
+        self.mempool.try_submit(txn)
+    }
+
+    /// Replaces the mempool's admission caps (count and encoded bytes);
+    /// submissions beyond either answer [`Admission::Busy`] until drains
+    /// make room.
+    pub fn set_mempool_caps(&mut self, max_pending: usize, max_pending_bytes: u64) {
+        self.mempool.set_caps(max_pending, max_pending_bytes);
     }
 
     /// The replica's transaction pool.
@@ -594,6 +602,11 @@ impl Replica {
                     }
                     Err(_) => {}
                 }
+                // Replayed commits re-seed the dedup horizon, so a client
+                // re-submitting across the crash still gets `Duplicate`.
+                if let Payload::Transactions(txns) = block.payload() {
+                    self.mempool.mark_included(txns.iter());
+                }
                 if self.store.contains(block.id()) {
                     // A committed block necessarily carried a quorum.
                     self.note_notarized(block.id());
@@ -774,7 +787,10 @@ mod tests {
         let mut r = replica(leader.as_u16())
             .with_payload_source(PayloadSource::Mempool(BatchConfig::with_max_txns(4)));
         for seq in 0..6 {
-            assert!(r.submit_transaction(Transaction::new(9, seq, vec![0; 4])));
+            assert_eq!(
+                r.submit(Transaction::new(9, seq, vec![0; 4])),
+                Admission::Admitted
+            );
         }
         let proposal = r
             .begin_epoch_sourced(Round::new(1))

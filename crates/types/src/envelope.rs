@@ -85,6 +85,11 @@ pub enum ProtocolTag {
     Streamlet,
     /// SFT-DiemBFT (§2–§3) messages.
     Fbft,
+    /// Client-plane frames ([`crate::ClientFrame`]): submissions into a
+    /// replica's mempool and strength-graded acks streamed back. Rides
+    /// the same envelope framing as replica traffic but is routed to the
+    /// client gateway, never into a consensus engine.
+    Client,
 }
 
 impl Encode for ProtocolTag {
@@ -92,6 +97,7 @@ impl Encode for ProtocolTag {
         buf.push(match self {
             ProtocolTag::Streamlet => 0,
             ProtocolTag::Fbft => 1,
+            ProtocolTag::Client => 2,
         });
     }
 }
@@ -101,6 +107,7 @@ impl Decode for ProtocolTag {
         match u8::decode(buf)? {
             0 => Ok(ProtocolTag::Streamlet),
             1 => Ok(ProtocolTag::Fbft),
+            2 => Ok(ProtocolTag::Client),
             t => Err(DecodeError::InvalidTag(t)),
         }
     }

@@ -17,6 +17,7 @@
 //! | strong-commit `Log` for light clients (§5) | [`commit_log`]: [`StrongCommitUpdate`] |
 //! | block-sync fetch (catch-up subprotocol) | [`sync`]: [`BlockRequest`] |
 //! | block contents / workload of §4 | [`transaction`]: [`Transaction`], [`Payload`] |
+//! | strength-as-SLA client acks (§3 grading, productized) | [`client`]: [`ClientRequest`], [`ClientAck`] |
 //! | injected delays δ of the evaluation (§4) | [`time`]: [`SimTime`], [`SimDuration`] |
 //! | transport wire unit + framing (harness, not paper) | [`envelope`]: [`Envelope`], [`Dest`], [`ProtocolTag`] |
 //!
@@ -38,6 +39,7 @@
 #![deny(missing_docs)]
 
 pub mod bitset;
+pub mod client;
 pub mod codec;
 pub mod commit_log;
 pub mod envelope;
@@ -50,6 +52,7 @@ pub mod transaction;
 pub mod vote;
 
 pub use bitset::SignerSet;
+pub use client::{ClientAck, ClientFrame, ClientRequest};
 pub use codec::{Decode, DecodeError, Encode};
 pub use commit_log::{commit_log_digest, StrongCommitUpdate};
 pub use envelope::{Dest, Envelope, ProtocolTag, FRAME_HEADER_LEN, MAX_FRAME_LEN};

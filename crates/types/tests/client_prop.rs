@@ -1,0 +1,178 @@
+//! Seeded-PRNG property tests for the client-plane codec: every
+//! [`ClientRequest`] / [`ClientAck`] / [`ClientFrame`] round-trips, every
+//! truncation point is an error (never a wrong answer), hostile length
+//! prefixes are rejected before allocation, and a reader expecting one
+//! frame direction refuses the other by tag instead of misparsing it.
+
+use sft_crypto::rng::{RngCore, SplitMix64};
+use sft_crypto::HashValue;
+use sft_types::{
+    ClientAck, ClientFrame, ClientRequest, Decode, DecodeError, Encode, Envelope, ProtocolTag,
+    ReplicaId, Round, Transaction,
+};
+
+const ROUNDS: u64 = 200;
+
+fn random_txn(rng: &mut SplitMix64) -> Transaction {
+    let len = rng.next_below(512) as usize;
+    let payload: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+    Transaction::new(rng.next_below(64), rng.next_below(1 << 20), payload)
+}
+
+fn random_request(rng: &mut SplitMix64) -> ClientRequest {
+    ClientRequest::new(random_txn(rng), rng.next_below(9))
+}
+
+fn random_ack(rng: &mut SplitMix64) -> ClientAck {
+    let txn_id = HashValue::of(&rng.next_u64().to_be_bytes());
+    match rng.next_below(3) {
+        0 => ClientAck::Committed {
+            txn_id,
+            round: Round::new(rng.next_below(1 << 30)),
+            strength: rng.next_below(9),
+        },
+        1 => ClientAck::Busy { txn_id },
+        _ => ClientAck::Duplicate { txn_id },
+    }
+}
+
+fn random_frame(rng: &mut SplitMix64) -> ClientFrame {
+    if rng.next_below(2) == 0 {
+        ClientFrame::Request(random_request(rng))
+    } else {
+        ClientFrame::Ack(random_ack(rng))
+    }
+}
+
+#[test]
+fn random_requests_and_acks_roundtrip() {
+    let mut rng = SplitMix64::new(0x00c1_1e41);
+    for _ in 0..ROUNDS {
+        let req = random_request(&mut rng);
+        let bytes = req.to_bytes();
+        assert_eq!(bytes.len(), req.encoded_len());
+        assert_eq!(ClientRequest::from_bytes(&bytes).unwrap(), req);
+
+        let ack = random_ack(&mut rng);
+        let bytes = ack.to_bytes();
+        assert_eq!(bytes.len(), ack.encoded_len());
+        assert_eq!(ClientAck::from_bytes(&bytes).unwrap(), ack);
+
+        let frame = random_frame(&mut rng);
+        let bytes = frame.to_bytes();
+        assert_eq!(bytes.len(), frame.encoded_len());
+        assert_eq!(ClientFrame::from_bytes(&bytes).unwrap(), frame);
+    }
+}
+
+#[test]
+fn every_truncation_point_is_an_error_never_a_wrong_value() {
+    let mut rng = SplitMix64::new(0x7a_11c4);
+    for _ in 0..40 {
+        let frame = random_frame(&mut rng);
+        let bytes = frame.to_bytes();
+        for cut in 0..bytes.len() {
+            match ClientFrame::from_bytes(&bytes[..cut]) {
+                Err(_) => {}
+                Ok(v) => panic!(
+                    "a {cut}-byte prefix of a {}-byte frame decoded to {v:?}",
+                    bytes.len()
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_payload_lengths_rejected_before_allocation() {
+    let mut rng = SplitMix64::new(0x0010_57c1);
+    for _ in 0..ROUNDS {
+        // A request whose transaction claims an absurd payload length.
+        let mut bytes = vec![0u8]; // ClientFrame::Request tag
+        rng.next_below(64).encode(&mut bytes); // client
+        rng.next_below(64).encode(&mut bytes); // seq
+        let claimed = (1u64 << 24) + 1 + rng.next_below(1 << 32);
+        claimed.encode(&mut bytes); // hostile payload length
+        bytes.extend_from_slice(&[0u8; 32]);
+        assert!(
+            matches!(
+                ClientFrame::from_bytes(&bytes),
+                Err(DecodeError::LengthOverflow(_))
+            ),
+            "claimed payload length {claimed} must be rejected"
+        );
+    }
+}
+
+#[test]
+fn readers_refuse_the_wrong_frame_direction_by_tag() {
+    let mut rng = SplitMix64::new(0xd1_4ec7);
+    for _ in 0..ROUNDS {
+        // A replica-side reader wants requests; feed it an ack.
+        let ack = ClientFrame::Ack(random_ack(&mut rng));
+        let decoded = ClientFrame::from_bytes(&ack.to_bytes()).unwrap();
+        assert!(
+            decoded.as_request().is_none(),
+            "ack must not read as request"
+        );
+
+        // A client-side reader wants acks; feed it a request.
+        let req = ClientFrame::Request(random_request(&mut rng));
+        let decoded = ClientFrame::from_bytes(&req.to_bytes()).unwrap();
+        assert!(decoded.as_ack().is_none(), "request must not read as ack");
+    }
+}
+
+#[test]
+fn unknown_frame_and_ack_tags_are_invalid() {
+    let mut rng = SplitMix64::new(0xbad_7a9);
+    for _ in 0..ROUNDS {
+        let tag = 2 + rng.next_below(254) as u8;
+        assert_eq!(
+            ClientFrame::from_bytes(&[tag]),
+            Err(DecodeError::InvalidTag(tag)),
+            "frame tag {tag} must be refused"
+        );
+        let ack_tag = 3 + rng.next_below(253) as u8;
+        assert_eq!(
+            ClientAck::from_bytes(&[ack_tag]),
+            Err(DecodeError::InvalidTag(ack_tag)),
+            "ack tag {ack_tag} must be refused"
+        );
+    }
+}
+
+#[test]
+fn client_frames_ride_envelopes_under_the_client_tag() {
+    let mut rng = SplitMix64::new(0x00e4_7e10);
+    for _ in 0..ROUNDS {
+        let frame = random_frame(&mut rng);
+        let env = Envelope::to_peer(
+            ReplicaId::new(0),
+            ReplicaId::new(rng.next_below(16) as u16),
+            ProtocolTag::Client,
+            frame.to_bytes(),
+        );
+        let wire = env.to_frame();
+        let (back, used) = Envelope::decode_frame(&wire).unwrap().unwrap();
+        assert_eq!(used, wire.len());
+        assert_eq!(back.protocol, ProtocolTag::Client);
+        assert_eq!(ClientFrame::from_bytes(&back.payload).unwrap(), frame);
+    }
+}
+
+#[test]
+fn trailing_bytes_after_a_frame_are_refused() {
+    let mut rng = SplitMix64::new(0x007e_577e);
+    for _ in 0..40 {
+        let mut bytes = random_frame(&mut rng).to_bytes();
+        bytes.push(0);
+        assert!(
+            matches!(
+                ClientFrame::from_bytes(&bytes),
+                Err(DecodeError::TrailingBytes(_))
+            ),
+            "one trailing byte must be refused"
+        );
+    }
+}

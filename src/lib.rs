@@ -21,6 +21,8 @@
 //!   deterministic in-process simulator network (delay injection, fault
 //!   schedules) and the loopback TCP mesh.
 //! - [`sim`] — the generic engine run loop with Byzantine behaviors.
+//! - [`loadgen`] — closed-loop clients driving the client gateway,
+//!   measuring end-to-end strength-graded ack latency.
 //!
 //! ## Example
 //!
@@ -38,6 +40,7 @@
 pub use sft_core as core;
 pub use sft_crypto as crypto;
 pub use sft_fbft as fbft;
+pub use sft_loadgen as loadgen;
 pub use sft_network as network;
 pub use sft_sim as sim;
 pub use sft_streamlet as streamlet;
