@@ -402,6 +402,7 @@ fn summary_json(
     field("recovered_replicas", report.recovered_replicas.to_string());
     field("disconnects", report.net.disconnects.to_string());
     field("walk_steps", report.walk_steps.to_string());
+    field("wal_fsyncs", report.wal_fsyncs.to_string());
     field("sig_verifications", report.sig_verifications.to_string());
     field("batch_verify_calls", report.batch_verify_calls.to_string());
     // Recorded counters and histogram digests, one scalar per line so the

@@ -220,6 +220,16 @@ pub const GATED_METRICS: &[Metric] = &[
         slack: WALL,
     },
     Metric {
+        // Fsyncs issued by the durability layer. Write-through counts are
+        // deterministic (one per record); group-commit counts depend on
+        // how many appends each writer-thread wakeup coalesces, which is
+        // scheduler timing — so only a blowup back toward one-per-record
+        // should trip the gate.
+        field: "wal_fsyncs",
+        better: Better::Lower,
+        slack: WALL,
+    },
+    Metric {
         field: "round_commit_us_p50",
         better: Better::Lower,
         slack: BUCKETED,
@@ -255,7 +265,15 @@ pub const GATED_METRICS: &[Metric] = &[
 /// run, the runs measured different experiments and the gate skips the
 /// numeric comparison (the new run reseeds the baseline) instead of
 /// reporting nonsense regressions.
-pub const IDENTITY_FIELDS: &[&str] = &["protocol", "n", "f", "epochs", "behavior", "batch_size"];
+pub const IDENTITY_FIELDS: &[&str] = &[
+    "protocol",
+    "n",
+    "f",
+    "epochs",
+    "behavior",
+    "batch_size",
+    "durability",
+];
 
 /// The verdict for one summary pair.
 #[derive(Clone, Debug, Default)]

@@ -27,11 +27,13 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
-use sft_core::{EngineStep, ReplicaEngine, Route, WalStore};
+use sft_core::{DurableWal, EngineStep, GroupCommitWal, ReplicaEngine, Route, WalRecord, WalStore};
 use sft_network::{NodeTransport, ProtocolTag, Transport};
 use sft_obs::{names, PhaseTimer, Recorder, Registry, SharedRecorder, TraceEvent, TraceSink};
 use sft_sim::{build_fbft_engines, build_streamlet_engines, Protocol, SimConfig};
-use sft_types::{ClientFrame, Decode, Encode, ReplicaId, Round, SimDuration, SimTime};
+use sft_types::{
+    ClientFrame, Decode, Encode, PersistSeq, ReplicaId, Round, SendGate, SimDuration, SimTime,
+};
 
 /// Everything that parameterizes one node process. Parsed from the
 /// `sft-node` command line; constructed directly by in-process tests.
@@ -58,7 +60,11 @@ pub struct NodeOpts {
     /// fsync batching: sync the log every this many appended records
     /// (1 = every record durable before its message leaves; larger
     /// values trade a bounded durability window for fewer fsyncs).
+    /// Ignored under [`WalMode::GroupCommit`], whose writer thread
+    /// batches adaptively without widening the durability window.
     pub sync_every: u64,
+    /// How the log is written and sends are held back (see [`WalMode`]).
+    pub wal_mode: WalMode,
     /// The pacing unit δ: Streamlet epochs span `2δ` of wall clock.
     pub delta: Duration,
     /// SFT-DiemBFT base round timeout.
@@ -80,6 +86,73 @@ impl NodeOpts {
     /// The replica count implied by the address table.
     pub fn n(&self) -> usize {
         self.peers.len()
+    }
+}
+
+/// How the node writes its log and when outbound frames may leave.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum WalMode {
+    /// The classic inline discipline: appends (and their
+    /// `sync_every`-batched fsyncs) run on the engine thread, *before*
+    /// the step's messages are handed to the transport.
+    #[default]
+    SyncEvery,
+    /// The pipelined discipline: appends enqueue to a dedicated
+    /// WAL-writer thread that batches fsyncs adaptively, and every
+    /// outbound frame carries a [`SendGate`] holding it in the
+    /// transport's peer writers until the durability watermark covers
+    /// the records that justify it. Same guarantee as `sync_every = 1`
+    /// — no frame leaves before its records are on disk — without an
+    /// fsync stall on the engine thread.
+    GroupCommit,
+}
+
+/// The node's log under either [`WalMode`], unified for the event loop.
+enum NodeWal {
+    Classic(WalStore),
+    Group(GroupCommitWal),
+}
+
+impl NodeWal {
+    /// Appends one record; returns its persist sequence under the
+    /// pipelined mode (`None` classically — persistence is already
+    /// complete when this returns, nothing to gate).
+    fn append(&mut self, record: &WalRecord) -> Result<Option<PersistSeq>, String> {
+        match self {
+            NodeWal::Classic(wal) => wal
+                .append(record)
+                .map(|()| None)
+                .map_err(|e| format!("wal append: {e}")),
+            NodeWal::Group(wal) => wal
+                .append(record)
+                .map(Some)
+                .map_err(|e| format!("wal append: {e}")),
+        }
+    }
+
+    /// The gate outbound frames must clear, given the node's last
+    /// appended sequence — pipelined mode only.
+    fn gate(&self, last_seq: PersistSeq) -> Option<SendGate> {
+        match self {
+            NodeWal::Classic(_) => None,
+            NodeWal::Group(wal) => (last_seq > 0).then(|| SendGate::new(wal.watermark(), last_seq)),
+        }
+    }
+
+    /// Records appended during this incarnation.
+    fn appended(&self) -> u64 {
+        match self {
+            NodeWal::Classic(wal) => wal.appended(),
+            NodeWal::Group(wal) => wal.last_seq(),
+        }
+    }
+
+    /// Settles the log at shutdown: everything appended is durable.
+    fn finish(self) -> Result<(), String> {
+        match self {
+            NodeWal::Classic(mut wal) => wal.flush().map_err(|e| format!("wal flush: {e}")),
+            NodeWal::Group(wal) => wal.finish().map_err(|e| format!("wal finish: {e}")),
+        }
     }
 }
 
@@ -155,8 +228,7 @@ fn drive<E: ReplicaEngine>(
     };
     engine.set_recorder(Arc::clone(&recorder));
 
-    let mut wal =
-        WalStore::open(&opts.data_dir, opts.sync_every).map_err(|e| format!("wal: {e}"))?;
+    let store = WalStore::open(&opts.data_dir, opts.sync_every).map_err(|e| format!("wal: {e}"))?;
     let mut transport = NodeTransport::bind_observed(
         ReplicaId::new(opts.id),
         tag,
@@ -178,12 +250,12 @@ fn drive<E: ReplicaEngine>(
     // voting history, locked state, and committed prefix. The replay-done
     // trace event is the recovery milestone the crash harness orders the
     // first outbound vote against.
-    let recovered = wal.replay_into(&mut engine, transport.now());
+    let recovered = store.replay_into(&mut engine, transport.now());
     if recovered > 0 {
         eprintln!(
             "sft-node {}: recovered {recovered} WAL records{}",
             opts.id,
-            if wal.tail_truncated() {
+            if store.tail_truncated() {
                 " (torn tail truncated)"
             } else {
                 ""
@@ -195,6 +267,21 @@ fn drive<E: ReplicaEngine>(
         transport.now().as_micros(),
         &[("records", recovered as u64)],
     ));
+    // Recovery always reads through the classic store; the pipelined
+    // mode upgrades it afterwards, handing the file to the WAL-writer
+    // thread. Gate waiters wake through the watermark's own condvar, so
+    // no transport wake hook is needed here.
+    let mut wal = match opts.wal_mode {
+        WalMode::SyncEvery => NodeWal::Classic(store),
+        WalMode::GroupCommit => NodeWal::Group(
+            store
+                .into_group_commit(Arc::clone(&recorder), None)
+                .map_err(|e| format!("wal writer: {e}"))?,
+        ),
+    };
+    // The node's last appended persist sequence: what its outbound
+    // frames are gated on under the pipelined mode.
+    let mut last_seq: PersistSeq = 0;
 
     let id = ReplicaId::new(opts.id);
     let target = Round::new(opts.epochs);
@@ -254,7 +341,15 @@ fn drive<E: ReplicaEngine>(
                 let timer = PhaseTimer::start(&*recorder);
                 let step = engine.on_envelope(from, &bytes, now);
                 timer.finish(&*recorder, names::PHASE_ON_ENVELOPE_NS);
-                absorb(step, id, &mut wal, &mut transport, &mut inbox, &*recorder)?;
+                absorb(
+                    step,
+                    id,
+                    &mut wal,
+                    &mut last_seq,
+                    &mut transport,
+                    &mut inbox,
+                    &*recorder,
+                )?;
             }
             let mut fired = false;
             if engine.next_deadline().is_some_and(|d| d <= now) {
@@ -262,13 +357,29 @@ fn drive<E: ReplicaEngine>(
                 let timer = PhaseTimer::start(&*recorder);
                 let step = engine.on_tick(now);
                 timer.finish(&*recorder, names::PHASE_ON_TICK_NS);
-                absorb(step, id, &mut wal, &mut transport, &mut inbox, &*recorder)?;
+                absorb(
+                    step,
+                    id,
+                    &mut wal,
+                    &mut last_seq,
+                    &mut transport,
+                    &mut inbox,
+                    &*recorder,
+                )?;
             }
             if fired || !inbox.is_empty() {
                 continue;
             }
             let step = engine.poll_sync(now);
-            absorb(step, id, &mut wal, &mut transport, &mut inbox, &*recorder)?;
+            absorb(
+                step,
+                id,
+                &mut wal,
+                &mut last_seq,
+                &mut transport,
+                &mut inbox,
+                &*recorder,
+            )?;
             if inbox.is_empty() {
                 break;
             }
@@ -282,7 +393,8 @@ fn drive<E: ReplicaEngine>(
         }
     }
 
-    wal.flush().map_err(|e| format!("wal flush: {e}"))?;
+    let appended = wal.appended();
+    wal.finish()?;
     recorder.trace(&TraceEvent::new(
         names::EV_NODE_STOP,
         transport.now().as_micros(),
@@ -299,7 +411,7 @@ fn drive<E: ReplicaEngine>(
     write_commit_file(opts, &committed)?;
     Ok(NodeOutcome {
         recovered,
-        appended: wal.appended(),
+        appended,
         committed,
         disconnects: transport.stats().disconnects,
         round: engine.round().as_u64(),
@@ -308,29 +420,49 @@ fn drive<E: ReplicaEngine>(
 
 /// Write-ahead discipline, then routing: persist the step's durable
 /// records, then send its messages (broadcasts loop back through the
-/// inbox so the node hears itself).
+/// inbox so the node hears itself). Classically "persist" means the
+/// fsync already happened by the time a message is handed over; under
+/// the pipelined mode it means the message carries a [`SendGate`] the
+/// transport's peer writers hold until the watermark covers
+/// `last_seq`. The engine's own loopback delivery is never gated — a
+/// node hearing itself early cannot equivocate against itself.
 fn absorb<S: Transport>(
     step: EngineStep,
     id: ReplicaId,
-    wal: &mut WalStore,
+    wal: &mut NodeWal,
+    last_seq: &mut PersistSeq,
     transport: &mut S,
     inbox: &mut Inbox,
     recorder: &dyn Recorder,
 ) -> Result<(), String> {
+    let mut step = step;
     let persist = PhaseTimer::start(recorder);
-    for record in &step.persist {
-        wal.append(record).map_err(|e| format!("wal append: {e}"))?;
+    if !step.persist.is_empty() {
+        let wait = PhaseTimer::start(recorder);
+        for record in &step.persist {
+            if let Some(seq) = wal.append(record)? {
+                *last_seq = seq;
+            }
+        }
+        wait.finish(recorder, names::PHASE_PERSIST_WAIT_NS);
+        step.persist_seq = (*last_seq > 0).then_some(*last_seq);
     }
     persist.finish(recorder, names::PHASE_PERSIST_NS);
     let route = PhaseTimer::start(recorder);
     for out in step.outbound {
-        match out.route {
-            Route::Broadcast => {
+        let gate = wal.gate(*last_seq);
+        match (out.route, gate) {
+            (Route::Broadcast, Some(gate)) => {
+                transport.broadcast_gated(id, Arc::clone(&out.bytes), gate);
+                inbox.push_back((id, out.bytes));
+            }
+            (Route::Broadcast, None) => {
                 transport.broadcast(id, Arc::clone(&out.bytes));
                 inbox.push_back((id, out.bytes));
             }
-            Route::To(peer) if peer == id => inbox.push_back((id, out.bytes)),
-            Route::To(peer) => transport.send(id, peer, out.bytes),
+            (Route::To(peer), _) if peer == id => inbox.push_back((id, out.bytes)),
+            (Route::To(peer), Some(gate)) => transport.send_gated(id, peer, out.bytes, gate),
+            (Route::To(peer), None) => transport.send(id, peer, out.bytes),
         }
     }
     route.finish(recorder, names::PHASE_ROUTE_NS);

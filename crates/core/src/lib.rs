@@ -46,6 +46,7 @@ pub mod block;
 pub mod config;
 pub mod endorse;
 pub mod engine;
+pub mod group_wal;
 pub mod ledger;
 pub mod mempool;
 pub mod obs;
@@ -58,6 +59,7 @@ pub use block::{Ancestors, Block, BlockStore, BlockStoreError};
 pub use config::ProtocolConfig;
 pub use endorse::{honest_endorse_info, EndorsementTracker};
 pub use engine::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route};
+pub use group_wal::{DurableWal, GroupCommitWal, WriteThroughWal};
 pub use ledger::CommitLedger;
 pub use mempool::{Admission, Mempool, PayloadSource};
 pub use obs::EngineObs;

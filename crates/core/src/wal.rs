@@ -570,6 +570,46 @@ impl WalStore {
     pub fn appended(&self) -> u64 {
         self.wal.appended()
     }
+
+    /// Upgrades this store into a group-commit log: flushes anything
+    /// unsynced, then hands the file sink to a dedicated WAL-writer
+    /// thread (see [`GroupCommitWal`](crate::group_wal::GroupCommitWal)).
+    /// `wake` runs after every watermark advance — hook the transport's
+    /// writer notifier here so a completed fsync releases gated frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure or the thread-spawn failure.
+    pub fn into_group_commit(
+        mut self,
+        recorder: sft_obs::SharedRecorder,
+        wake: Option<Box<dyn Fn() + Send + Sync>>,
+    ) -> Result<crate::group_wal::GroupCommitWal, WalError> {
+        self.flush()?;
+        crate::group_wal::GroupCommitWal::spawn(self.wal.into_sink(), recorder, wake)
+            .map_err(WalError::Io)
+    }
+
+    /// Downgrades this store into the write-through baseline: flushes
+    /// anything unsynced, then wraps the file sink in a
+    /// [`WriteThroughWal`](crate::group_wal::WriteThroughWal) — one fsync
+    /// per appended record, inline on the caller's thread. This is the
+    /// durability-equivalent control the group-commit pipeline is
+    /// benchmarked against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn into_write_through(
+        mut self,
+        recorder: sft_obs::SharedRecorder,
+    ) -> Result<crate::group_wal::WriteThroughWal<FileSink>, WalError> {
+        self.flush()?;
+        Ok(crate::group_wal::WriteThroughWal::new(
+            self.wal.into_sink(),
+            recorder,
+        ))
+    }
 }
 
 #[cfg(test)]

@@ -311,6 +311,128 @@ fn recovery_from_every_crash_point_yields_the_durable_prefix() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fsync crash points: the group-commit watermark never outruns the disk.
+// ---------------------------------------------------------------------------
+
+/// The fsync-failing sibling of [`TornSink`]: appends always land in the
+/// byte image, but the k-th sync (and every one after — the process is
+/// "dead") fails, and only bytes present at the last *successful* sync
+/// count as durable. This models a crash between `write(2)` and
+/// `fsync(2)`: the page cache held the tail, the platter never saw it.
+#[derive(Clone)]
+struct FsyncCrashSink {
+    state: std::sync::Arc<std::sync::Mutex<FsyncCrashState>>,
+}
+
+struct FsyncCrashState {
+    bytes: Vec<u8>,
+    /// Byte length covered by the last successful sync — the crash image.
+    durable_len: usize,
+    syncs: u64,
+    fail_at: u64,
+}
+
+impl FsyncCrashSink {
+    fn new(fail_at: u64) -> Self {
+        Self {
+            state: std::sync::Arc::new(std::sync::Mutex::new(FsyncCrashState {
+                bytes: Vec::new(),
+                durable_len: 0,
+                syncs: 0,
+                fail_at,
+            })),
+        }
+    }
+
+    /// The bytes a reboot would find: everything through the last
+    /// successful fsync, nothing after.
+    fn crash_image(&self) -> Vec<u8> {
+        let state = self.state.lock().unwrap();
+        state.bytes[..state.durable_len].to_vec()
+    }
+}
+
+impl WalSink for FsyncCrashSink {
+    fn append(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.state.lock().unwrap().bytes.extend_from_slice(frame);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        let mut state = self.state.lock().unwrap();
+        state.syncs += 1;
+        if state.syncs >= state.fail_at {
+            return Err(io::Error::other("injected fsync crash"));
+        }
+        state.durable_len = state.bytes.len();
+        Ok(())
+    }
+}
+
+/// The pipelined-sends safety property, at the layer that enforces it:
+/// a [`SendGate`](sft_types::SendGate) minted for each appended record
+/// opens only once the group-commit watermark covers it, and across
+/// every k-th-fsync crash schedule the records whose gates ever open
+/// are exactly the records a reboot recovers from the crash image — no
+/// outbound frame is ever releasable on the strength of a record the
+/// disk never saw.
+#[test]
+fn gates_released_under_fsync_crashes_are_always_backed_by_the_disk() {
+    use sft_core::{DurableWal, GroupCommitWal};
+    use sft_types::SendGate;
+
+    let mut rng = SplitMix64::new(0xf5_c4a5);
+    for fail_at in 1..=6u64 {
+        let records = random_records(&mut rng, 8);
+        let sink = FsyncCrashSink::new(fail_at);
+        let mut wal =
+            GroupCommitWal::spawn(sink.clone(), sft_obs::noop(), None).expect("spawn wal writer");
+        let mut gates: Vec<SendGate> = Vec::new();
+        let mut crashed = false;
+        for record in &records {
+            let seq = wal.append(record).expect("append only enqueues");
+            gates.push(SendGate::new(wal.watermark(), seq));
+            // A barrier per record forces one fsync per record, so the
+            // k-th-fsync crash schedule fails exactly at record k — and
+            // the barrier must surface the failure rather than pretend
+            // durability.
+            if wal.barrier().is_err() {
+                crashed = true;
+                break;
+            }
+        }
+        let covered = wal.watermark().get();
+        drop(wal); // joins the (dead) writer thread
+        assert!(
+            crashed,
+            "fail_at {fail_at}: the writer must die at fsync {fail_at}"
+        );
+        assert_eq!(
+            covered,
+            fail_at - 1,
+            "exactly the records before the failing fsync are durable"
+        );
+
+        // Post-mortem: gates open exactly up to the watermark...
+        for gate in &gates {
+            assert_eq!(
+                gate.is_open(),
+                gate.seq() <= covered,
+                "fail_at {fail_at}: gate state must mirror the watermark"
+            );
+        }
+        // ...and the watermark never outruns what a reboot recovers: the
+        // crash image holds exactly the covered prefix, in append order.
+        let scanned = scan_wal(&sink.crash_image()).expect("durable prefix is clean");
+        assert_eq!(
+            scanned.records,
+            records[..covered as usize],
+            "fail_at {fail_at}: the covered prefix is the durable prefix"
+        );
+    }
+}
+
 #[test]
 fn batched_sync_crash_loses_at_most_the_unsynced_window() {
     // With sync_every = k, a crash can lose up to k−1 recent records, and

@@ -17,6 +17,8 @@
 //!   --ack-at X                       max ack strength requested (default 1)
 //!   --batch-size B                   leader batch size (default 64)
 //!   --payload-bytes P                bytes per transaction (default 128)
+//!   --durability MODE                in-memory | write-through | group-commit
+//!                                    (default in-memory)
 //!   --json-dir DIR                   write BENCH_loadgen_<protocol>.json
 //! ```
 //!
@@ -30,7 +32,7 @@ use std::time::Duration;
 
 use sft_core::ProtocolConfig;
 use sft_loadgen::{run_client, ClientConfig, LoadReport};
-use sft_sim::{run_over_tcp_serving, Protocol, SimConfig, SimReport, TcpPacing};
+use sft_sim::{run_over_tcp_serving, DurabilityMode, Protocol, SimConfig, SimReport, TcpPacing};
 use sft_types::ReplicaId;
 
 struct Args {
@@ -43,6 +45,7 @@ struct Args {
     ack_at: u64,
     batch_size: u32,
     payload_bytes: usize,
+    durability: DurabilityMode,
     json_dir: Option<String>,
 }
 
@@ -57,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         ack_at: 1,
         batch_size: 64,
         payload_bytes: 128,
+        durability: DurabilityMode::InMemory,
         json_dir: None,
     };
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -91,6 +95,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("{e}"))?
             }
+            "--durability" => {
+                args.durability = match value("--durability")?.as_str() {
+                    "in-memory" => DurabilityMode::InMemory,
+                    "write-through" => DurabilityMode::WriteThrough,
+                    "group-commit" => DurabilityMode::GroupCommit,
+                    other => return Err(format!("unknown durability mode {other}")),
+                }
+            }
             "--json-dir" => args.json_dir = Some(value("--json-dir")?),
             other if !other.starts_with("--") && positional < 2 => {
                 if positional == 0 {
@@ -116,6 +128,14 @@ fn protocol_name(protocol: Protocol) -> &'static str {
     }
 }
 
+fn durability_name(mode: DurabilityMode) -> &'static str {
+    match mode {
+        DurabilityMode::InMemory => "in-memory",
+        DurabilityMode::WriteThrough => "write-through",
+        DurabilityMode::GroupCommit => "group-commit",
+    }
+}
+
 /// Runs one protocol's cluster with the client fleet and returns the
 /// merged client view plus the cluster's own report.
 fn drive(args: &Args, protocol: Protocol) -> Result<(LoadReport, SimReport), String> {
@@ -132,6 +152,7 @@ fn drive(args: &Args, protocol: Protocol) -> Result<(LoadReport, SimReport), Str
     let config = SimConfig::new(args.n, epochs)
         .with_protocol(protocol)
         .with_batch_size(args.batch_size)
+        .with_durability(args.durability)
         .with_live_clients(true);
     let pacing = TcpPacing::default();
     // Clients must give up before the post-run drain ends, or their
@@ -184,6 +205,11 @@ fn summary_json(args: &Args, protocol: Protocol, load: &LoadReport, report: &Sim
     field("clients", args.clients.to_string());
     field("window", args.window.to_string());
     field("ack_at_max", args.ack_at.to_string());
+    field(
+        "durability",
+        format!("\"{}\"", durability_name(args.durability)),
+    );
+    field("wal_fsyncs", report.wal_fsyncs.to_string());
     field("agreement", report.agreement().to_string());
     field(
         "strength_monotone",
@@ -214,7 +240,8 @@ fn main() {
     let mut failed = false;
     for &protocol in &args.protocols {
         println!(
-            "loadgen SFT-{}: n={}, {} epochs, {} clients x {} txns (window {}), ack-at 0..={}",
+            "loadgen SFT-{}: n={}, {} epochs, {} clients x {} txns (window {}), \
+             ack-at 0..={}, wal {}",
             protocol_name(protocol),
             args.n,
             args.epochs,
@@ -222,6 +249,7 @@ fn main() {
             args.txns,
             args.window,
             args.ack_at,
+            durability_name(args.durability),
         );
         let (load, report) = match drive(&args, protocol) {
             Ok(pair) => pair,

@@ -58,7 +58,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use sft_crypto::rng::{RngCore, SplitMix64};
-use sft_types::{ReplicaId, SimDuration, SimTime};
+use sft_types::{ReplicaId, SendGate, SimDuration, SimTime};
 
 pub use node::NodeTransport;
 pub use sft_types::{Dest, Envelope, ProtocolTag};
@@ -120,6 +120,36 @@ pub trait Transport {
     /// retries — acks are not replicated state).
     fn send_client(&mut self, conn: u64, replica: ReplicaId, payload: Arc<[u8]>) {
         let _ = (conn, replica, payload);
+    }
+
+    /// True when [`send_gated`](Self::send_gated) enqueues without
+    /// blocking — the transport's own writer threads hold gated frames
+    /// until the durability watermark covers them. The default `false`
+    /// means the gated sends fall back to waiting *before* enqueueing,
+    /// which preserves the persist-before-send invariant but keeps the
+    /// caller on the hook for the fsync latency.
+    fn supports_gating(&self) -> bool {
+        false
+    }
+
+    /// [`send`](Self::send), but the frame may reach the wire only once
+    /// `gate` is open (the durability watermark covers the WAL records
+    /// justifying this message). The default implementation waits for
+    /// the gate inline and then sends — correct everywhere (and exactly
+    /// write-through under the deterministic simulator, whose virtual
+    /// clock does not advance while the caller waits); socket transports
+    /// override it to enqueue immediately and gate in their writer
+    /// threads.
+    fn send_gated(&mut self, from: ReplicaId, to: ReplicaId, payload: Arc<[u8]>, gate: SendGate) {
+        gate.wait_open();
+        self.send(from, to, payload);
+    }
+
+    /// [`broadcast`](Self::broadcast) with a durability gate; same
+    /// contract and default as [`send_gated`](Self::send_gated).
+    fn broadcast_gated(&mut self, from: ReplicaId, payload: Arc<[u8]>, gate: SendGate) {
+        gate.wait_open();
+        self.broadcast(from, payload);
     }
 }
 

@@ -32,7 +32,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sft_obs::{names, SharedRecorder};
-use sft_types::{Envelope, ProtocolTag, ReplicaId, SimTime};
+use sft_types::{Envelope, ProtocolTag, ReplicaId, SendGate, SimTime};
 
 use crate::frame::FrameDecoder;
 use crate::outbox::OutRing;
@@ -49,6 +49,12 @@ const BACKOFF_CAP: Duration = Duration::from_secs(2);
 /// before the connection is declared dead. Acks are not replicated
 /// state — clients own retries — so a stuck client costs at most this.
 const ACK_WRITE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long a peer writer sleeps per wait on a closed durability gate
+/// before re-checking the shutdown flag. The WAL writer's watermark
+/// advance wakes the wait immediately; this bound only caps how long a
+/// shutdown can go unnoticed while a gate is stuck.
+const GATE_POLL: Duration = Duration::from_millis(10);
 
 /// Live client connections: write halves by gateway-assigned conn id,
 /// plus the identity each hello claimed (where acks are addressed).
@@ -259,6 +265,18 @@ impl NodeTransport {
     /// ring is a counted drop — the writer is down or hopelessly
     /// behind, and the peer will block-sync what it missed.
     fn enqueue(&mut self, to: ReplicaId, frame: Arc<[u8]>, payload_len: usize) {
+        self.enqueue_gated(to, frame, payload_len, None);
+    }
+
+    /// [`enqueue`](Self::enqueue) with an optional durability gate the
+    /// peer's writer thread honors before putting the frame on the wire.
+    fn enqueue_gated(
+        &mut self,
+        to: ReplicaId,
+        frame: Arc<[u8]>,
+        payload_len: usize,
+        gate: Option<SendGate>,
+    ) {
         self.stats.messages += 1;
         self.stats.bytes += payload_len as u64;
         if self.recorder.enabled() {
@@ -270,7 +288,7 @@ impl NodeTransport {
             self.stats.dropped += 1;
             return;
         };
-        if !peer.ring.push(frame) {
+        if !peer.ring.push_gated(frame, gate) {
             self.stats.dropped += 1;
         }
     }
@@ -303,6 +321,29 @@ impl Transport for NodeTransport {
             let to = ReplicaId::new(to);
             if to != from {
                 self.enqueue(to, Arc::clone(&frame), payload.len());
+            }
+        }
+    }
+
+    fn supports_gating(&self) -> bool {
+        true // gated frames enqueue instantly; peer writers wait
+    }
+
+    fn send_gated(&mut self, from: ReplicaId, to: ReplicaId, payload: Arc<[u8]>, gate: SendGate) {
+        debug_assert_eq!(from, self.id, "a node only sends as itself");
+        let env = Envelope::to_peer(from, to, self.protocol, Arc::clone(&payload));
+        let frame: Arc<[u8]> = env.to_frame().into();
+        self.enqueue_gated(to, frame, payload.len(), Some(gate));
+    }
+
+    fn broadcast_gated(&mut self, from: ReplicaId, payload: Arc<[u8]>, gate: SendGate) {
+        debug_assert_eq!(from, self.id, "a node only sends as itself");
+        let env = Envelope::broadcast(from, self.protocol, Arc::clone(&payload));
+        let frame: Arc<[u8]> = env.to_frame().into();
+        for to in 0..self.n as u16 {
+            let to = ReplicaId::new(to);
+            if to != from {
+                self.enqueue_gated(to, Arc::clone(&frame), payload.len(), Some(gate.clone()));
             }
         }
     }
@@ -581,8 +622,11 @@ fn client_reader_loop(
 /// backoff, leads every (re)connection with the hello frame, and re-dials
 /// on any write failure — counting each lost connection. The ring is
 /// drained peek-then-pop, so a frame that failed mid-write is retried
-/// whole on the next connection. Exits when the ring closes (and its
-/// remaining frames drain) or shutdown is flagged.
+/// whole on the next connection. A frame carrying a durability gate is
+/// held — before any connect or write — until the WAL watermark covers
+/// it: the FIFO ring then holds everything behind it too, so gating
+/// delays the stream without reordering it. Exits when the ring closes
+/// (and its remaining frames drain) or shutdown is flagged.
 fn peer_writer_loop(
     addr: SocketAddr,
     hello: Vec<u8>,
@@ -598,7 +642,16 @@ fn peer_writer_loop(
         recorder.add(names::NET_BACKOFF_SLEEP_MS, backoff.as_millis() as u64);
         std::thread::sleep(backoff);
     };
-    'frames: while let Some(frame) = ring.front_blocking() {
+    'frames: while let Some((frame, gate)) = ring.front_blocking() {
+        if let Some(gate) = gate {
+            // Watermark-before-flush: the frame's justifying WAL
+            // records must be durable before its first byte moves.
+            while !gate.wait_open_timeout(GATE_POLL) {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
         loop {
             if shutdown.load(Ordering::SeqCst) {
                 return;

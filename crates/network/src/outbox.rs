@@ -32,6 +32,8 @@ use std::net::TcpStream;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+use sft_types::SendGate;
+
 /// Per-connection ring depth. Deep enough that a burst of pipelined
 /// rounds never stalls the consensus loop; bounded so a dead peer
 /// exerts backpressure (cluster) or costs fixed memory (node) instead
@@ -52,9 +54,19 @@ pub(crate) enum Flush {
     Dead,
 }
 
+/// One queued outbound frame plus its optional durability gate: a gated
+/// frame must not start hitting the socket until the gate is open (the
+/// WAL records justifying the message are durable). Frames queue in
+/// send order with monotone gate sequences, so holding the front frame
+/// holds everything behind it — gating delays, never reorders.
+struct QueuedFrame {
+    bytes: Arc<[u8]>,
+    gate: Option<SendGate>,
+}
+
 /// The guarded interior of an [`OutRing`].
 struct RingState {
-    queue: VecDeque<Arc<[u8]>>,
+    queue: VecDeque<QueuedFrame>,
     /// Bytes of the front frame already written (the partial-write
     /// cursor of the non-blocking flush path).
     offset: usize,
@@ -84,21 +96,37 @@ impl OutRing {
     }
 
     /// Enqueues without blocking. `false` — the caller counts a drop —
-    /// when the ring is closed or full.
+    /// when the ring is closed or full. (The transports now always go
+    /// through the gated variant; this shorthand serves the tests.)
+    #[cfg(test)]
     pub(crate) fn push(&self, frame: Arc<[u8]>) -> bool {
+        self.push_gated(frame, None)
+    }
+
+    /// [`push`](Self::push) with an optional durability gate the
+    /// consumer must see open before writing the frame.
+    pub(crate) fn push_gated(&self, frame: Arc<[u8]>, gate: Option<SendGate>) -> bool {
         let mut state = self.state.lock().expect("ring lock");
         if state.closed || state.queue.len() >= RING_DEPTH {
             return false;
         }
-        state.queue.push_back(frame);
+        state.queue.push_back(QueuedFrame { bytes: frame, gate });
         self.wake.notify_all();
         true
     }
 
     /// Enqueues, waiting for space while the ring is full — the
     /// backpressure of a producer that must not silently lose frames.
-    /// `false` only when the ring is (or gets) closed.
+    /// `false` only when the ring is (or gets) closed. (Transports go
+    /// through the gated variant; this shorthand serves the tests.)
+    #[cfg(test)]
     pub(crate) fn push_blocking(&self, frame: Arc<[u8]>) -> bool {
+        self.push_blocking_gated(frame, None)
+    }
+
+    /// [`push_blocking`](Self::push_blocking) with an optional
+    /// durability gate.
+    pub(crate) fn push_blocking_gated(&self, frame: Arc<[u8]>, gate: Option<SendGate>) -> bool {
         let mut state = self.state.lock().expect("ring lock");
         while !state.closed && state.queue.len() >= RING_DEPTH {
             state = self.wake.wait(state).expect("ring lock");
@@ -106,7 +134,7 @@ impl OutRing {
         if state.closed {
             return false;
         }
-        state.queue.push_back(frame);
+        state.queue.push_back(QueuedFrame { bytes: frame, gate });
         self.wake.notify_all();
         true
     }
@@ -120,15 +148,17 @@ impl OutRing {
     }
 
     /// Waits until a frame is available and returns a handle to the
-    /// front one *without* popping it, or `None` once the ring is
-    /// closed and drained. Pair with [`advance`](Self::advance) after a
-    /// successful write; not popping first is what lets a reconnecting
-    /// writer retry the same frame on a fresh connection.
-    pub(crate) fn front_blocking(&self) -> Option<Arc<[u8]>> {
+    /// front one (plus its durability gate, if any) *without* popping
+    /// it, or `None` once the ring is closed and drained. The caller
+    /// must see the gate open before writing. Pair with
+    /// [`advance`](Self::advance) after a successful write; not popping
+    /// first is what lets a reconnecting writer retry the same frame on
+    /// a fresh connection.
+    pub(crate) fn front_blocking(&self) -> Option<(Arc<[u8]>, Option<SendGate>)> {
         let mut state = self.state.lock().expect("ring lock");
         loop {
             if let Some(front) = state.queue.front() {
-                return Some(Arc::clone(front));
+                return Some((Arc::clone(&front.bytes), front.gate.clone()));
             }
             if state.closed {
                 return None;
@@ -145,17 +175,29 @@ impl OutRing {
     }
 
     /// Writes queued frames onto a non-blocking `stream` until the ring
-    /// drains or the socket pushes back, resuming any half-written
-    /// frame at its cursor. Returns whether any bytes were written and
-    /// the resulting [`Flush`] status. The lock is never held across a
-    /// write syscall.
+    /// drains, the socket pushes back, or the front frame's durability
+    /// gate is still closed (reported as [`Flush::Blocked`] — the
+    /// writer's timed retry doubles as the gate poll, and the WAL
+    /// writer's wake hook signals it the moment the fsync lands).
+    /// Resumes any half-written frame at its cursor; a frame's gate is
+    /// only consulted before its first byte, which is sound because
+    /// gates open monotonically. Returns whether any bytes were written
+    /// and the resulting [`Flush`] status. The lock is never held
+    /// across a write syscall.
     pub(crate) fn flush_nonblocking(&self, stream: &mut TcpStream) -> (bool, Flush) {
         let mut wrote = false;
         loop {
             let (frame, offset) = {
                 let state = self.state.lock().expect("ring lock");
                 match state.queue.front() {
-                    Some(front) => (Arc::clone(front), state.offset),
+                    Some(front) => {
+                        if state.offset == 0
+                            && front.gate.as_ref().is_some_and(|gate| !gate.is_open())
+                        {
+                            return (wrote, Flush::Blocked);
+                        }
+                        (Arc::clone(&front.bytes), state.offset)
+                    }
                     None => {
                         let status = if state.closed {
                             Flush::Done
@@ -267,13 +309,60 @@ mod tests {
     fn front_blocking_peeks_and_advance_pops() {
         let ring = OutRing::new();
         assert!(ring.push(frame(7, 3)));
-        let first = ring.front_blocking().unwrap();
+        let (first, gate) = ring.front_blocking().unwrap();
         assert_eq!(first[..], [7, 7, 7]);
+        assert!(gate.is_none(), "ungated push carries no gate");
         // Still the front: a failed write would retry the same frame.
-        assert_eq!(ring.front_blocking().unwrap()[..], [7, 7, 7]);
+        assert_eq!(ring.front_blocking().unwrap().0[..], [7, 7, 7]);
         ring.advance();
         ring.close();
-        assert_eq!(ring.front_blocking(), None, "closed and drained");
+        assert!(ring.front_blocking().is_none(), "closed and drained");
+    }
+
+    #[test]
+    fn closed_gate_blocks_the_flush_until_the_watermark_covers_it() {
+        use sft_types::Watermark;
+        let (mut tx, mut rx) = socket_pair();
+        let ring = OutRing::new();
+        let wm = Watermark::new();
+        assert!(ring.push(frame(1, 2)));
+        assert!(ring.push_gated(frame(2, 2), Some(SendGate::new(wm.clone(), 3))));
+        assert!(
+            ring.push(frame(3, 2)),
+            "ungated frame queued behind the gate"
+        );
+        // First flush: the ungated frame goes out, the gated one holds
+        // everything behind it (FIFO — gating never reorders).
+        let (wrote, status) = ring.flush_nonblocking(&mut tx);
+        assert!(wrote);
+        assert_eq!(status, Flush::Blocked, "closed gate reports Blocked");
+        let mut got = [0u8; 2];
+        rx.read_exact(&mut got).unwrap();
+        assert_eq!(got, [1, 1]);
+        // Still blocked on retry while the watermark lags.
+        wm.advance(2);
+        assert_eq!(ring.flush_nonblocking(&mut tx).1, Flush::Blocked);
+        // Watermark covers the gate: both remaining frames drain in order.
+        wm.advance(3);
+        let (wrote, status) = ring.flush_nonblocking(&mut tx);
+        assert!(wrote);
+        assert_eq!(status, Flush::Clean);
+        let mut rest = [0u8; 4];
+        rx.read_exact(&mut rest).unwrap();
+        assert_eq!(rest, [2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn front_blocking_hands_the_gate_to_the_consumer() {
+        use sft_types::Watermark;
+        let ring = OutRing::new();
+        let wm = Watermark::new();
+        assert!(ring.push_blocking_gated(frame(5, 1), Some(SendGate::new(wm.clone(), 1))));
+        let (_, gate) = ring.front_blocking().unwrap();
+        let gate = gate.expect("gate travels with the frame");
+        assert!(!gate.is_open());
+        wm.advance(1);
+        assert!(gate.is_open());
     }
 
     #[test]

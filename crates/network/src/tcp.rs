@@ -49,7 +49,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sft_obs::{names, PhaseTimer, SharedRecorder};
-use sft_types::{Envelope, ProtocolTag, ReplicaId, SimTime};
+use sft_types::{Envelope, ProtocolTag, ReplicaId, SendGate, SimTime};
 
 use crate::frame::FrameDecoder;
 use crate::outbox::{Flush, Notifier, OutRing};
@@ -293,8 +293,29 @@ impl TcpCluster {
         self.recorder = recorder;
     }
 
+    /// A hook that wakes the writer thread — hand this to the
+    /// group-commit WAL so a completed fsync releases durability-gated
+    /// frames immediately instead of on the writer's next timed retry.
+    pub fn writer_wake_hook(&self) -> Box<dyn Fn() + Send + Sync> {
+        let notifier = Arc::clone(&self.notifier);
+        Box::new(move || notifier.signal())
+    }
+
     /// Enqueues one pre-framed buffer on the `from → to` ring.
     fn enqueue(&mut self, from: ReplicaId, to: ReplicaId, frame: Arc<[u8]>, payload_len: usize) {
+        self.enqueue_gated(from, to, frame, payload_len, None);
+    }
+
+    /// [`enqueue`](Self::enqueue) with an optional durability gate the
+    /// writer thread honors before flushing the frame.
+    fn enqueue_gated(
+        &mut self,
+        from: ReplicaId,
+        to: ReplicaId,
+        frame: Arc<[u8]>,
+        payload_len: usize,
+        gate: Option<SendGate>,
+    ) {
         self.stats.messages += 1;
         self.stats.bytes += payload_len as u64;
         if self.recorder.enabled() {
@@ -309,7 +330,7 @@ impl TcpCluster {
             self.stats.dropped += 1;
             return;
         };
-        if ring.push_blocking(frame) {
+        if ring.push_blocking_gated(frame, gate) {
             self.notifier.signal();
         } else {
             self.stats.dropped += 1;
@@ -355,6 +376,33 @@ impl Transport for TcpCluster {
             let to = ReplicaId::new(to);
             if to != from {
                 self.enqueue(from, to, Arc::clone(&frame), payload.len());
+            }
+        }
+    }
+
+    fn supports_gating(&self) -> bool {
+        true // gated frames enqueue instantly; the writer thread waits
+    }
+
+    fn send_gated(&mut self, from: ReplicaId, to: ReplicaId, payload: Arc<[u8]>, gate: SendGate) {
+        let env = Envelope::to_peer(from, to, self.protocol, Arc::clone(&payload));
+        let frame: Arc<[u8]> = env.to_frame().into();
+        self.enqueue_gated(from, to, frame, payload.len(), Some(gate));
+    }
+
+    fn broadcast_gated(&mut self, from: ReplicaId, payload: Arc<[u8]>, gate: SendGate) {
+        let env = Envelope::broadcast(from, self.protocol, Arc::clone(&payload));
+        let frame: Arc<[u8]> = env.to_frame().into();
+        for to in 0..self.n as u16 {
+            let to = ReplicaId::new(to);
+            if to != from {
+                self.enqueue_gated(
+                    from,
+                    to,
+                    Arc::clone(&frame),
+                    payload.len(),
+                    Some(gate.clone()),
+                );
             }
         }
     }

@@ -71,6 +71,19 @@ pub mod names {
     /// non-blocking sockets (`TcpCluster` / `NodeTransport`).
     pub const PHASE_NET_FLUSH_NS: &str = "phase_net_flush_ns";
 
+    // ---- durable write-ahead log (group-commit pipeline) ----
+
+    /// `WalSink::sync` calls issued (one per write-through append, one
+    /// per coalesced group under the group-commit WAL writer).
+    pub const WAL_FSYNCS: &str = "wal_fsyncs";
+    /// Records coalesced per group-commit fsync (histogram; 1 when the
+    /// writer is keeping up, larger under load).
+    pub const WAL_GROUP_SIZE: &str = "wal_group_size";
+    /// Engine-loop wall time spent blocked on durability per persisting
+    /// step: the inline fsync under write-through, the append-queue
+    /// handoff under group commit.
+    pub const PHASE_PERSIST_WAIT_NS: &str = "phase_persist_wait_ns";
+
     // ---- per-round consensus events (protocol microseconds) ----
 
     /// Proposal-seen → standard commit latency, per committed round.

@@ -121,6 +121,27 @@ pub enum Protocol {
     Fbft,
 }
 
+/// How a run persists (and waits for) its write-ahead log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DurabilityMode {
+    /// The classic harness: persist records are mirrored into the
+    /// runner's in-memory log (crash tests replay it) but nothing is
+    /// fsynced and nothing is gated. Zero overhead; no durability.
+    #[default]
+    InMemory,
+    /// One fsync per persisted record, inline on the engine loop, before
+    /// the messages it justifies are routed — the literal
+    /// persist-before-send baseline (`sync_every = 1`).
+    WriteThrough,
+    /// The pipelined discipline: appends go to a dedicated WAL-writer
+    /// thread that batches fsyncs adaptively and publishes a durability
+    /// watermark; outbound messages are *gated* on the watermark instead
+    /// of waiting inline. Same durability guarantee as
+    /// [`WriteThrough`](Self::WriteThrough) — no frame leaves before its
+    /// records are on disk — at a fraction of the fsync count.
+    GroupCommit,
+}
+
 /// Simulation parameters. Build with [`SimConfig::new`] and the `with_*`
 /// methods, then call [`SimConfig::run`].
 #[derive(Clone, Debug)]
@@ -192,6 +213,42 @@ pub struct SimConfig {
     /// that makes n = 31/61/121 sweeps tractable. Set
     /// [`VerifyPolicy::OnArrival`] to restore eager per-message checking.
     pub verify_policy: VerifyPolicy,
+    /// How replicas persist their write-ahead logs (see
+    /// [`DurabilityMode`]). Simulated runs back the logs with in-memory
+    /// sinks — the *discipline* (sequencing, gating, group boundaries) is
+    /// exercised without real disks, and [`run_over_tcp`] swaps in file
+    /// sinks for real fsyncs. Defaults to [`DurabilityMode::InMemory`].
+    pub durability: DurabilityMode,
+}
+
+/// The per-replica durable logs a simulated run installs for `config`:
+/// in-memory sinks under the configured persistence discipline — the
+/// sequencing, gating, and group boundaries are exercised for real while
+/// the "disk" stays a byte vector — or `None` for the zero-overhead
+/// classic harness. `recorder` receives the WAL fsync/group-size metrics
+/// (pass the runner's registry, or [`sft_obs::noop`]).
+pub(crate) fn sim_wals(
+    config: &SimConfig,
+    recorder: &sft_obs::SharedRecorder,
+) -> Option<Vec<Box<dyn sft_core::DurableWal>>> {
+    use sft_core::{DurableWal, GroupCommitWal, MemSink, WriteThroughWal};
+    use std::sync::Arc;
+    let build = |mode: DurabilityMode| -> Box<dyn DurableWal> {
+        match mode {
+            DurabilityMode::InMemory => unreachable!("no wal in memory-only mode"),
+            DurabilityMode::WriteThrough => {
+                Box::new(WriteThroughWal::new(MemSink::new(), Arc::clone(recorder)))
+            }
+            DurabilityMode::GroupCommit => Box::new(
+                GroupCommitWal::spawn(MemSink::new(), Arc::clone(recorder), None)
+                    .expect("spawn wal writer"),
+            ),
+        }
+    };
+    match config.durability {
+        DurabilityMode::InMemory => None,
+        mode => Some((0..config.n).map(|_| build(mode)).collect()),
+    }
 }
 
 /// The default post-schedule drain bound for a run of `epochs`.
@@ -233,6 +290,7 @@ impl SimConfig {
             mempool_txn_cap: None,
             recording: false,
             verify_policy: VerifyPolicy::OnQuorum,
+            durability: DurabilityMode::InMemory,
         }
     }
 
@@ -260,6 +318,13 @@ impl SimConfig {
     /// [`SimConfig::verify_policy`]).
     pub fn with_verify_policy(mut self, policy: VerifyPolicy) -> Self {
         self.verify_policy = policy;
+        self
+    }
+
+    /// Selects the WAL persistence discipline (see
+    /// [`SimConfig::durability`]).
+    pub fn with_durability(mut self, durability: DurabilityMode) -> Self {
+        self.durability = durability;
         self
     }
 
@@ -479,23 +544,27 @@ pub fn run_over_tcp_serving(
     let recorder = config
         .recording
         .then(|| std::sync::Arc::new(sft_obs::Registry::new()) as sft_obs::SharedRecorder);
-    let cluster = |tag| -> std::io::Result<TcpCluster> {
-        let mut cluster = TcpCluster::loopback(config.n, tag)?;
-        if let Some(recorder) = &recorder {
-            cluster.set_recorder(std::sync::Arc::clone(recorder));
-        }
-        let addrs = (0..config.n as u16)
-            .map(|id| cluster.client_addr(ReplicaId::new(id)))
-            .collect::<std::io::Result<Vec<_>>>()?;
-        ready(&addrs);
-        Ok(cluster)
+    let tag = match config.protocol {
+        Protocol::Streamlet => ProtocolTag::Streamlet,
+        Protocol::Fbft => ProtocolTag::Fbft,
     };
-    Ok(match config.protocol {
+    let mut cluster = TcpCluster::loopback(config.n, tag)?;
+    if let Some(recorder) = &recorder {
+        cluster.set_recorder(std::sync::Arc::clone(recorder));
+    }
+    let addrs = (0..config.n as u16)
+        .map(|id| cluster.client_addr(ReplicaId::new(id)))
+        .collect::<std::io::Result<Vec<_>>>()?;
+    ready(&addrs);
+    // Unlike the simulator's in-memory sinks, TCP runs persist to real
+    // files: the fsyncs (and the group-commit win over them) are real.
+    let (wals, wal_root) = tcp_wals(config, &cluster, recorder.as_ref())?;
+    let report = match config.protocol {
         Protocol::Streamlet => {
             let mut runner = EngineRunner::new(
                 build_streamlet_engines(config, pacing.delta * 2),
                 behaviors,
-                cluster(ProtocolTag::Streamlet)?,
+                cluster,
                 NoMischief,
                 RunnerConfig {
                     plan: RunPlan::UntilQuiescent,
@@ -507,13 +576,16 @@ pub fn run_over_tcp_serving(
             if let Some(recorder) = recorder {
                 runner.set_recorder(recorder);
             }
+            if let Some(wals) = wals {
+                runner.set_wals(wals);
+            }
             runner.run()
         }
         Protocol::Fbft => {
             let mut runner = EngineRunner::new(
                 build_fbft_engines(config, pacing.base_timeout),
                 behaviors,
-                cluster(ProtocolTag::Fbft)?,
+                cluster,
                 NoMischief,
                 RunnerConfig {
                     plan: RunPlan::PastRound(Round::new(config.epochs)),
@@ -525,9 +597,66 @@ pub fn run_over_tcp_serving(
             if let Some(recorder) = recorder {
                 runner.set_recorder(recorder);
             }
+            if let Some(wals) = wals {
+                runner.set_wals(wals);
+            }
             runner.run()
         }
-    })
+    };
+    // The runner (and with it every WAL-writer thread) is gone; the logs
+    // were scratch state for this run only.
+    if let Some(root) = wal_root {
+        let _ = std::fs::remove_dir_all(root);
+    }
+    Ok(report)
+}
+
+/// Monotone discriminator for concurrent/successive TCP runs in one
+/// process, so their scratch WAL directories never collide.
+static TCP_WAL_RUN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// The per-replica durable logs for a TCP run plus the scratch directory
+/// root to remove afterwards; both `None` under [`DurabilityMode::InMemory`].
+type TcpWals = (
+    Option<Vec<Box<dyn sft_core::DurableWal>>>,
+    Option<std::path::PathBuf>,
+);
+
+/// Builds the file-backed per-replica durable logs for a TCP run (and the
+/// scratch directory root to remove afterwards), or `(None, None)` under
+/// [`DurabilityMode::InMemory`]. Group-commit logs get the cluster's
+/// writer wake hook, so a completed fsync immediately releases the frames
+/// it gates instead of waiting out the writer's retry tick.
+fn tcp_wals(
+    config: &SimConfig,
+    cluster: &TcpCluster,
+    recorder: Option<&sft_obs::SharedRecorder>,
+) -> std::io::Result<TcpWals> {
+    if config.durability == DurabilityMode::InMemory {
+        return Ok((None, None));
+    }
+    let run = TCP_WAL_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!("sft-wal-{}-{run}", std::process::id()));
+    let wal_err = |e: sft_core::WalError| std::io::Error::other(e.to_string());
+    let mut wals: Vec<Box<dyn sft_core::DurableWal>> = Vec::with_capacity(config.n);
+    for id in 0..config.n {
+        let dir = root.join(format!("replica-{id}"));
+        std::fs::create_dir_all(&dir)?;
+        let store = sft_core::WalStore::open(&dir, 1).map_err(wal_err)?;
+        let recorder = recorder.map_or_else(sft_obs::noop, std::sync::Arc::clone);
+        wals.push(match config.durability {
+            DurabilityMode::InMemory => unreachable!("handled above"),
+            DurabilityMode::WriteThrough => {
+                Box::new(store.into_write_through(recorder).map_err(wal_err)?)
+            }
+            DurabilityMode::GroupCommit => Box::new(
+                store
+                    .into_group_commit(recorder, Some(cluster.writer_wake_hook()))
+                    .map_err(wal_err)?,
+            ),
+        });
+    }
+    Ok((Some(wals), Some(root)))
 }
 
 /// Everything a finished run reports, protocol independent.
@@ -575,6 +704,12 @@ pub struct SimReport {
     /// certificate formed under [`VerifyPolicy::OnQuorum`]; 0 under
     /// [`VerifyPolicy::OnArrival`]).
     pub batch_verify_calls: u64,
+    /// WAL fsyncs across all replicas. 0 under
+    /// [`DurabilityMode::InMemory`]; one per persisted record under
+    /// [`DurabilityMode::WriteThrough`]; one per *group* under
+    /// [`DurabilityMode::GroupCommit`] — the drop between the last two is
+    /// the group-commit win.
+    pub wal_fsyncs: u64,
     /// Counters and latency histograms recorded during the run. Empty
     /// unless the run was built with [`SimConfig::with_recording`] (or a
     /// recorder was installed on the runner directly).

@@ -29,12 +29,13 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use sft_core::{EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route, WalRecord};
+use sft_core::{DurableWal, EngineStep, MsgKind, OutboundMsg, ReplicaEngine, Route, WalRecord};
 use sft_crypto::HashValue;
 use sft_network::Transport;
 use sft_obs::{names, PhaseTimer, SharedRecorder};
 use sft_types::{
-    ClientFrame, Decode, Encode, ReplicaId, Round, SimDuration, SimTime, StrongCommitUpdate,
+    ClientFrame, Decode, Encode, PersistSeq, ReplicaId, Round, SendGate, SimDuration, SimTime,
+    StrongCommitUpdate,
 };
 
 use crate::{Behavior, SimReport};
@@ -136,6 +137,15 @@ pub struct EngineRunner<E: ReplicaEngine, T: Transport, M: Mischief<E>> {
     /// emitted, appended *before* the messages it justifies were routed —
     /// the in-memory stand-in for the on-disk WAL a real node keeps.
     persisted: Vec<Vec<WalRecord>>,
+    /// Per-replica durable logs, when the run is pipelined: every persist
+    /// record is appended here too, and every outbound message is gated on
+    /// the watermark covering the replica's last appended sequence —
+    /// persist-before-send becomes watermark-before-flush. `None` keeps
+    /// the classic in-memory-only discipline (no gating, no fsyncs).
+    wals: Option<Vec<Box<dyn DurableWal>>>,
+    /// Replica `i`'s last appended persist sequence (0 = nothing appended)
+    /// — the sequence its next outbound frames are gated on.
+    last_seq: Vec<PersistSeq>,
     drain_used: u64,
     /// Which client connection is waiting on each admitted transaction's
     /// ack — the routing table from [`ReplicaEngine::drain_acks`] back to
@@ -176,6 +186,8 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             config,
             timelines: vec![Vec::new(); n],
             persisted: vec![Vec::new(); n],
+            wals: None,
+            last_seq: vec![0; n],
             drain_used: 0,
             ack_routes: HashMap::new(),
             recorder: sft_obs::noop(),
@@ -190,6 +202,21 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             engine.set_recorder(Arc::clone(&recorder));
         }
         self.recorder = recorder;
+    }
+
+    /// Installs one durable log per replica and switches the run to the
+    /// pipelined persistence discipline: every persist record is appended
+    /// to the replica's [`DurableWal`] before its step's messages are
+    /// routed, and every outbound message carries a [`SendGate`] that
+    /// holds it in the transport until the log's durability watermark
+    /// covers the replica's last appended record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wals` is not exactly one log per replica.
+    pub fn set_wals(&mut self, wals: Vec<Box<dyn DurableWal>>) {
+        assert_eq!(wals.len(), self.engines.len(), "one wal per replica");
+        self.wals = Some(wals);
     }
 
     /// Immutable access to engine `i`, for tests and benches.
@@ -254,6 +281,15 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
                         break;
                     }
                 }
+            }
+        }
+        // Settle durability before reporting: every appended record is
+        // fsynced (so the fsync count is stable) and every gated frame's
+        // watermark is reachable — nothing is left waiting on a sync that
+        // will never come.
+        if let Some(wals) = &mut self.wals {
+            for wal in wals.iter_mut() {
+                wal.barrier().expect("wal barrier");
             }
         }
         self.report()
@@ -411,8 +447,20 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
     fn absorb(&mut self, i: usize, step: EngineStep, now: SimTime, inbox: &mut Inbox) {
         // Write-ahead discipline: durable records land in the log before
         // any message they justify is routed, so a crash after a send can
-        // never find the log missing the vote that went out.
+        // never find the log missing the vote that went out. With durable
+        // logs installed, `append` only *enqueues* (group commit) or
+        // fsyncs inline (write-through); what the hot path actually waits
+        // is recorded separately as the persist-wait phase.
         let persist = PhaseTimer::start(&*self.recorder);
+        if !step.persist.is_empty() {
+            if let Some(wals) = &mut self.wals {
+                let wait = PhaseTimer::start(&*self.recorder);
+                for record in &step.persist {
+                    self.last_seq[i] = wals[i].append(record).expect("wal append");
+                }
+                wait.finish(&*self.recorder, names::PHASE_PERSIST_WAIT_NS);
+            }
+        }
         self.persisted[i].extend(step.persist);
         persist.finish(&*self.recorder, names::PHASE_PERSIST_NS);
         self.timelines[i].extend(step.updates.into_iter().map(|u| (now, u)));
@@ -438,9 +486,27 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
         self.route(i, out, inbox);
     }
 
+    /// The gate replica `i`'s next outbound frames must clear, if the run
+    /// is pipelined: the durability watermark must cover the replica's
+    /// last appended persist sequence before any frame hits the wire.
+    /// `None` when no durable logs are installed or nothing was ever
+    /// appended (nothing to justify — sending is free).
+    fn gate_for(&self, i: usize) -> Option<SendGate> {
+        let wals = self.wals.as_ref()?;
+        let seq = self.last_seq[i];
+        (seq > 0).then(|| SendGate::new(wals[i].watermark(), seq))
+    }
+
     /// Sends one message: broadcasts go over the transport (encoded once,
     /// recipients share the buffer) and loop back to the sender
     /// immediately; point-to-point sends pay the transport delay.
+    ///
+    /// Pipelined runs route through the transport's gated entry points,
+    /// so the frame is held (in the transport, off the engine loop) until
+    /// the WAL watermark covers the records that justify it. The sender's
+    /// own loopback delivery is *not* gated: a replica hearing its own
+    /// message early cannot equivocate against itself, and its WAL replay
+    /// restores the same state after a crash.
     fn route(&mut self, i: usize, out: OutboundMsg, inbox: &mut Inbox) {
         let from = self.engines[i].id();
         if self.recorder.enabled() {
@@ -455,12 +521,21 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             self.recorder
                 .add(names::NET_BYTES[kind], recipients * out.bytes.len() as u64);
         }
-        match out.route {
-            Route::Broadcast => {
+        let gate = self.gate_for(i);
+        match (out.route, gate) {
+            (Route::Broadcast, Some(gate)) => {
+                self.transport
+                    .broadcast_gated(from, Arc::clone(&out.bytes), gate);
+                inbox.push_back((from, from, out.bytes));
+            }
+            (Route::Broadcast, None) => {
                 self.transport.broadcast(from, Arc::clone(&out.bytes));
                 inbox.push_back((from, from, out.bytes));
             }
-            Route::To(peer) => self.transport.send(from, peer, out.bytes),
+            (Route::To(peer), Some(gate)) => {
+                self.transport.send_gated(from, peer, out.bytes, gate);
+            }
+            (Route::To(peer), None) => self.transport.send(from, peer, out.bytes),
         }
     }
 
@@ -594,6 +669,10 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
         for engine in &self.engines {
             sig_stats.merge(engine.sig_stats());
         }
+        let wal_fsyncs = self
+            .wals
+            .as_ref()
+            .map_or(0, |wals| wals.iter().map(|w| w.fsyncs()).sum());
         SimReport {
             chains,
             commit_logs,
@@ -609,6 +688,7 @@ impl<E: ReplicaEngine, T: Transport, M: Mischief<E>> EngineRunner<E, T, M> {
             walk_steps,
             sig_verifications: sig_stats.verifications,
             batch_verify_calls: sig_stats.batch_calls,
+            wal_fsyncs,
             metrics: self.recorder.snapshot(),
         }
     }

@@ -161,8 +161,16 @@ impl Simulation {
                 drain_step: config.delay,
             },
         );
+        let recorder: sft_obs::SharedRecorder = if config.recording {
+            std::sync::Arc::new(sft_obs::Registry::new())
+        } else {
+            sft_obs::noop()
+        };
         if config.recording {
-            runner.set_recorder(std::sync::Arc::new(sft_obs::Registry::new()));
+            runner.set_recorder(std::sync::Arc::clone(&recorder));
+        }
+        if let Some(wals) = crate::sim_wals(&config, &recorder) {
+            runner.set_wals(wals);
         }
         Self {
             runner,

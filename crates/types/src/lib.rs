@@ -42,6 +42,7 @@ pub mod bitset;
 pub mod client;
 pub mod codec;
 pub mod commit_log;
+pub mod durability;
 pub mod envelope;
 pub mod ids;
 pub mod interval;
@@ -55,6 +56,7 @@ pub use bitset::SignerSet;
 pub use client::{ClientAck, ClientFrame, ClientRequest};
 pub use codec::{Decode, DecodeError, Encode};
 pub use commit_log::{commit_log_digest, StrongCommitUpdate};
+pub use durability::{PersistSeq, SendGate, Watermark};
 pub use envelope::{Dest, Envelope, ProtocolTag, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 pub use ids::{Height, ReplicaId, Round};
 pub use interval::{RoundInterval, RoundIntervalSet};

@@ -487,7 +487,9 @@ impl TimeoutAggregator {
                     BatchItem::new(author.as_u64(), digest.as_ref(), &entries[author].signature)
                 })
                 .collect();
-            let result = self.registry.verify_batch(&items);
+            // Pooled: shards the MAC work over the crypto worker pool
+            // above a threshold, serial below it — result-identical.
+            let result = self.registry.verify_batch_pooled(&items);
             drop(items);
             self.stats.count_batch(unverified.len(), result.is_err());
             let forged_indices = result.err().unwrap_or_default();
